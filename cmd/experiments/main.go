@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's evaluation figures on the
+// simulated machine and self-checks their shapes.
+//
+// Usage:
+//
+//	experiments -run fig5          # one experiment
+//	experiments -all               # everything, summary at the end
+//	experiments -list              # available experiment ids
+//	experiments -run fig8a -plot   # with ASCII plots
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hsfq/internal/experiments"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		plot  = flag.Bool("plot", false, "include ASCII plots")
+		out   = flag.String("out", "", "also write each experiment's output to this directory")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-18s %s\n", id, title)
+		}
+	case *all:
+		failed := 0
+		for _, id := range experiments.IDs() {
+			if !runOne(id, experiments.Options{Seed: *seed, Plot: *plot}, *out) {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "%d experiment(s) failed their shape checks\n", failed)
+			os.Exit(1)
+		}
+		fmt.Println("all experiments reproduce the paper's shapes")
+	case *runID != "":
+		if !runOne(*runID, experiments.Options{Seed: *seed, Plot: *plot}, *out) {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, opt experiments.Options, outDir string) bool {
+	res, err := experiments.Run(id, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return false
+	}
+	fmt.Printf("==== %s: %s ====\n", res.ID, res.Title)
+	fmt.Print(res.Output())
+	fmt.Print(res.Summary())
+	fmt.Println()
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		body := "==== " + res.ID + ": " + res.Title + " ====\n" + res.Output() + res.Summary()
+		if err := os.WriteFile(filepath.Join(outDir, id+".txt"), []byte(body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+	}
+	return res.Passed()
+}

@@ -1,0 +1,228 @@
+// Command hsfqctl builds and inspects scheduling structures offline by
+// interpreting a small script whose commands mirror the paper's system
+// calls (hsfq_mknod, hsfq_parse, hsfq_rmnod, hsfq_admin):
+//
+//	mknod PATH WEIGHT [LEAF [QUANTUM]]   create a node (LEAF: sfq, rr,
+//	                                     fifo, edf, rm, svr4, lottery,
+//	                                     stride, eevdf)
+//	parse PATH                           resolve a path to a node id
+//	rmnod PATH                           remove an empty node
+//	weight PATH W                        change a node's weight
+//	bandwidth PATH                       guaranteed share of the CPU
+//	info PATH                            node details
+//	tree                                 print the whole structure
+//	dot                                  print the structure as DOT
+//	check                                verify structural invariants
+//	# ...                                comment
+//
+// The script is read from the file named by -f, or standard input.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hsfq/internal/core"
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+func main() {
+	file := flag.String("f", "", "script file (default: stdin)")
+	flag.Parse()
+	in := io.Reader(os.Stdin)
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hsfqctl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := Interpret(in, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hsfqctl:", err)
+		os.Exit(1)
+	}
+}
+
+// Interpret executes an hsfqctl script against a fresh structure.
+func Interpret(in io.Reader, out io.Writer) error {
+	s := core.NewStructure()
+	scanner := bufio.NewScanner(in)
+	lineno := 0
+	for scanner.Scan() {
+		lineno++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := exec(s, line, out); err != nil {
+			return fmt.Errorf("line %d (%q): %w", lineno, line, err)
+		}
+	}
+	return scanner.Err()
+}
+
+func exec(s *core.Structure, line string, out io.Writer) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	resolve := func(path string) (core.NodeID, error) {
+		return s.Parse(path, core.RootID)
+	}
+	switch cmd {
+	case "mknod":
+		if err := need(2); err != nil {
+			return err
+		}
+		weight, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad weight %q", args[1])
+		}
+		var leaf sched.Scheduler
+		if len(args) >= 3 {
+			quantum := sim.Time(0)
+			if len(args) >= 4 {
+				d, err := time.ParseDuration(args[3])
+				if err != nil {
+					return fmt.Errorf("bad quantum %q", args[3])
+				}
+				quantum = sim.Duration(d)
+			}
+			leaf, err = makeLeaf(args[2], quantum)
+			if err != nil {
+				return err
+			}
+		}
+		id, err := s.MknodPath(args[0], weight, leaf)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "mknod %s -> node %d\n", args[0], id)
+	case "parse":
+		if err := need(1); err != nil {
+			return err
+		}
+		id, err := resolve(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "parse %s -> node %d\n", args[0], id)
+	case "rmnod":
+		if err := need(1); err != nil {
+			return err
+		}
+		id, err := resolve(args[0])
+		if err != nil {
+			return err
+		}
+		if err := s.Rmnod(id); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rmnod %s: ok\n", args[0])
+	case "weight":
+		if err := need(2); err != nil {
+			return err
+		}
+		id, err := resolve(args[0])
+		if err != nil {
+			return err
+		}
+		w, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad weight %q", args[1])
+		}
+		if err := s.SetNodeWeight(id, w); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "weight %s = %g\n", args[0], w)
+	case "bandwidth":
+		if err := need(1); err != nil {
+			return err
+		}
+		id, err := resolve(args[0])
+		if err != nil {
+			return err
+		}
+		bw, err := s.Bandwidth(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "bandwidth %s = %.4f\n", args[0], bw)
+	case "info":
+		if err := need(1); err != nil {
+			return err
+		}
+		id, err := resolve(args[0])
+		if err != nil {
+			return err
+		}
+		info, err := s.Info(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "node %d path=%s weight=%g leaf=%v(%s) runnable=%v children=%d threads=%d\n",
+			info.ID, info.Path, info.Weight, info.Leaf, info.LeafName, info.Runnable,
+			len(info.Children), info.Threads)
+	case "tree":
+		fmt.Fprint(out, s.String())
+	case "dot":
+		if err := s.WriteDOT(out); err != nil {
+			return err
+		}
+	case "check":
+		if err := s.CheckInvariants(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "check: ok")
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func makeLeaf(kind string, quantum sim.Time) (sched.Scheduler, error) {
+	switch kind {
+	case "sfq":
+		return sched.NewSFQ(quantum), nil
+	case "rr":
+		return sched.NewRoundRobin(quantum), nil
+	case "fifo":
+		return sched.NewFIFO(), nil
+	case "priority":
+		return sched.NewPriority(quantum), nil
+	case "reserves":
+		return sched.NewReserves(quantum), nil
+	case "edf":
+		return sched.NewEDF(quantum), nil
+	case "rm":
+		return sched.NewRM(quantum), nil
+	case "svr4":
+		return sched.NewSVR4(nil, int64(cpu.DefaultRate), quantum), nil
+	case "lottery":
+		return sched.NewLottery(quantum, sim.NewRand(1)), nil
+	case "stride":
+		return sched.NewStride(quantum), nil
+	case "eevdf":
+		q := quantum
+		if q <= 0 {
+			q = sched.DefaultQuantum
+		}
+		return sched.NewEEVDF(q, cpu.DefaultRate.WorkFor(q)), nil
+	default:
+		return nil, fmt.Errorf("unknown leaf scheduler %q", kind)
+	}
+}

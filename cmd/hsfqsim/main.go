@@ -1,0 +1,164 @@
+// Command hsfqsim runs a hierarchical scheduling simulation described by a
+// JSON configuration and reports per-node and per-thread allocation.
+//
+// Usage:
+//
+//	hsfqsim -config sim.json
+//	hsfqsim -config sim.json -trace events.csv -dot structure.dot
+//
+// With no -config it runs a built-in demonstration: the paper's Fig. 2
+// structure under mixed load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hsfq/internal/metrics"
+	"hsfq/internal/sim"
+	"hsfq/internal/simconfig"
+	"hsfq/internal/trace"
+)
+
+const demoConfig = `{
+  "rate_mips": 100,
+  "horizon": "10s",
+  "seed": 42,
+  "nodes": [
+    {"path": "/hard-real-time", "weight": 1, "leaf": "edf", "quantum": "10ms"},
+    {"path": "/soft-real-time", "weight": 3, "leaf": "sfq", "quantum": "10ms"},
+    {"path": "/best-effort", "weight": 6},
+    {"path": "/best-effort/user1", "weight": 1, "leaf": "sfq", "quantum": "10ms"},
+    {"path": "/best-effort/user2", "weight": 1, "leaf": "svr4"}
+  ],
+  "threads": [
+    {"name": "sensor", "leaf": "/hard-real-time",
+     "program": {"kind": "periodic", "period": "60ms", "cost": "5ms"}},
+    {"name": "decoder", "leaf": "/soft-real-time", "weight": 2,
+     "program": {"kind": "mpeg", "loop": true}},
+    {"name": "make", "leaf": "/best-effort/user1",
+     "program": {"kind": "loop"}},
+    {"name": "editor", "leaf": "/best-effort/user2",
+     "program": {"kind": "interactive"}},
+    {"name": "batch", "leaf": "/best-effort/user2",
+     "program": {"kind": "loop"}}
+  ],
+  "interrupts": [
+    {"kind": "periodic", "period": "10ms", "service": "100us"}
+  ]
+}`
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "JSON simulation config (empty: built-in demo)")
+		tracePath  = flag.String("trace", "", "write a CSV scheduling trace to this file")
+		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart of the first second")
+		dotPath    = flag.String("dot", "", "write the scheduling structure in DOT format")
+		seed       = flag.Uint64("seed", 0, "override the config's random seed")
+	)
+	flag.Parse()
+	if err := run(*configPath, *tracePath, *dotPath, *seed, *gantt); err != nil {
+		fmt.Fprintln(os.Stderr, "hsfqsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(configPath, tracePath, dotPath string, seed uint64, gantt bool) error {
+	var cfg simconfig.Config
+	var err error
+	if configPath == "" {
+		fmt.Println("(no -config given: running the built-in Fig. 2 demo)")
+		cfg, err = simconfig.Parse(strings.NewReader(demoConfig))
+	} else {
+		f, ferr := os.Open(configPath)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		cfg, err = simconfig.Parse(f)
+	}
+	if err != nil {
+		return err
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+
+	s, err := simconfig.Build(cfg)
+	if err != nil {
+		return err
+	}
+
+	var rec *trace.Recorder
+	if tracePath != "" || gantt {
+		rec = trace.NewRecorder(0)
+		s.Machine.Listen(rec)
+	}
+
+	s.Run()
+
+	fmt.Println("scheduling structure:")
+	fmt.Print(s.Structure.String())
+	fmt.Println()
+
+	tbl := metrics.NewTable("thread", "leaf", "weight", "work", "share", "segments", "waited", "state")
+	total := float64(s.Machine.Stats().Work)
+	for _, th := range s.Threads {
+		leaf := s.Structure.LeafOf(th)
+		tbl.AddRow(th.Name, s.Structure.PathOf(leaf.ID()), th.Weight,
+			int64(th.Done), float64(th.Done)/total, th.Segments, th.Waited.String(), th.State.String())
+	}
+	fmt.Print(tbl.String())
+
+	st := s.Machine.Stats()
+	fmt.Printf("\nmachine: %v of work, %d dispatches, %d preemptions, %d interrupts (%v stolen), idle %v\n",
+		st.Work, st.Dispatches, st.Preemptions, st.Interrupts, st.Stolen, st.Idle)
+
+	for name, p := range s.Periodics {
+		fmt.Printf("periodic %q: %d rounds, %d missed deadlines, min slack %v\n",
+			name, len(p.Slack), p.MissedDeadlines(), p.MinSlack())
+	}
+	for name, d := range s.Decoders {
+		fmt.Printf("decoder %q: %d frames decoded\n", name, d.FramesDecoded(cfg.Horizon.Time()))
+	}
+
+	if gantt {
+		fmt.Println("\nfirst second of the schedule:")
+		if err := trace.Gantt(os.Stdout, rec.Spans(), 0, simSecond(), 100); err != nil {
+			return err
+		}
+	}
+	if dotPath != "" {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		if err := s.Structure.WriteDOT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", dotPath)
+	}
+	if rec != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", tracePath, len(rec.Events()))
+	}
+	return nil
+}
+
+func simSecond() sim.Time { return sim.Second }

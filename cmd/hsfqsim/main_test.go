@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected into a string. The pipe is
+// drained concurrently so large outputs cannot deadlock the writer.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outCh <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return out
+}
+
+func TestRunDemoConfig(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "events.csv")
+	dotPath := filepath.Join(dir, "structure.dot")
+	out := capture(t, func() error { return run("", tracePath, dotPath, 0, false) })
+
+	for _, want := range []string{
+		"scheduling structure:",
+		"best-effort",
+		"sensor",
+		"missed deadlines",
+		"frames decoded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if b, err := os.ReadFile(tracePath); err != nil || !strings.Contains(string(b), "dispatch") {
+		t.Errorf("trace file: %v", err)
+	}
+	if b, err := os.ReadFile(dotPath); err != nil || !strings.Contains(string(b), "digraph") {
+		t.Errorf("dot file: %v", err)
+	}
+}
+
+func TestRunWithConfigFileAndGantt(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "sim.json")
+	if err := os.WriteFile(cfg, []byte(`{
+	  "horizon": "1s",
+	  "nodes": [{"path": "/a", "leaf": "sfq"}],
+	  "threads": [{"name": "x", "leaf": "/a", "program": {"kind": "loop"}}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() error { return run(cfg, "", "", 7, true) })
+	if !strings.Contains(out, "first second of the schedule:") {
+		t.Error("gantt section missing")
+	}
+	if !strings.Contains(out, "x") {
+		t.Error("thread row missing")
+	}
+}
+
+func TestRunMissingConfig(t *testing.T) {
+	if err := run("/no/such/config.json", "", "", 0, false); err == nil {
+		t.Error("missing config accepted")
+	}
+}

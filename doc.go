@@ -1,0 +1,13 @@
+// Package hsfq is a from-scratch reproduction of "A Hierarchical CPU
+// Scheduler for Multimedia Operating Systems" (Goyal, Guo, Vin; OSDI '96):
+// Start-time Fair Queuing, the hierarchical scheduling structure with its
+// hsfq_* operations, the leaf schedulers and baselines the paper discusses,
+// and a deterministic CPU simulator that re-runs every figure of the
+// paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// implementation lives under internal/; cmd/experiments regenerates the
+// figures and bench_test.go benchmarks each of them plus the scheduling
+// hot paths.
+package hsfq

@@ -1,0 +1,72 @@
+// Videoserver: the workload the paper's introduction motivates — several
+// VBR MPEG decoders with different importance sharing a soft real-time
+// class next to best-effort load (the Fig. 10 scenario, extended).
+//
+// Three decoders with weights 1, 2 and 4 decode the same clip; a pair of
+// CPU hogs run in a best-effort class. The decoders' frame counts track
+// their weights, and the best-effort class cannot disturb them.
+//
+//	go run ./examples/videoserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hsfq/internal/core"
+	"hsfq/internal/cpu"
+	"hsfq/internal/metrics"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+	"hsfq/internal/workload"
+)
+
+func main() {
+	const horizon = 30 * sim.Second
+	structure := core.NewStructure()
+	videoID, err := structure.Mknod("video", core.RootID, 1, sched.NewSFQ(10*sim.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	beID, err := structure.Mknod("best-effort", core.RootID, 1, sched.NewSFQ(10*sim.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng := sim.NewEngine()
+	machine := cpu.NewMachine(eng, cpu.DefaultRate, structure)
+	rng := sim.NewRand(2026)
+
+	// Same clip for every decoder, so frame ratios mirror CPU ratios.
+	clip := workload.DefaultMPEG(int64(cpu.DefaultRate), rng).Trace(200000)
+	weights := []float64{1, 2, 4}
+	decoders := make([]*workload.Decoder, len(weights))
+	threads := make([]*sched.Thread, len(weights))
+	for i, w := range weights {
+		decoders[i] = workload.NewDecoder(clip, true)
+		threads[i] = sched.NewThread(i+1, fmt.Sprintf("decoder-w%g", w), w)
+		if err := structure.Attach(threads[i], videoID); err != nil {
+			log.Fatal(err)
+		}
+		machine.Add(threads[i], decoders[i], 0)
+	}
+	for i := 0; i < 2; i++ {
+		hog := sched.NewThread(10+i, "hog", 1)
+		if err := structure.Attach(hog, beID); err != nil {
+			log.Fatal(err)
+		}
+		machine.Add(hog, workload.CPUBound(1_000_000), 0)
+	}
+
+	machine.Run(horizon)
+
+	tbl := metrics.NewTable("decoder", "weight", "frames", "frames/s", "vs w=1")
+	base := float64(decoders[0].FramesDecoded(horizon))
+	for i, w := range weights {
+		n := decoders[i].FramesDecoded(horizon)
+		tbl.AddRow(threads[i].Name, w, n, float64(n)/horizon.Seconds(), float64(n)/base)
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\nvideo class got %.1f%% of the CPU; best-effort the rest\n",
+		100*float64(threads[0].Done+threads[1].Done+threads[2].Done)/float64(machine.Stats().Work))
+}

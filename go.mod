@@ -1,0 +1,3 @@
+module hsfq
+
+go 1.22

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// This file implements sched.Scheduler for Structure: the recursive
+// hsfq_schedule walk, the hsfq_update tag propagation, and the
+// hsfq_setrun / hsfq_sleep eligibility marking of §4.
+
+var _ sched.Scheduler = (*Structure)(nil)
+
+// Name implements sched.Scheduler.
+func (s *Structure) Name() string { return "hsfq" }
+
+// Len implements sched.Scheduler: the number of runnable threads in the
+// whole structure.
+func (s *Structure) Len() int { return s.runnable }
+
+// Enqueue implements sched.Scheduler. The thread joins its leaf's runnable
+// set; if it is the first runnable thread of the leaf, the leaf — and any
+// newly eligible ancestors — are marked runnable, the hsfq_setrun walk:
+// "this function has to traverse the path from the leaf up the tree only
+// until a node that is already runnable is found".
+func (s *Structure) Enqueue(t *sched.Thread, now sim.Time) {
+	n := s.byThread[t]
+	if n == nil {
+		panic(fmt.Sprintf("core: Enqueue of unattached thread %v", t))
+	}
+	wasRunnable := n.leaf.Len() > 0
+	n.leaf.Enqueue(t, now)
+	s.runnable++
+	if !wasRunnable {
+		s.setRun(n)
+	}
+}
+
+// setRun marks n runnable and walks up while parents become newly
+// eligible. A node (re)entering its parent's runnable set is stamped with
+// S = max(v(parent), F): it cannot claim credit for time spent ineligible.
+func (s *Structure) setRun(n *Node) {
+	for n.parent != nil && n.heapIdx == -1 {
+		p := n.parent
+		wasRunnable := len(p.runq) > 0
+		n.start = maxf(p.VirtualTime(), n.finish)
+		n.seq = s.seq
+		s.seq++
+		heap.Push(&p.runq, n)
+		if wasRunnable {
+			return
+		}
+		n = p
+	}
+}
+
+// Remove implements sched.Scheduler: a runnable thread leaves the
+// structure's runnable set without being charged (killed while waiting, or
+// about to be moved). If it was the leaf's last runnable thread the
+// hsfq_sleep walk marks ancestors ineligible: "this function has to
+// traverse the path from the leaf only until a node that has more than one
+// runnable child nodes is found".
+func (s *Structure) Remove(t *sched.Thread, now sim.Time) {
+	n := s.byThread[t]
+	if n == nil {
+		panic(fmt.Sprintf("core: Remove of unattached thread %v", t))
+	}
+	n.leaf.Remove(t, now)
+	s.runnable--
+	if n.leaf.Len() == 0 {
+		s.sleep(n)
+	}
+}
+
+// sleep removes n from its parent's runnable set and walks up while
+// parents lose their last runnable child.
+func (s *Structure) sleep(n *Node) {
+	for n.parent != nil && n.heapIdx != -1 {
+		p := n.parent
+		heap.Remove(&p.runq, n.heapIdx)
+		if len(p.runq) > 0 {
+			return
+		}
+		n = p
+	}
+}
+
+// Pick implements sched.Scheduler, the hsfq_schedule walk: "traverses the
+// scheduling structure by always selecting the child node with the
+// smallest start tag until a leaf node is selected", then delegates to the
+// leaf's scheduler-specific function to choose a thread.
+func (s *Structure) Pick(now sim.Time) *sched.Thread {
+	n := s.root
+	for !n.IsLeaf() {
+		if len(n.runq) == 0 {
+			if n == s.root {
+				return nil
+			}
+			panic(fmt.Sprintf("core: runnable intermediate node %q with no runnable children", s.PathOf(n.id)))
+		}
+		n = n.runq[0]
+	}
+	t := n.leaf.Pick(now)
+	if t == nil {
+		panic(fmt.Sprintf("core: runnable leaf %q picked no thread", s.PathOf(n.id)))
+	}
+	s.picked, s.pickedAt = t, n
+	return t
+}
+
+// Quantum implements sched.Scheduler: the quantum is a property of the
+// thread's leaf class.
+func (s *Structure) Quantum(t *sched.Thread, now sim.Time) sim.Time {
+	n := s.byThread[t]
+	if n == nil {
+		panic(fmt.Sprintf("core: Quantum of unattached thread %v", t))
+	}
+	return n.leaf.Quantum(t, now)
+}
+
+// Charge implements sched.Scheduler, the hsfq_update path: "when a thread
+// blocks or is preempted, the finish and the start tags of all the
+// ancestors of the node to which the thread belongs have to be updated ...
+// with the duration for which the thread executed".
+//
+// For each node from the leaf to the root: F = S + used/weight (Eq. 2);
+// if the node remains eligible its next quantum starts immediately, so
+// S = max(v, F), which reduces to F because v equals the node's own start
+// tag while it is in service and F >= S; if it became ineligible it
+// leaves its parent's runnable heap (the hsfq_sleep case folded into the
+// update).
+func (s *Structure) Charge(t *sched.Thread, used sched.Work, now sim.Time, runnable bool) {
+	n := s.byThread[t]
+	if n == nil {
+		panic(fmt.Sprintf("core: Charge of unattached thread %v", t))
+	}
+	if s.picked != nil && (t != s.picked || n != s.pickedAt) {
+		panic(fmt.Sprintf("core: Charge of %v but %v was picked", t, s.picked))
+	}
+	s.picked, s.pickedAt = nil, nil
+
+	n.leaf.Charge(t, used, now, runnable)
+	if !runnable {
+		s.runnable--
+	}
+
+	stillRunnable := n.leaf.Len() > 0
+	for n.parent != nil {
+		p := n.parent
+		n.finish = n.start + float64(used)/n.weight
+		if n.finish > p.maxFinish {
+			p.maxFinish = n.finish
+		}
+		if stillRunnable {
+			if n.heapIdx == -1 {
+				panic(fmt.Sprintf("core: charged node %q not on parent's runnable heap", s.PathOf(n.id)))
+			}
+			// S = max(v(t), F) with v(t) = this node's own start tag, and
+			// F >= S because used >= 0: the max reduces to F.
+			n.start = n.finish
+			n.seq = s.seq
+			s.seq++
+			heap.Fix(&p.runq, n.heapIdx)
+		} else if n.heapIdx != -1 {
+			heap.Remove(&p.runq, n.heapIdx)
+		}
+		stillRunnable = len(p.runq) > 0
+		n = p
+	}
+}
+
+// Preempts implements sched.Scheduler. Preemption is a leaf-local policy:
+// if the woken thread shares the running thread's leaf, the leaf scheduler
+// decides (EDF/RM/SVR4 preempt, SFQ does not); across leaves there is no
+// preemption — the woken class gains the CPU at the next quantum boundary,
+// which is what bounds Fig. 9's scheduling latency by the quantum length.
+func (s *Structure) Preempts(running, woken *sched.Thread, now sim.Time) bool {
+	rl := s.byThread[running]
+	wl := s.byThread[woken]
+	if rl == nil || wl == nil || rl != wl {
+		return false
+	}
+	return rl.leaf.Preempts(running, woken, now)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package cpu_test
+
+import (
+	"math"
+	"testing"
+
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+	"hsfq/internal/workload"
+)
+
+// TestPoissonArrivalsMM1 runs an open M/M/1 workload through the machine
+// under FIFO and compares the mean response time with queueing theory:
+// E[T] = 1/(mu - lambda). With lambda = 5/s and mu = 10/s, E[T] = 200 ms.
+func TestPoissonArrivalsMM1(t *testing.T) {
+	const (
+		lambda  = 5.0
+		mu      = 10.0
+		horizon = 400 * sim.Second
+	)
+	eng := sim.NewEngine()
+	m := cpu.NewMachine(eng, cpu.DefaultRate, sched.NewFIFO())
+	rng := sim.NewRand(11)
+
+	type job struct {
+		arrive sim.Time
+		done   sim.Time
+	}
+	var jobs []*job
+	workload.Arrivals(eng, rng.Fork(), lambda, horizon-5*sim.Second, func(i int, at sim.Time) {
+		j := &job{arrive: at}
+		jobs = append(jobs, j)
+		service := sim.Time(rng.ExpFloat64() / mu * float64(sim.Second))
+		if service < sim.Microsecond {
+			service = sim.Microsecond
+		}
+		th := sched.NewThread(100+i, "job", 1)
+		issued := false
+		m.Add(th, cpu.ProgramFunc(func(now sim.Time) cpu.Action {
+			if issued {
+				j.done = now
+				return cpu.Exit()
+			}
+			issued = true
+			return cpu.Compute(cpu.DefaultRate.WorkFor(service))
+		}), at)
+	})
+	m.Run(horizon)
+
+	var sum float64
+	n := 0
+	for _, j := range jobs {
+		if j.done > 0 {
+			sum += (j.done - j.arrive).Seconds()
+			n++
+		}
+	}
+	if n < 1500 {
+		t.Fatalf("only %d jobs completed", n)
+	}
+	mean := sum / float64(n)
+	want := 1.0 / (mu - lambda)
+	if math.Abs(mean-want) > 0.3*want {
+		t.Errorf("mean response %.3fs, M/M/1 predicts %.3fs", mean, want)
+	}
+}

@@ -1,0 +1,184 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hsfq/internal/core"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// randomProgram emits a deterministic pseudo-random mix of computes,
+// sleeps and occasional exits, driven by its own stream.
+func randomProgram(rng *sim.Rand, exitAfter int) Program {
+	steps := 0
+	return ProgramFunc(func(now sim.Time) Action {
+		steps++
+		if exitAfter > 0 && steps > exitAfter {
+			return Exit()
+		}
+		switch rng.Intn(10) {
+		case 0, 1:
+			return Sleep(sim.Time(rng.Intn(20)+1) * sim.Millisecond)
+		case 2:
+			return Sleep(sim.Time(rng.Intn(200)+1) * sim.Microsecond)
+		default:
+			return Compute(sched.Work(rng.Intn(5_000_000) + 1))
+		}
+	})
+}
+
+// TestMachineFuzz drives random workloads through every scheduler with
+// random interrupt load and checks global invariants: the simulation
+// terminates, thread states are consistent, work is conserved against
+// wall time, and re-running with the same seed is bit-identical.
+func TestMachineFuzz(t *testing.T) {
+	mkSched := []func(rng *sim.Rand) sched.Scheduler{
+		func(*sim.Rand) sched.Scheduler { return sched.NewSFQ(5 * sim.Millisecond) },
+		func(*sim.Rand) sched.Scheduler { return sched.NewRoundRobin(3 * sim.Millisecond) },
+		func(*sim.Rand) sched.Scheduler { return sched.NewEDF(4 * sim.Millisecond) },
+		func(*sim.Rand) sched.Scheduler { return sched.NewStride(5 * sim.Millisecond) },
+		func(r *sim.Rand) sched.Scheduler { return sched.NewLottery(5*sim.Millisecond, r.Fork()) },
+		func(*sim.Rand) sched.Scheduler { return sched.NewSVR4(nil, int64(DefaultRate), 25*sim.Millisecond) },
+		func(*sim.Rand) sched.Scheduler { return sched.NewEEVDF(5*sim.Millisecond, 500_000) },
+	}
+
+	run := func(seed uint64, pick int, nThreads int) (sched.Work, []sched.ThreadState) {
+		rng := sim.NewRand(seed)
+		s := mkSched[pick%len(mkSched)](rng)
+		m := NewMachine(sim.NewEngine(), DefaultRate, s)
+		m.AddInterrupts(&PoissonInterrupts{
+			RatePerSec:  50,
+			ServiceMean: 200 * sim.Microsecond,
+			ServiceCap:  2 * sim.Millisecond,
+			Rand:        rng.Fork(),
+		})
+		var threads []*sched.Thread
+		for i := 0; i < nThreads; i++ {
+			th := sched.NewThread(i+1, "t", float64(rng.Intn(8)+1))
+			th.Period = sim.Time(rng.Intn(200)+10) * sim.Millisecond
+			exitAfter := 0
+			if rng.Intn(3) == 0 {
+				exitAfter = rng.Intn(200) + 1
+			}
+			m.Add(th, randomProgram(rng.Fork(), exitAfter), sim.Time(rng.Intn(50))*sim.Millisecond)
+			threads = append(threads, th)
+		}
+		m.Run(3 * sim.Second)
+		m.Flush()
+
+		st := m.Stats()
+		elapsed := DefaultRate.TimeFor(st.Work) + st.Stolen + st.Idle
+		if elapsed > 3*sim.Second+5*sim.Millisecond {
+			t.Fatalf("seed %d sched %d: over-accounted %v", seed, pick, elapsed)
+		}
+		var sum sched.Work
+		states := make([]sched.ThreadState, len(threads))
+		for i, th := range threads {
+			sum += th.Done
+			states[i] = th.State
+			switch th.State {
+			case sched.StateRunnable, sched.StateBlocked, sched.StateExited, sched.StateRunning:
+			default:
+				t.Fatalf("seed %d: thread %v in state %v", seed, th, th.State)
+			}
+		}
+		if sum != st.Work {
+			t.Fatalf("seed %d sched %d: thread work %d != machine work %d", seed, pick, sum, st.Work)
+		}
+		return st.Work, states
+	}
+
+	f := func(seed uint64, pick uint8, n uint8) bool {
+		nThreads := int(n)%6 + 1
+		w1, s1 := run(seed, int(pick), nThreads)
+		w2, s2 := run(seed, int(pick), nThreads)
+		if w1 != w2 {
+			t.Logf("seed %d: nondeterministic work %d vs %d", seed, w1, w2)
+			return false
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Logf("seed %d: nondeterministic state", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHierarchyFuzz runs random workloads under a random hierarchy and
+// checks the structure's invariants at the end plus work conservation.
+func TestHierarchyFuzz(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := sim.NewRand(seed)
+		// Build via the experiments' canonical shapes indirectly: a
+		// two-level tree with 2-4 leaves of mixed schedulers.
+		leaves := int(n)%3 + 2
+		structure, ids := buildRandomTree(rng, leaves)
+		m := NewMachine(sim.NewEngine(), DefaultRate, structure)
+		nThreads := leaves * 2
+		var threads []*sched.Thread
+		for i := 0; i < nThreads; i++ {
+			th := sched.NewThread(i+1, "t", float64(rng.Intn(5)+1))
+			th.Period = sim.Time(rng.Intn(100)+20) * sim.Millisecond
+			if err := structure.Attach(th, ids[rng.Intn(len(ids))]); err != nil {
+				t.Fatal(err)
+			}
+			m.Add(th, randomProgram(rng.Fork(), 0), 0)
+			threads = append(threads, th)
+		}
+		m.Run(2 * sim.Second)
+		m.Flush()
+		if err := structure.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		var sum sched.Work
+		for _, th := range threads {
+			sum += th.Done
+		}
+		return sum == m.Stats().Work
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildRandomTree builds root -> group(0..1 deep) -> leaves with mixed
+// leaf schedulers and random weights.
+func buildRandomTree(rng *sim.Rand, leaves int) (*core.Structure, []core.NodeID) {
+	s := core.NewStructure()
+	parent := core.RootID
+	if rng.Intn(2) == 0 {
+		id, err := s.Mknod("group", core.RootID, float64(rng.Intn(4)+1), nil)
+		if err != nil {
+			panic(err)
+		}
+		parent = id
+	}
+	mk := []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewSFQ(5 * sim.Millisecond) },
+		func() sched.Scheduler { return sched.NewRoundRobin(5 * sim.Millisecond) },
+		func() sched.Scheduler { return sched.NewEDF(5 * sim.Millisecond) },
+		func() sched.Scheduler { return sched.NewSVR4(nil, int64(DefaultRate), 25*sim.Millisecond) },
+	}
+	var ids []core.NodeID
+	for i := 0; i < leaves; i++ {
+		p := parent
+		if i%2 == 0 {
+			p = core.RootID
+		}
+		id, err := s.Mknod(fmt.Sprintf("leaf%d", i), p, float64(rng.Intn(6)+1), mk[rng.Intn(len(mk))]())
+		if err != nil {
+			panic(err)
+		}
+		ids = append(ids, id)
+	}
+	return s, ids
+}

@@ -1,0 +1,616 @@
+package cpu
+
+import (
+	"fmt"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// Listener observes scheduling events; internal/trace and the experiment
+// drivers implement it. Embed BaseListener to opt into a subset.
+type Listener interface {
+	OnDispatch(t *sched.Thread, now sim.Time)
+	OnCharge(t *sched.Thread, used sched.Work, now sim.Time, runnable bool)
+	OnWake(t *sched.Thread, now sim.Time)
+	OnBlock(t *sched.Thread, now sim.Time)
+	OnExit(t *sched.Thread, now sim.Time)
+	OnInterrupt(now, service sim.Time)
+	OnIdle(now sim.Time)
+}
+
+// BaseListener implements Listener with no-ops, for embedding.
+type BaseListener struct{}
+
+// OnDispatch implements Listener.
+func (BaseListener) OnDispatch(*sched.Thread, sim.Time) {}
+
+// OnCharge implements Listener.
+func (BaseListener) OnCharge(*sched.Thread, sched.Work, sim.Time, bool) {}
+
+// OnWake implements Listener.
+func (BaseListener) OnWake(*sched.Thread, sim.Time) {}
+
+// OnBlock implements Listener.
+func (BaseListener) OnBlock(*sched.Thread, sim.Time) {}
+
+// OnExit implements Listener.
+func (BaseListener) OnExit(*sched.Thread, sim.Time) {}
+
+// OnInterrupt implements Listener.
+func (BaseListener) OnInterrupt(sim.Time, sim.Time) {}
+
+// OnIdle implements Listener.
+func (BaseListener) OnIdle(sim.Time) {}
+
+// Stats aggregates machine-level counters.
+type Stats struct {
+	Dispatches  int64    // run segments started
+	Preemptions int64    // segments cut short by a wakeup
+	Interrupts  int64    // interrupts serviced
+	Stolen      sim.Time // CPU time consumed by interrupt handling
+	SchedCost   sim.Time // CPU time consumed by scheduling decisions
+	Idle        sim.Time // CPU time with no runnable thread
+	Work        sched.Work
+}
+
+// segment is the state of the thread currently on the CPU.
+type segment struct {
+	ts       *tstate
+	left     sched.Work // work remaining before the segment ends
+	used     sched.Work // work consumed so far, across pauses
+	resumeAt sim.Time   // when execution last (re)started
+	end      *sim.Event
+	paused   bool
+}
+
+// tstate is the machine's per-thread bookkeeping.
+type tstate struct {
+	t         *sched.Thread
+	prog      Program
+	burstLeft sched.Work
+	wake      *sim.Event
+}
+
+// Machine is a simulated uniprocessor.
+type Machine struct {
+	eng       *sim.Engine
+	rate      Rate
+	scheduler sched.Scheduler
+	threads   map[*sched.Thread]*tstate
+	listeners []Listener
+
+	seg          *segment
+	inCallback   int      // depth of program-callback nesting (see progNext)
+	intrUntil    sim.Time // CPU busy with interrupts until this time
+	intrEnd      *sim.Event
+	idleFrom     sim.Time
+	idle         bool
+	stats        Stats
+	nextID       int
+	dispatchCost func(t *sched.Thread) sim.Time
+}
+
+// SetDispatchCost models the CPU time consumed by each scheduling
+// decision, as a function of the picked thread (so a hierarchy can charge
+// per tree level, the cost Fig. 7 measures). The real simulator schedules
+// for free; without this the overhead experiments would be vacuous.
+func (m *Machine) SetDispatchCost(f func(t *sched.Thread) sim.Time) { m.dispatchCost = f }
+
+// NewMachine returns a machine executing on eng at the given rate under
+// scheduler. rate <= 0 selects DefaultRate.
+func NewMachine(eng *sim.Engine, rate Rate, scheduler sched.Scheduler) *Machine {
+	if eng == nil {
+		panic("cpu: nil engine")
+	}
+	if scheduler == nil {
+		panic("cpu: nil scheduler")
+	}
+	if rate <= 0 {
+		rate = DefaultRate
+	}
+	return &Machine{
+		eng:       eng,
+		rate:      rate,
+		scheduler: scheduler,
+		threads:   make(map[*sched.Thread]*tstate),
+		idle:      true,
+		nextID:    1,
+	}
+}
+
+// Engine returns the simulation engine driving the machine.
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Rate returns the machine's instruction rate.
+func (m *Machine) Rate() Rate { return m.rate }
+
+// Scheduler returns the machine's scheduler.
+func (m *Machine) Scheduler() sched.Scheduler { return m.scheduler }
+
+// Stats returns a snapshot of the machine counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Listen registers a Listener.
+func (m *Machine) Listen(l Listener) { m.listeners = append(m.listeners, l) }
+
+// Spawn creates a thread with a fresh ID, registers it, and starts its
+// program at startAt. It is the convenience path for flat schedulers; when
+// the scheduler is a hierarchy the thread must be attached to a leaf
+// before its first action, so use sched.NewThread + Structure.Attach +
+// Machine.Add instead.
+func (m *Machine) Spawn(name string, weight float64, prog Program, startAt sim.Time) *sched.Thread {
+	t := sched.NewThread(m.nextID, name, weight)
+	m.nextID++
+	m.Add(t, prog, startAt)
+	return t
+}
+
+// Add registers an externally created thread and starts its program at
+// startAt.
+func (m *Machine) Add(t *sched.Thread, prog Program, startAt sim.Time) {
+	if _, dup := m.threads[t]; dup {
+		panic(fmt.Sprintf("cpu: thread %v added twice", t))
+	}
+	if prog == nil {
+		panic(fmt.Sprintf("cpu: thread %v with nil program", t))
+	}
+	if t.ID >= m.nextID {
+		m.nextID = t.ID + 1
+	}
+	ts := &tstate{t: t, prog: prog}
+	m.threads[t] = ts
+	m.eng.At(startAt, func() { m.advance(ts) })
+}
+
+// AddInterrupts registers an interrupt source and schedules its first
+// arrival.
+func (m *Machine) AddInterrupts(src InterruptSource) {
+	m.scheduleInterrupt(src)
+}
+
+func (m *Machine) scheduleInterrupt(src InterruptSource) {
+	at, service, ok := src.Next(m.eng.Now())
+	if !ok {
+		return
+	}
+	m.eng.At(at, func() {
+		m.interrupt(service)
+		m.scheduleInterrupt(src)
+	})
+}
+
+// Run executes the simulation until the given time.
+func (m *Machine) Run(until sim.Time) { m.eng.RunUntil(until) }
+
+// progNext invokes a thread's program. Programs may re-enter the machine
+// (a mutex Unlock inside Next calls Wake); the counter lets makeRunnable
+// detect that and defer preemption/dispatch to the enclosing step.
+func (m *Machine) progNext(ts *tstate, now sim.Time) Action {
+	m.inCallback++
+	a := ts.prog.Next(now)
+	m.inCallback--
+	return a
+}
+
+// kick dispatches if the machine is between steps and the CPU is free —
+// the catch-up for wakeups that arrived during a program callback.
+func (m *Machine) kick() {
+	if m.inCallback == 0 {
+		m.maybeDispatch()
+	}
+}
+
+// advance consumes program actions until the thread computes, blocks, or
+// exits. It is called at thread start and at every wakeup.
+func (m *Machine) advance(ts *tstate) {
+	now := m.eng.Now()
+	const maxNoops = 1 << 20
+	for i := 0; ; i++ {
+		if i == maxNoops {
+			panic(fmt.Sprintf("cpu: program of %v made no progress", ts.t))
+		}
+		a := m.progNext(ts, now)
+		switch a.Kind {
+		case ActionCompute:
+			if a.Work <= 0 {
+				continue
+			}
+			ts.burstLeft = a.Work
+			m.makeRunnable(ts)
+			return
+		case ActionSleep:
+			if a.Duration <= 0 {
+				continue
+			}
+			m.block(ts, now+a.Duration)
+			m.kick()
+			return
+		case ActionSleepUntil:
+			if a.Until <= now {
+				continue
+			}
+			m.block(ts, a.Until)
+			m.kick()
+			return
+		case ActionBlock:
+			ts.t.State = sched.StateBlocked
+			m.notifyBlock(ts.t, now)
+			m.kick()
+			return
+		case ActionExit:
+			ts.t.State = sched.StateExited
+			m.notifyExit(ts.t, now)
+			m.forget(ts.t)
+			m.kick()
+			return
+		default:
+			panic(fmt.Sprintf("cpu: program of %v returned invalid action %v", ts.t, a.Kind))
+		}
+	}
+}
+
+func (m *Machine) block(ts *tstate, until sim.Time) {
+	now := m.eng.Now()
+	ts.t.State = sched.StateBlocked
+	m.notifyBlock(ts.t, now)
+	ts.wake = m.eng.At(until, func() {
+		ts.wake = nil
+		ts.t.WokeAt = m.eng.Now()
+		m.advance(ts)
+	})
+}
+
+// makeRunnable enqueues the thread and resolves preemption/dispatch.
+func (m *Machine) makeRunnable(ts *tstate) {
+	now := m.eng.Now()
+	ts.t.State = sched.StateRunnable
+	ts.t.ReadyAt = now
+	m.scheduler.Enqueue(ts.t, now)
+	m.notifyWake(ts.t, now)
+	if m.inCallback > 0 {
+		// Woken from inside another thread's program callback (e.g. a
+		// mutex handover): the enclosing machine step charges and
+		// dispatches right after; preempting here would act on a
+		// half-finished segment. The woken thread competes at the next
+		// decision, at most a quantum away — the same bound as cross-leaf
+		// wakeups.
+		return
+	}
+	if m.seg != nil {
+		if m.scheduler.Preempts(m.seg.ts.t, ts.t, now) {
+			m.preempt()
+			m.maybeDispatch()
+		}
+		return
+	}
+	m.maybeDispatch()
+	// While an interrupt is in progress the interrupt-end handler
+	// dispatches instead.
+}
+
+// maybeDispatch dispatches if the CPU is actually free.
+func (m *Machine) maybeDispatch() {
+	if m.seg == nil && !m.interruptBusy() {
+		m.dispatch()
+	}
+}
+
+// dispatch selects the next thread and starts a run segment. The CPU must
+// be free of both segments and interrupts.
+func (m *Machine) dispatch() {
+	if m.seg != nil || m.interruptBusy() {
+		panic("cpu: dispatch while busy")
+	}
+	now := m.eng.Now()
+	t := m.scheduler.Pick(now)
+	if t == nil {
+		if !m.idle {
+			m.idle = true
+			m.idleFrom = now
+			m.notifyIdle(now)
+		}
+		return
+	}
+	if m.idle {
+		m.idle = false
+		m.stats.Idle += now - m.idleFrom
+	}
+	ts := m.threads[t]
+	if ts == nil {
+		panic(fmt.Sprintf("cpu: scheduler picked unknown thread %v", t))
+	}
+	if ts.burstLeft <= 0 {
+		panic(fmt.Sprintf("cpu: scheduler picked thread %v with no work", t))
+	}
+	grant := m.rate.WorkFor(m.scheduler.Quantum(t, now))
+	if grant < 1 {
+		grant = 1
+	}
+	if grant > ts.burstLeft {
+		grant = ts.burstLeft
+	}
+	var cost sim.Time
+	if m.dispatchCost != nil {
+		cost = m.dispatchCost(t)
+		m.stats.SchedCost += cost
+	}
+	if now > t.ReadyAt {
+		t.Waited += now - t.ReadyAt
+	}
+	t.State = sched.StateRunning
+	m.seg = &segment{ts: ts, left: grant, resumeAt: now + cost}
+	m.seg.end = m.eng.After(cost+m.rate.TimeFor(grant), m.segmentEnd)
+	m.stats.Dispatches++
+	m.notifyDispatch(t, now)
+}
+
+// progress charges the running segment for the time elapsed since it last
+// resumed and cancels its end event.
+func (m *Machine) progress() {
+	s := m.seg
+	if s.paused {
+		return
+	}
+	m.eng.Cancel(s.end)
+	s.end = nil
+	var w sched.Work
+	// resumeAt can lie ahead of now while the dispatch cost is still
+	// being paid; no thread work has happened yet in that case.
+	if elapsed := m.eng.Now() - s.resumeAt; elapsed > 0 {
+		w = m.rate.WorkFor(elapsed)
+	}
+	if w > s.left {
+		w = s.left
+	}
+	s.left -= w
+	s.used += w
+	s.ts.burstLeft -= w
+}
+
+// segmentEnd fires when the running segment's granted work is complete:
+// either the quantum expired or the burst finished.
+func (m *Machine) segmentEnd() {
+	s := m.seg
+	now := m.eng.Now()
+	s.end = nil
+	// The event was scheduled for exactly the remaining work; rounding in
+	// WorkFor must not lose the tail, so settle it explicitly.
+	s.used += s.left
+	s.ts.burstLeft -= s.left
+	s.left = 0
+	ts := s.ts
+	if ts.burstLeft > 0 {
+		// Quantum expiry: charge and compete again.
+		ts.t.State = sched.StateRunnable
+		ts.t.ReadyAt = now
+		m.charge(true)
+		m.dispatch()
+		return
+	}
+	// Burst complete: the next program action decides what happens, and —
+	// as in the paper — the scheduler learns the actual quantum length
+	// only now.
+	m.finishBurst(ts)
+}
+
+// finishBurst processes the program action following a completed burst.
+func (m *Machine) finishBurst(ts *tstate) {
+	now := m.eng.Now()
+	const maxNoops = 1 << 20
+	for i := 0; ; i++ {
+		if i == maxNoops {
+			panic(fmt.Sprintf("cpu: program of %v made no progress", ts.t))
+		}
+		a := m.progNext(ts, now)
+		switch a.Kind {
+		case ActionCompute:
+			if a.Work <= 0 {
+				continue
+			}
+			// Back-to-back burst: the thread never blocks.
+			ts.burstLeft = a.Work
+			ts.t.State = sched.StateRunnable
+			ts.t.ReadyAt = now
+			m.charge(true)
+			m.maybeDispatch()
+			return
+		case ActionSleep, ActionSleepUntil:
+			until := now + a.Duration
+			if a.Kind == ActionSleepUntil {
+				until = a.Until
+			}
+			if until <= now {
+				continue
+			}
+			m.charge(false)
+			m.block(ts, until)
+			m.maybeDispatch()
+			return
+		case ActionBlock:
+			m.charge(false)
+			ts.t.State = sched.StateBlocked
+			m.notifyBlock(ts.t, now)
+			m.maybeDispatch()
+			return
+		case ActionExit:
+			m.charge(false)
+			ts.t.State = sched.StateExited
+			m.notifyExit(ts.t, now)
+			m.forget(ts.t)
+			m.maybeDispatch()
+			return
+		default:
+			panic(fmt.Sprintf("cpu: program of %v returned invalid action %v", ts.t, a.Kind))
+		}
+	}
+}
+
+// forget lets the scheduler drop per-thread state for an exited thread,
+// so tag maps do not grow without bound in long simulations.
+func (m *Machine) forget(t *sched.Thread) {
+	if f, ok := m.scheduler.(interface{ Forget(*sched.Thread) }); ok {
+		f.Forget(t)
+	}
+}
+
+// charge closes the current segment and accounts it to the scheduler.
+func (m *Machine) charge(runnable bool) {
+	s := m.seg
+	if s == nil {
+		panic("cpu: charge with no segment")
+	}
+	now := m.eng.Now()
+	m.seg = nil
+	t := s.ts.t
+	t.Done += s.used
+	t.Segments++
+	m.stats.Work += s.used
+	m.scheduler.Charge(t, s.used, now, runnable)
+	m.notifyCharge(t, s.used, now, runnable)
+}
+
+// preempt cuts the running segment short after a wakeup the scheduler
+// wants to act on. If the wakeup landed at the exact instant the burst
+// completed, the burst is finished instead — the thread must not stay
+// runnable with no work.
+func (m *Machine) preempt() {
+	s := m.seg
+	m.progress()
+	m.stats.Preemptions++
+	if s.ts.burstLeft == 0 {
+		m.finishBurst(s.ts)
+		return
+	}
+	s.ts.t.State = sched.StateRunnable
+	s.ts.t.ReadyAt = m.eng.Now()
+	m.charge(true)
+}
+
+// Flush charges the in-flight run segment for the work completed so far,
+// so that accounting is exact at a measurement horizon instead of
+// quantized at whole quanta. The machine stays consistent and may keep
+// running afterwards.
+func (m *Machine) Flush() {
+	if m.seg == nil {
+		return
+	}
+	s := m.seg
+	m.progress()
+	if s.ts.burstLeft == 0 {
+		m.finishBurst(s.ts)
+		return
+	}
+	s.ts.t.State = sched.StateRunnable
+	s.ts.t.ReadyAt = m.eng.Now()
+	m.charge(true)
+	m.maybeDispatch()
+}
+
+// Wake makes a blocked thread runnable immediately: the counterpart of
+// cpu.Block for event-driven sleeps (lock releases, message arrival). A
+// pending timed wakeup, if any, is cancelled. Waking a thread that is not
+// blocked is a no-op and returns false.
+func (m *Machine) Wake(t *sched.Thread) bool {
+	ts := m.threads[t]
+	if ts == nil {
+		panic(fmt.Sprintf("cpu: Wake of unknown thread %v", t))
+	}
+	if t.State != sched.StateBlocked {
+		return false
+	}
+	if ts.wake != nil {
+		m.eng.Cancel(ts.wake)
+		ts.wake = nil
+	}
+	t.WokeAt = m.eng.Now()
+	m.advance(ts)
+	return true
+}
+
+// interrupt services a hardware interrupt: the running thread is paused
+// and the CPU is consumed until the service time elapses. Overlapping
+// interrupts queue back to back.
+func (m *Machine) interrupt(service sim.Time) {
+	now := m.eng.Now()
+	m.stats.Interrupts++
+	m.stats.Stolen += service
+	m.notifyInterrupt(now, service)
+	if m.idle {
+		// The CPU is busy with the handler now, even with no thread ready.
+		m.idle = false
+		m.stats.Idle += now - m.idleFrom
+	}
+	if m.seg != nil && !m.seg.paused {
+		m.progress()
+		m.seg.paused = true
+	}
+	if m.intrUntil < now {
+		m.intrUntil = now
+	}
+	m.intrUntil += service
+	if m.intrEnd != nil {
+		m.eng.Cancel(m.intrEnd)
+	}
+	m.intrEnd = m.eng.At(m.intrUntil, m.interruptDone)
+}
+
+func (m *Machine) interruptDone() {
+	m.intrEnd = nil
+	if m.seg != nil {
+		if !m.seg.paused {
+			panic("cpu: running segment during interrupt")
+		}
+		s := m.seg
+		s.paused = false
+		s.resumeAt = m.eng.Now()
+		s.end = m.eng.After(m.rate.TimeFor(s.left), m.segmentEnd)
+		return
+	}
+	// Wakeups or preemption charges may have arrived during the
+	// interrupt; dispatch decides whether anything can run (and records
+	// the transition back to idle if not).
+	m.dispatch()
+}
+
+func (m *Machine) interruptBusy() bool { return m.intrEnd != nil }
+
+// Latency returns now minus the thread's ReadyAt, the time a runnable
+// thread has waited since it last became ready.
+func (m *Machine) Latency(t *sched.Thread) sim.Time { return m.eng.Now() - t.ReadyAt }
+
+func (m *Machine) notifyDispatch(t *sched.Thread, now sim.Time) {
+	for _, l := range m.listeners {
+		l.OnDispatch(t, now)
+	}
+}
+func (m *Machine) notifyCharge(t *sched.Thread, used sched.Work, now sim.Time, runnable bool) {
+	for _, l := range m.listeners {
+		l.OnCharge(t, used, now, runnable)
+	}
+}
+func (m *Machine) notifyWake(t *sched.Thread, now sim.Time) {
+	for _, l := range m.listeners {
+		l.OnWake(t, now)
+	}
+}
+func (m *Machine) notifyBlock(t *sched.Thread, now sim.Time) {
+	for _, l := range m.listeners {
+		l.OnBlock(t, now)
+	}
+}
+func (m *Machine) notifyExit(t *sched.Thread, now sim.Time) {
+	for _, l := range m.listeners {
+		l.OnExit(t, now)
+	}
+}
+func (m *Machine) notifyInterrupt(now, service sim.Time) {
+	for _, l := range m.listeners {
+		l.OnInterrupt(now, service)
+	}
+}
+func (m *Machine) notifyIdle(now sim.Time) {
+	for _, l := range m.listeners {
+		l.OnIdle(now)
+	}
+}

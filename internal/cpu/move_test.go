@@ -1,0 +1,87 @@
+package cpu_test
+
+import (
+	"math"
+	"testing"
+
+	"hsfq/internal/core"
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+	"hsfq/internal/workload"
+)
+
+// TestMoveThreadMidSimulation exercises hsfq_move end to end: a thread is
+// moved from a low-weight leaf to a high-weight leaf while the machine
+// runs (during one of its sleeps), and its throughput changes accordingly.
+func TestMoveThreadMidSimulation(t *testing.T) {
+	s := core.NewStructure()
+	smallID, err := s.Mknod("small", core.RootID, 1, sched.NewSFQ(10*sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigID, err := s.Mknod("big", core.RootID, 9, sched.NewSFQ(10*sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	m := cpu.NewMachine(eng, cpu.DefaultRate, s)
+
+	// The migrant computes with a brief periodic sleep so a blocked
+	// window exists to move it in.
+	migrant := sched.NewThread(1, "migrant", 1)
+	if err := s.Attach(migrant, smallID); err != nil {
+		t.Fatal(err)
+	}
+	m.Add(migrant, workload.OnOff(cpu.DefaultRate.WorkFor(50*sim.Millisecond), 1, sim.Millisecond), 0)
+
+	// A pinned hog keeps the big leaf busy so shares are visible.
+	hog := sched.NewThread(2, "hog", 1)
+	if err := s.Attach(hog, bigID); err != nil {
+		t.Fatal(err)
+	}
+	m.Add(hog, workload.CPUBound(1_000_000), 0)
+
+	// Phase 1: migrant in the 10% leaf.
+	m.Run(10 * sim.Second)
+	m.Flush()
+	phase1 := migrant.Done
+
+	// Move during a blocked window: poll each millisecond until the
+	// migrant is asleep, then hsfq_move it.
+	moved := false
+	var tryMove func()
+	tryMove = func() {
+		if migrant.State == sched.StateBlocked {
+			if err := s.Move(migrant, bigID); err != nil {
+				t.Errorf("move: %v", err)
+			}
+			moved = true
+			return
+		}
+		eng.After(sim.Millisecond, tryMove)
+	}
+	eng.After(0, tryMove)
+	m.Run(20 * sim.Second)
+	m.Flush()
+	if !moved {
+		t.Fatal("never observed a blocked window to move in")
+	}
+	phase2 := migrant.Done - phase1
+
+	// Phase 1: the migrant alone owns the small leaf's 10%. Phase 2: the
+	// small leaf is now empty, so the big leaf takes the whole CPU and
+	// the migrant splits it evenly with the hog (minus its 2% sleep
+	// duty): ~49%.
+	share1 := float64(phase1) / float64(cpu.DefaultRate.WorkFor(10*sim.Second))
+	share2 := float64(phase2) / float64(cpu.DefaultRate.WorkFor(10*sim.Second))
+	if math.Abs(share1-0.10) > 0.02 {
+		t.Errorf("pre-move share %.3f, want ~0.10", share1)
+	}
+	if math.Abs(share2-0.49) > 0.03 {
+		t.Errorf("post-move share %.3f, want ~0.49", share2)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

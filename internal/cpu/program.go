@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"fmt"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// ActionKind discriminates the actions a program can request.
+type ActionKind int
+
+// Program actions.
+const (
+	// ActionCompute executes Work instructions, possibly across several
+	// quanta and preemptions.
+	ActionCompute ActionKind = iota
+	// ActionSleep blocks the thread for Duration of simulated time.
+	ActionSleep
+	// ActionSleepUntil blocks the thread until the absolute time Until;
+	// periodic real-time programs use it to wait for their next release.
+	ActionSleepUntil
+	// ActionBlock blocks the thread indefinitely, until another event
+	// calls Machine.Wake — the primitive under simulated synchronization
+	// (internal/synch) and IPC.
+	ActionBlock
+	// ActionExit terminates the thread.
+	ActionExit
+)
+
+// Action is one step of a thread's behaviour.
+type Action struct {
+	Kind     ActionKind
+	Work     sched.Work
+	Duration sim.Time
+	Until    sim.Time
+}
+
+// Compute returns an action executing w instructions.
+func Compute(w sched.Work) Action { return Action{Kind: ActionCompute, Work: w} }
+
+// Sleep returns an action blocking for d.
+func Sleep(d sim.Time) Action { return Action{Kind: ActionSleep, Duration: d} }
+
+// SleepUntil returns an action blocking until the absolute time at.
+func SleepUntil(at sim.Time) Action { return Action{Kind: ActionSleepUntil, Until: at} }
+
+// Block returns an action blocking until Machine.Wake.
+func Block() Action { return Action{Kind: ActionBlock} }
+
+// Exit returns the terminating action.
+func Exit() Action { return Action{Kind: ActionExit} }
+
+// Program generates the behaviour of a thread, one action at a time. Next
+// is called when the thread is created and whenever the previous action
+// completes (a compute burst finishes, a sleep elapses). Implementations
+// live mostly in internal/workload.
+type Program interface {
+	Next(now sim.Time) Action
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(now sim.Time) Action
+
+// Next implements Program.
+func (f ProgramFunc) Next(now sim.Time) Action { return f(now) }
+
+// Sequence returns a program that performs the given actions in order and
+// then exits.
+func Sequence(actions ...Action) Program {
+	i := 0
+	return ProgramFunc(func(now sim.Time) Action {
+		if i >= len(actions) {
+			return Exit()
+		}
+		a := actions[i]
+		i++
+		return a
+	})
+}
+
+// Forever returns a program that repeats the given actions in a loop.
+func Forever(actions ...Action) Program {
+	if len(actions) == 0 {
+		panic("cpu: Forever with no actions")
+	}
+	i := 0
+	return ProgramFunc(func(now sim.Time) Action {
+		a := actions[i%len(actions)]
+		i++
+		return a
+	})
+}
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActionCompute:
+		return "compute"
+	case ActionSleep:
+		return "sleep"
+	case ActionSleepUntil:
+		return "sleep-until"
+	case ActionBlock:
+		return "block"
+	case ActionExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("action(%d)", int(k))
+	}
+}

@@ -1,0 +1,136 @@
+package cpu_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+	"hsfq/internal/workload"
+)
+
+// TestEDFSchedulabilityBoundary is the classic EDF property, checked
+// end-to-end through the machine: any periodic task set with total
+// utilization <= 1 on a dedicated CPU meets every deadline under
+// preemptive EDF. Task sets are drawn randomly below the boundary.
+func TestEDFSchedulabilityBoundary(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := sim.NewRand(seed)
+		tasks := int(n)%4 + 2
+		// Draw utilizations that sum below ~0.95 to stay clear of
+		// rounding at the boundary.
+		budget := 0.95
+		type spec struct {
+			period sim.Time
+			cost   sched.Work
+		}
+		var specs []spec
+		for i := 0; i < tasks; i++ {
+			u := budget * (0.2 + 0.6*rng.Float64()) / float64(tasks)
+			period := sim.Time(rng.Intn(400)+20) * sim.Millisecond
+			cost := cpu.DefaultRate.WorkFor(sim.Time(u * float64(period)))
+			if cost < 1 {
+				cost = 1
+			}
+			specs = append(specs, spec{period, cost})
+		}
+
+		eng := sim.NewEngine()
+		m := cpu.NewMachine(eng, cpu.DefaultRate, sched.NewEDF(0))
+		var progs []*workload.Periodic
+		for i, s := range specs {
+			p := &workload.Periodic{Period: s.period, Cost: s.cost}
+			th := sched.NewThread(i+1, "rt", 1)
+			th.Period = s.period
+			m.Add(th, p, 0)
+			progs = append(progs, p)
+		}
+		m.Run(20 * sim.Second)
+
+		for i, p := range progs {
+			if p.MissedDeadlines() > 0 {
+				t.Logf("seed %d: task %d (T=%v C=%d) missed %d deadlines, min slack %v",
+					seed, i, specs[i].period, specs[i].cost, p.MissedDeadlines(), p.MinSlack())
+				return false
+			}
+			if len(p.Slack) < 10 {
+				t.Logf("seed %d: task %d ran only %d rounds", seed, i, len(p.Slack))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEDFOverloadMissesDeadlines is the converse control: utilization
+// well above 1 must miss deadlines — if it didn't, the simulator would
+// be giving away CPU time.
+func TestEDFOverloadMissesDeadlines(t *testing.T) {
+	eng := sim.NewEngine()
+	m := cpu.NewMachine(eng, cpu.DefaultRate, sched.NewEDF(0))
+	var progs []*workload.Periodic
+	for i := 0; i < 3; i++ {
+		// Each task needs 50% -> total 150%.
+		p := &workload.Periodic{Period: 100 * sim.Millisecond, Cost: cpu.DefaultRate.WorkFor(50 * sim.Millisecond)}
+		th := sched.NewThread(i+1, "rt", 1)
+		th.Period = p.Period
+		m.Add(th, p, 0)
+		progs = append(progs, p)
+	}
+	m.Run(5 * sim.Second)
+	missed := 0
+	for _, p := range progs {
+		missed += p.MissedDeadlines()
+	}
+	if missed == 0 {
+		t.Error("150% utilization missed no deadlines")
+	}
+}
+
+// TestRMBoundIsConservative: task sets accepted by the Liu-Layland bound
+// meet all deadlines under the RM leaf with preemption.
+func TestRMSchedulabilityUnderMachine(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		// Two tasks within the n=2 bound (0.828): draw u_total <= 0.8.
+		p1 := sim.Time(rng.Intn(80)+20) * sim.Millisecond
+		p2 := p1 * sim.Time(rng.Intn(4)+2) // longer period
+		u1 := 0.1 + 0.3*rng.Float64()
+		u2 := 0.8 - u1 - 0.05
+		c1 := cpu.DefaultRate.WorkFor(sim.Time(u1 * float64(p1)))
+		c2 := cpu.DefaultRate.WorkFor(sim.Time(u2 * float64(p2)))
+		if c1 < 1 || c2 < 1 {
+			return true
+		}
+		if !sched.SchedulableRM(
+			[]sim.Time{cpu.DefaultRate.TimeFor(c1), cpu.DefaultRate.TimeFor(c2)},
+			[]sim.Time{p1, p2}) {
+			return true // outside the sufficient bound: no claim
+		}
+		eng := sim.NewEngine()
+		m := cpu.NewMachine(eng, cpu.DefaultRate, sched.NewRM(0))
+		mk := func(id int, period sim.Time, cost sched.Work) *workload.Periodic {
+			p := &workload.Periodic{Period: period, Cost: cost}
+			th := sched.NewThread(id, "rt", 1)
+			th.Period = period
+			m.Add(th, p, 0)
+			return p
+		}
+		j1 := mk(1, p1, c1)
+		j2 := mk(2, p2, c2)
+		m.Run(10 * sim.Second)
+		if j1.MissedDeadlines() > 0 || j2.MissedDeadlines() > 0 {
+			t.Logf("seed %d: T1=%v C1=%d T2=%v C2=%d missed %d/%d",
+				seed, p1, c1, p2, c2, j1.MissedDeadlines(), j2.MissedDeadlines())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

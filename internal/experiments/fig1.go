@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"hsfq/internal/metrics"
+	"hsfq/internal/sim"
+	"hsfq/internal/workload"
+)
+
+func init() {
+	register("fig1", "Variation in decompression times of frames in an MPEG compressed video sequence", runFig1)
+}
+
+// runFig1 regenerates the Fig. 1 trace: per-frame decode times of a VBR
+// MPEG sequence, exhibiting variability both frame-to-frame (tens of
+// milliseconds apart) and scene-to-scene (seconds apart).
+func runFig1(opt Options) *Result {
+	r := &Result{}
+	rng := sim.NewRand(opt.Seed)
+	gen := workload.DefaultMPEG(int64(rate), rng)
+	const frames = 2000
+	trace := gen.Trace(frames)
+
+	// Decode time per frame in milliseconds at the machine rate.
+	ms := make([]float64, frames)
+	for i, w := range trace {
+		ms[i] = float64(w) / float64(rate) * 1000
+	}
+
+	// Frame-scale variability: coefficient of variation across frames.
+	frameCV := metrics.CoefficientOfVariation(ms)
+
+	// Scene-scale variability: means over 2-second (60-frame) windows.
+	const win = 60
+	var sceneMeans []float64
+	for i := 0; i+win <= frames; i += win {
+		sum := 0.0
+		for _, v := range ms[i : i+win] {
+			sum += v
+		}
+		sceneMeans = append(sceneMeans, sum/win)
+	}
+	sceneCV := metrics.CoefficientOfVariation(sceneMeans)
+	lo, hi := sceneMeans[0], sceneMeans[0]
+	for _, v := range sceneMeans {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+
+	sum := metrics.Summarize(ms)
+	r.Printf("MPEG decode cost per frame (%d frames, GOP=%s, %d fps):\n", frames, gen.GOP, gen.FPS)
+	r.Printf("  per-frame ms: %v\n", sum)
+	r.Printf("  frame-scale CV=%.3f; scene-window (2s) means: min=%.2f max=%.2f CV=%.3f\n",
+		frameCV, lo, hi, sceneCV)
+	if opt.Plot {
+		series := map[rune][]float64{'*': ms[:300]}
+		must(metrics.AsciiPlot(&r.out, 12, series))
+	}
+
+	tbl := metrics.NewTable("frame", "type", "decode_ms")
+	for i := 0; i < 30; i++ {
+		tbl.AddRow(i, string(gen.GOP[i%len(gen.GOP)]), ms[i])
+	}
+	r.Printf("%s", tbl.String())
+
+	// Paper shape: decode time varies strongly frame-to-frame (I vs B
+	// frames) and the per-scene mean wanders by a large factor over
+	// seconds, and neither variation is degenerate.
+	r.Check(frameCV > 0.3, "frame-scale variability", "CV=%.3f, want > 0.3", frameCV)
+	r.Check(hi/lo > 1.5, "scene-scale variability", "scene mean max/min=%.2f, want > 1.5", hi/lo)
+	r.Check(sum.Max/sum.Min > 3, "I-vs-B spread", "max/min=%.2f, want > 3", sum.Max/sum.Min)
+	return r
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment outputs")
+
+// goldenIDs are experiments whose full rendered output is pinned: any
+// behavioral drift in the scheduler, machine, or workloads shows up as a
+// golden diff. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenOutputs -update
+
+func TestGoldenOutputs(t *testing.T) {
+	// Every experiment is seed-deterministic, so all outputs are pinned.
+	// (Computed here, not at package init: the registry fills in init().)
+	goldenIDs := IDs()
+	if len(goldenIDs) < 19 {
+		t.Fatalf("only %d experiments registered", len(goldenIDs))
+	}
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, Options{Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Output() + res.Summary()
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from %s; run with -update if intentional.\n--- got ---\n%s", path, got)
+			}
+		})
+	}
+}

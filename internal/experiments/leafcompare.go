@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"hsfq/internal/cpu"
+	"hsfq/internal/metrics"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+	"hsfq/internal/workload"
+)
+
+func init() {
+	register("ablation-leaf", "A10: SFQ vs capacity reserves as the leaf scheduler for VBR video (§6 future work)", runAblationLeaf)
+}
+
+// runAblationLeaf runs the comparison the paper's related work defers:
+// "A detailed experimental investigation of the relative merits of these
+// algorithms vis-a-vis SFQ as a leaf class scheduler is the subject of
+// our current research." Two paced VBR decoders (30 fps, mean demand
+// ~25% each, scene bursts to ~1.8x) share a leaf with a CPU hog.
+//
+//   - Reserves (Mercer et al. [13]): each decoder gets a budget sized to
+//     1.2x its mean demand per frame period. During complex scenes the
+//     budget runs out and the decoder falls to the background band, where
+//     it must share with the hog — deadlines slip in exactly the scenes
+//     that need CPU most.
+//
+//   - SFQ: decoders get weights 6:6 against two weight-1 hogs, a minimum
+//     share of 3/7 each — headroom that covers the bursts without any
+//     cliff, while the hogs still absorb every cycle the decoders leave
+//     idle.
+//
+// This is the §1 observation made concrete: algorithms that need a
+// precise characterization of demand (a reserve) handle unpredictable
+// VBR badly, while SFQ "just requires relative importance of tasks".
+func runAblationLeaf(opt Options) *Result {
+	r := &Result{}
+	const horizon = 30 * sim.Second
+	const fps = 30
+	framePeriod := sim.Second / fps
+
+	mkClip := func(rng *sim.Rand) []sched.Work {
+		gen := workload.DefaultMPEG(int64(rate), rng)
+		// Scale to mean demand ~17% of the CPU per decoder, bursting to
+		// ~30% in complex scenes.
+		gen.IMean, gen.PMean, gen.BMean = gen.IMean/2, gen.PMean/2, gen.BMean/2
+		return gen.Trace(int(horizon/framePeriod) + 1)
+	}
+
+	type outcome struct {
+		missed  [2]int
+		frames  [2]int
+		hogWork sched.Work
+	}
+	run := func(useReserves bool) outcome {
+		rng := sim.NewRand(opt.Seed)
+		var leaf sched.Scheduler
+		var res *sched.Reserves
+		if useReserves {
+			res = sched.NewReserves(5 * sim.Millisecond)
+			leaf = res
+		} else {
+			leaf = sched.NewSFQ(5 * sim.Millisecond)
+		}
+		m := cpu.NewMachine(sim.NewEngine(), rate, leaf)
+
+		var out outcome
+		decoders := [2]*workload.PacedDecoder{}
+		for i := 0; i < 2; i++ {
+			clip := mkClip(rng.Fork())
+			decoders[i] = workload.NewPacedDecoder(clip, framePeriod)
+			t := sched.NewThread(i+1, "decoder", 6)
+			if useReserves {
+				// Budget: 1.2x the clip's mean frame cost per period.
+				var sum sched.Work
+				for _, c := range clip {
+					sum += c
+				}
+				mean := int64(sum) / int64(len(clip))
+				res.SetReserve(t, sched.Work(mean*12/10), framePeriod)
+			}
+			m.Add(t, decoders[i], 0)
+		}
+		hogs := [2]*sched.Thread{}
+		for h := range hogs {
+			hogs[h] = sched.NewThread(3+h, "hog", 1)
+			m.Add(hogs[h], cpu.Forever(cpu.Compute(1_000_000)), 0)
+		}
+		m.Run(horizon)
+		for i, d := range decoders {
+			out.missed[i] = d.MissedDeadlines()
+			out.frames[i] = len(d.Lateness)
+		}
+		out.hogWork = hogs[0].Done + hogs[1].Done
+		return out
+	}
+
+	withReserves := run(true)
+	withSFQ := run(false)
+
+	tbl := metrics.NewTable("leaf scheduler", "dec0 missed/frames", "dec1 missed/frames", "hog work")
+	row := func(name string, o outcome) {
+		tbl.AddRow(name,
+			ratioStr(float64(o.missed[0]), float64(o.frames[0]))+" of "+itoa(o.frames[0]),
+			ratioStr(float64(o.missed[1]), float64(o.frames[1]))+" of "+itoa(o.frames[1]),
+			int64(o.hogWork))
+	}
+	row("reserves (1.2x mean)", withReserves)
+	row("sfq (w=6:6:1:1)", withSFQ)
+	r.Printf("%s", tbl.String())
+
+	missedRes := withReserves.missed[0] + withReserves.missed[1]
+	missedSFQ := withSFQ.missed[0] + withSFQ.missed[1]
+	r.Printf("total missed deadlines: reserves %d, sfq %d\n", missedRes, missedSFQ)
+
+	r.Check(missedSFQ*2 < missedRes, "SFQ misses far fewer VBR deadlines",
+		"sfq %d vs reserves %d (structural: budget cliff vs proportional headroom)", missedSFQ, missedRes)
+	r.Check(missedRes > 0, "reserve budget cliff is real",
+		"reserves missed %d frames during scene bursts", missedRes)
+	r.Check(withSFQ.hogWork > 0 && withReserves.hogWork > 0, "hog progresses under both",
+		"sfq %d, reserves %d", withSFQ.hogWork, withReserves.hogWork)
+	return r
+}
+
+func itoa(v int) string { return ratioStr(float64(v), 1) }

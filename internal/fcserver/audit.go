@@ -1,0 +1,92 @@
+package fcserver
+
+import (
+	"fmt"
+	"sort"
+
+	"hsfq/internal/sim"
+)
+
+// This file implements a fairness auditor for measured schedules: it
+// checks SFQ's fairness theorem (Eq. 3),
+//
+//	| W_f(t1,t2)/w_f - W_m(t1,t2)/w_m | <= lmax_f/w_f + lmax_m/w_m
+//
+// over EVERY window [t1,t2] of a pair of service traces, not just the
+// full run — the property that makes SFQ "near-optimal" [4] and that the
+// A1 ablation shows WFQ/FQS losing under fluctuation.
+
+// AuditResult reports the worst window found for one thread pair.
+type AuditResult struct {
+	WorstExcess float64  // max over windows of gap - bound; <= 0 conforms
+	WorstGap    float64  // the gap in that window
+	Bound       float64  // lmax_f/w_f + lmax_m/w_m
+	From, To    sim.Time // the worst window
+	Windows     int      // windows examined
+}
+
+// Conforms reports whether every window respected the bound within tol.
+func (a AuditResult) Conforms(tol float64) bool { return a.WorstExcess <= tol }
+
+func (a AuditResult) String() string {
+	return fmt.Sprintf("worst excess %.3f (gap %.3f vs bound %.3f) in [%v,%v] over %d windows",
+		a.WorstExcess, a.WorstGap, a.Bound, a.From, a.To, a.Windows)
+}
+
+// AuditFairness checks Eq. 3 for a pair of threads that were both
+// continuously runnable during [from, to], given their cumulative service
+// traces (as collected by Collector), weights, and maximum quantum
+// lengths (in work units).
+//
+// The normalized service difference D(t) = Wf(t)/wf - Wm(t)/wm is a step
+// function changing only at charge instants; the maximum window gap is
+// max D - min D over the merged event sequence, so the audit over all
+// O(n^2) windows costs O(n log n).
+func AuditFairness(f, m []ServicePoint, wf, wm, lmaxF, lmaxM float64, from, to sim.Time) AuditResult {
+	if wf <= 0 || wm <= 0 {
+		panic("fcserver: non-positive weight in audit")
+	}
+	type ev struct {
+		at   sim.Time
+		draw float64 // change in D at this instant
+	}
+	var evs []ev
+	add := func(pts []ServicePoint, w float64, sign float64) {
+		var prev float64
+		for _, p := range pts {
+			if p.At < from || p.At > to {
+				if p.At < from {
+					prev = float64(p.Work)
+				}
+				continue
+			}
+			evs = append(evs, ev{p.At, sign * (float64(p.Work) - prev) / w})
+			prev = float64(p.Work)
+		}
+	}
+	add(f, wf, +1)
+	add(m, wm, -1)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+
+	bound := lmaxF/wf + lmaxM/wm
+	res := AuditResult{Bound: bound, WorstExcess: -bound}
+	d := 0.0
+	minD, maxD := 0.0, 0.0
+	minAt, maxAt := from, from
+	for _, e := range evs {
+		d += e.draw
+		res.Windows++
+		if d < minD {
+			minD, minAt = d, e.at
+		}
+		if d > maxD {
+			maxD, maxAt = d, e.at
+		}
+		if gap := maxD - minD; gap-bound > res.WorstExcess {
+			res.WorstExcess = gap - bound
+			res.WorstGap = gap
+			res.From, res.To = sim.MinTime(minAt, maxAt), sim.MaxTime(minAt, maxAt)
+		}
+	}
+	return res
+}

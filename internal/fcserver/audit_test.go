@@ -1,0 +1,146 @@
+package fcserver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+func TestAuditFairnessPerfectAlternation(t *testing.T) {
+	// Two equal threads alternating 1000-work quanta: D oscillates within
+	// one quantum; bound is 2 quanta.
+	var f, m []ServicePoint
+	var wf, wm sched.Work
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * sim.Millisecond
+		if i%2 == 0 {
+			wf += 1000
+			f = append(f, ServicePoint{At: at, Work: wf})
+		} else {
+			wm += 1000
+			m = append(m, ServicePoint{At: at, Work: wm})
+		}
+	}
+	res := AuditFairness(f, m, 1, 1, 1000, 1000, 0, sim.Second)
+	if !res.Conforms(0) {
+		t.Errorf("alternation failed audit: %v", res)
+	}
+	if res.WorstGap != 1000 {
+		t.Errorf("gap %v, want 1000", res.WorstGap)
+	}
+}
+
+func TestAuditFairnessCatchesStarvation(t *testing.T) {
+	// Thread f receives 10 quanta in a row while m receives nothing:
+	// gap 10000 exceeds the 2000 bound.
+	var f []ServicePoint
+	for i := 0; i < 10; i++ {
+		f = append(f, ServicePoint{At: sim.Time(i) * sim.Millisecond, Work: sched.Work((i + 1) * 1000)})
+	}
+	m := []ServicePoint{{At: 20 * sim.Millisecond, Work: 1000}}
+	res := AuditFairness(f, m, 1, 1, 1000, 1000, 0, sim.Second)
+	if res.Conforms(0) {
+		t.Fatalf("starvation passed audit: %v", res)
+	}
+	if res.WorstExcess != 8000 {
+		t.Errorf("excess %v, want 8000", res.WorstExcess)
+	}
+}
+
+// TestAuditSFQOnMachine: Eq. 3 must hold over every window of a real
+// machine run, for every thread pair, including under interrupt load.
+func TestAuditSFQOnMachine(t *testing.T) {
+	quantum := 10 * sim.Millisecond
+	leaf := sched.NewSFQ(quantum)
+	m := cpu.NewMachine(sim.NewEngine(), cpu.DefaultRate, leaf)
+	m.AddInterrupts(&cpu.PeriodicInterrupts{Period: 7 * sim.Millisecond, Service: 500 * sim.Microsecond})
+	weights := []float64{1, 2.5, 7}
+	var threads []*sched.Thread
+	for _, w := range weights {
+		threads = append(threads, m.Spawn("t", w, cpu.Forever(cpu.Compute(100_000_000)), 0))
+	}
+	col := NewCollector(threads...)
+	m.Listen(col)
+	m.Run(20 * sim.Second)
+
+	lmax := float64(cpu.DefaultRate.WorkFor(quantum))
+	for i := range threads {
+		for j := i + 1; j < len(threads); j++ {
+			res := AuditFairness(col.Points(threads[i]), col.Points(threads[j]),
+				weights[i], weights[j], lmax, lmax, 0, 20*sim.Second)
+			if !res.Conforms(1) {
+				t.Errorf("pair (%d,%d): %v", i, j, res)
+			}
+			if res.Windows == 0 {
+				t.Errorf("pair (%d,%d): no windows audited", i, j)
+			}
+		}
+	}
+}
+
+// TestAuditSFQQuick: property form — random weights and quantum, the
+// audit must pass for CPU-bound threads under SFQ.
+func TestAuditSFQQuick(t *testing.T) {
+	f := func(w1, w2 uint8, qms uint8) bool {
+		wa := float64(w1%20) + 1
+		wb := float64(w2%20) + 1
+		quantum := sim.Time(int(qms)%20+1) * sim.Millisecond
+		leaf := sched.NewSFQ(quantum)
+		m := cpu.NewMachine(sim.NewEngine(), cpu.DefaultRate, leaf)
+		a := m.Spawn("a", wa, cpu.Forever(cpu.Compute(100_000_000)), 0)
+		b := m.Spawn("b", wb, cpu.Forever(cpu.Compute(100_000_000)), 0)
+		col := NewCollector(a, b)
+		m.Listen(col)
+		m.Run(3 * sim.Second)
+		lmax := float64(cpu.DefaultRate.WorkFor(quantum))
+		res := AuditFairness(col.Points(a), col.Points(b), wa, wb, lmax, lmax, 0, 3*sim.Second)
+		if !res.Conforms(1) {
+			t.Logf("w=%v:%v q=%v: %v", wa, wb, quantum, res)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAuditRoundRobinViolatesWeightedBound: a negative control — plain
+// round-robin ignores weights, so with unequal weights the audit must
+// flag it.
+func TestAuditRoundRobinViolatesWeightedBound(t *testing.T) {
+	quantum := 10 * sim.Millisecond
+	rr := sched.NewRoundRobin(quantum)
+	m := cpu.NewMachine(sim.NewEngine(), cpu.DefaultRate, rr)
+	a := m.Spawn("a", 1, cpu.Forever(cpu.Compute(100_000_000)), 0)
+	b := m.Spawn("b", 10, cpu.Forever(cpu.Compute(100_000_000)), 0)
+	col := NewCollector(a, b)
+	m.Listen(col)
+	m.Run(20 * sim.Second)
+	lmax := float64(cpu.DefaultRate.WorkFor(quantum))
+	res := AuditFairness(col.Points(a), col.Points(b), 1, 10, lmax, lmax, 0, 20*sim.Second)
+	if res.Conforms(0) {
+		t.Errorf("round-robin passed a weighted audit: %v", res)
+	}
+}
+
+func TestMergePoints(t *testing.T) {
+	a := []ServicePoint{{At: 10, Work: 5}, {At: 30, Work: 12}}
+	b := []ServicePoint{{At: 20, Work: 3}}
+	got := MergePoints(a, b)
+	want := []ServicePoint{{At: 10, Work: 5}, {At: 20, Work: 8}, {At: 30, Work: 15}}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("merged[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := MergePoints(); len(out) != 0 {
+		t.Error("empty merge not empty")
+	}
+}

@@ -1,0 +1,100 @@
+package fcserver
+
+import (
+	"sort"
+
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// Collector implements cpu.Listener and records a cumulative service
+// trace per tracked thread (a ServicePoint at every charge), the raw
+// material for FC/EBF conformance checks against measured schedules.
+type Collector struct {
+	cpu.BaseListener
+	tracked map[*sched.Thread]bool
+	pts     map[*sched.Thread][]ServicePoint
+	cum     map[*sched.Thread]sched.Work
+}
+
+// NewCollector tracks the given threads; with none given it tracks every
+// thread it sees.
+func NewCollector(threads ...*sched.Thread) *Collector {
+	c := &Collector{
+		pts: make(map[*sched.Thread][]ServicePoint),
+		cum: make(map[*sched.Thread]sched.Work),
+	}
+	if len(threads) > 0 {
+		c.tracked = make(map[*sched.Thread]bool, len(threads))
+		for _, t := range threads {
+			c.tracked[t] = true
+		}
+	}
+	return c
+}
+
+// OnCharge implements cpu.Listener.
+func (c *Collector) OnCharge(t *sched.Thread, used sched.Work, now sim.Time, runnable bool) {
+	if c.tracked != nil && !c.tracked[t] {
+		return
+	}
+	c.cum[t] += used
+	c.pts[t] = append(c.pts[t], ServicePoint{At: now, Work: c.cum[t]})
+}
+
+// Points returns the cumulative service trace of t.
+func (c *Collector) Points(t *sched.Thread) []ServicePoint {
+	out := make([]ServicePoint, len(c.pts[t]))
+	copy(out, c.pts[t])
+	return out
+}
+
+// BusySlice returns the points of t that fall inside [from, to], with
+// work re-based to zero at the first point — convenient for checking FC
+// conformance over a window in which the thread was continuously
+// runnable.
+func (c *Collector) BusySlice(t *sched.Thread, from, to sim.Time) []ServicePoint {
+	var out []ServicePoint
+	var base sched.Work
+	first := true
+	for _, p := range c.pts[t] {
+		if p.At < from || p.At > to {
+			continue
+		}
+		if first {
+			base = p.Work
+			first = false
+		}
+		out = append(out, ServicePoint{At: p.At - from, Work: p.Work - base})
+	}
+	return out
+}
+
+// MergePoints combines several cumulative service traces into one: the
+// aggregate service of a scheduling class is the sum of its members'. The
+// result has one point per input point, in time order, with cumulative
+// work summed across all inputs — exactly the service process of the
+// node that contains those threads.
+func MergePoints(traces ...[]ServicePoint) []ServicePoint {
+	type delta struct {
+		at sim.Time
+		w  sched.Work
+	}
+	var deltas []delta
+	for _, tr := range traces {
+		var prev sched.Work
+		for _, p := range tr {
+			deltas = append(deltas, delta{p.At, p.Work - prev})
+			prev = p.Work
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].at < deltas[j].at })
+	out := make([]ServicePoint, 0, len(deltas))
+	var cum sched.Work
+	for _, d := range deltas {
+		cum += d.w
+		out = append(out, ServicePoint{At: d.at, Work: cum})
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package fcserver
+
+import (
+	"fmt"
+	"math"
+
+	"hsfq/internal/sim"
+)
+
+// EBF is an Exponentially Bounded Fluctuation server (Definition 2), the
+// stochastic relaxation of FC: for all intervals [t1,t2] of a busy period
+// and all gamma >= 0,
+//
+//	P( W(t1,t2) < Rate*(t2-t1) - Burst - gamma ) <= B * e^(-Alpha*gamma)
+//
+// Intuitively, the probability of the server falling behind the average
+// rate by more than Burst+gamma decays exponentially in gamma.
+type EBF struct {
+	Rate  float64 // average rate C, instructions/second
+	Burst float64 // base burstiness delta, instructions
+	B     float64 // probability prefactor
+	Alpha float64 // exponential decay rate, 1/instructions
+}
+
+func (e EBF) String() string {
+	return fmt.Sprintf("EBF(C=%.4g, delta=%.4g, B=%.4g, alpha=%.4g)", e.Rate, e.Burst, e.B, e.Alpha)
+}
+
+// ExceedanceBound returns the model's bound on the probability of a
+// deficit larger than Burst+gamma.
+func (e EBF) ExceedanceBound(gamma float64) float64 {
+	if gamma < 0 {
+		panic("fcserver: negative gamma")
+	}
+	p := e.B * math.Exp(-e.Alpha*gamma)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// EmpiricalExceedance estimates, from a cumulative service trace, the
+// fraction of sampled same-length windows whose service deficit relative
+// to Rate exceeds Burst+gamma. The window is expressed in samples
+// (stride >= 1); every start position is examined.
+func (e EBF) EmpiricalExceedance(pts []ServicePoint, stride int, gamma float64) float64 {
+	if stride < 1 {
+		panic("fcserver: non-positive stride")
+	}
+	if len(pts) <= stride {
+		return 0
+	}
+	exceed, total := 0, 0
+	for i := 0; i+stride < len(pts); i++ {
+		a, b := pts[i], pts[i+stride]
+		w := float64(b.Work - a.Work)
+		dt := (b.At - a.At).Seconds()
+		if w < e.Rate*dt-e.Burst-gamma {
+			exceed++
+		}
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(exceed) / float64(total)
+}
+
+// ConformsEmpirically checks the EBF bound at the given gammas against a
+// service trace, sampling windows of the given stride. It returns the
+// first gamma that violates the bound, or -1 if all conform.
+func (e EBF) ConformsEmpirically(pts []ServicePoint, stride int, gammas []float64) float64 {
+	for _, g := range gammas {
+		if e.EmpiricalExceedance(pts, stride, g) > e.ExceedanceBound(g) {
+			return g
+		}
+	}
+	return -1
+}
+
+// SFQThroughputEBF computes the paper's Eq. (7): if the CPU is an EBF
+// server, the throughput received by thread f with rate r_f is also EBF.
+// The burstiness composes as in the FC case (Eq. 6); the probability tail
+// keeps the prefactor and rescales the decay to the thread's rate share:
+//
+//	rate   r_f
+//	burst  r_f/C * (delta + sum_{m != f} lmax_m) + lmax_f
+//	B      B
+//	alpha  alpha * C / r_f
+//
+// (The tail must steepen in thread units because a deficit of gamma for
+// the thread corresponds to a server deficit of gamma * C/r_f.)
+func SFQThroughputEBF(server EBF, rf float64, lmaxSelf float64, lmaxOthers []float64) EBF {
+	if rf <= 0 || rf > server.Rate {
+		panic(fmt.Sprintf("fcserver: thread rate %v outside (0, %v]", rf, server.Rate))
+	}
+	sum := 0.0
+	for _, l := range lmaxOthers {
+		sum += l
+	}
+	return EBF{
+		Rate:  rf,
+		Burst: rf/server.Rate*(server.Burst+sum) + lmaxSelf,
+		B:     server.B,
+		Alpha: server.Alpha * server.Rate / rf,
+	}
+}
+
+// SFQDelayBoundEBF computes the stochastic analogue of Eq. (8) (the
+// paper's Eq. 10/11 block): the probability that quantum j of length lj
+// completes later than
+//
+//	eat + (delta + gamma + sum_{m != f} lmax_m + lj) / C
+//
+// is at most B*e^(-alpha*gamma). It returns that completion bound for the
+// given gamma.
+func SFQDelayBoundEBF(server EBF, eat sim.Time, lj float64, lmaxOthers []float64, gamma float64) (bound sim.Time, prob float64) {
+	sum := 0.0
+	for _, l := range lmaxOthers {
+		sum += l
+	}
+	d := (server.Burst + gamma + sum + lj) / server.Rate
+	return eat + sim.Time(d*float64(sim.Second)), server.ExceedanceBound(gamma)
+}

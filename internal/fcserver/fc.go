@@ -1,0 +1,194 @@
+// Package fcserver implements the Fluctuation Constrained (FC) and
+// Exponentially Bounded Fluctuation (EBF) server models of Lee [11] that
+// the paper uses to characterize a CPU whose effective bandwidth varies
+// because interrupts are serviced at top priority (§3, Definitions 1-2),
+// together with SFQ's throughput and delay guarantees built on them
+// (Eqs. 6-8) and the WFQ/SCFQ comparators of §6.
+//
+// Work is measured in the same instruction units as the rest of the
+// repository; rates are instructions per second.
+package fcserver
+
+import (
+	"fmt"
+	"math"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// FC is a Fluctuation Constrained server (Definition 1): in any interval
+// [t1,t2] of a busy period, the server does at least
+// Rate*(t2-t1) - Burst work:
+//
+//	W(t1,t2) >= Rate*(t2-t1) - Burst
+type FC struct {
+	Rate  float64 // average rate C, instructions/second
+	Burst float64 // burstiness delta(C), instructions
+}
+
+func (fc FC) String() string {
+	return fmt.Sprintf("FC(C=%.4g instr/s, delta=%.4g instr)", fc.Rate, fc.Burst)
+}
+
+// MinService returns the FC lower bound on work done in an interval of
+// length dt within a busy period.
+func (fc FC) MinService(dt sim.Time) float64 {
+	return fc.Rate*dt.Seconds() - fc.Burst
+}
+
+// ServicePoint is a sample of cumulative service: by time At the observed
+// entity had received Work total service.
+type ServicePoint struct {
+	At   sim.Time
+	Work sched.Work
+}
+
+// WorstDeficit returns the largest violation of the FC bound over all
+// sample pairs (t1 < t2): max over pairs of
+// Rate*(t2-t1) - Burst - W(t1,t2), clamped below at 0. A deficit of 0
+// means the trace conforms to the model. The scan is O(n) via the running
+// maximum of W_i - Rate*t_i.
+func (fc FC) WorstDeficit(pts []ServicePoint) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	worst := 0.0
+	maxD := math.Inf(-1)
+	for _, p := range pts {
+		d := float64(p.Work) - fc.Rate*p.At.Seconds()
+		if maxD > d+fc.Burst {
+			if v := maxD - d - fc.Burst; v > worst {
+				worst = v
+			}
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return worst
+}
+
+// Conforms reports whether the sampled service trace satisfies the FC
+// bound, within a numerical tolerance of tol work units.
+func (fc FC) Conforms(pts []ServicePoint, tol float64) bool {
+	return fc.WorstDeficit(pts) <= tol
+}
+
+// TightestBurst returns the smallest Burst for which a trace conforms to
+// an FC server of the given rate — the empirical delta(C) of a measured
+// schedule.
+func TightestBurst(rate float64, pts []ServicePoint) float64 {
+	return FC{Rate: rate}.WorstDeficit(pts)
+}
+
+// SFQThroughput computes the paper's Eq. (6): if the CPU is FC(C, delta)
+// and thread f has rate r_f (its weight interpreted as a rate, with
+// sum of rates <= C), then f's service is FC with
+//
+//	rate  r_f
+//	burst r_f/C * (delta + sum_{m in Q, m != f} lmax_m) + lmax_f
+//
+// where lmax_m is the maximum quantum length (in instructions) of thread
+// m. Applied recursively down the scheduling structure, this is what makes
+// every class of the hierarchy an FC server (§3).
+func SFQThroughput(server FC, rf float64, lmaxSelf float64, lmaxOthers []float64) FC {
+	if rf <= 0 || rf > server.Rate {
+		panic(fmt.Sprintf("fcserver: thread rate %v outside (0, %v]", rf, server.Rate))
+	}
+	sum := 0.0
+	for _, l := range lmaxOthers {
+		sum += l
+	}
+	return FC{
+		Rate:  rf,
+		Burst: rf/server.Rate*(server.Burst+sum) + lmaxSelf,
+	}
+}
+
+// EAT tracks the expected arrival time recursion of §3: EAT(j) is "the
+// time at which quantum j would start if only thread f was in the system
+// and the CPU capacity was r_f":
+//
+//	EAT(j) = max(A(j), EAT(j-1) + l_{j-1}/r_f)
+type EAT struct {
+	rf       float64
+	lastEAT  float64 // seconds
+	lastLen  float64 // instructions
+	observed bool
+}
+
+// NewEAT returns a tracker for a thread with rate rf.
+func NewEAT(rf float64) *EAT {
+	if rf <= 0 {
+		panic("fcserver: EAT with non-positive rate")
+	}
+	return &EAT{rf: rf}
+}
+
+// Observe records quantum j's arrival (request) time and length and
+// returns its expected arrival time.
+func (e *EAT) Observe(arrival sim.Time, length sched.Work) sim.Time {
+	a := arrival.Seconds()
+	eat := a
+	if e.observed {
+		if prev := e.lastEAT + e.lastLen/e.rf; prev > eat {
+			eat = prev
+		}
+	}
+	e.observed = true
+	e.lastEAT = eat
+	e.lastLen = float64(length)
+	return sim.Time(eat * float64(sim.Second))
+}
+
+// SFQDelayBound computes the paper's Eq. (8): under an FC(C, delta)
+// server, SFQ guarantees that a quantum of length lj with expected arrival
+// time eat completes by
+//
+//	eat + (delta + sum_{m != f} lmax_m + lj) / C
+func SFQDelayBound(server FC, eat sim.Time, lj float64, lmaxOthers []float64) sim.Time {
+	sum := 0.0
+	for _, l := range lmaxOthers {
+		sum += l
+	}
+	d := (server.Burst + sum + lj) / server.Rate
+	return eat + sim.Time(d*float64(sim.Second))
+}
+
+// WFQDelayBound computes the corresponding WFQ guarantee discussed in §6
+// (for a constant-rate server of capacity C): a quantum of length lj of a
+// thread with rate rf completes by
+//
+//	eat + lj/rf + lmaxAny/C
+//
+// where lmaxAny is the maximum quantum length ever scheduled at the CPU.
+// Note WFQ carries no fairness guarantee at all once the rate fluctuates;
+// the bound is only meaningful with Burst = 0.
+func WFQDelayBound(server FC, eat sim.Time, lj, rf, lmaxAny float64) sim.Time {
+	d := lj/rf + lmaxAny/server.Rate
+	return eat + sim.Time(d*float64(sim.Second))
+}
+
+// SCFQDelayBound computes SCFQ's guarantee: §6 notes SCFQ "increases the
+// maximum delay of quantum j" over WFQ by sum_{m != f} lmax_m / C.
+func SCFQDelayBound(server FC, eat sim.Time, lj, rf, lmaxAny float64, lmaxOthers []float64) sim.Time {
+	sum := 0.0
+	for _, l := range lmaxOthers {
+		sum += l
+	}
+	base := WFQDelayBound(server, eat, lj, rf, lmaxAny)
+	return base + sim.Time(sum/server.Rate*float64(sim.Second))
+}
+
+// DelayAdvantageSFQ returns D_sfq - D_wfq for equal quantum lengths l and
+// n competing threads: positive means WFQ's bound is tighter, negative
+// means SFQ's is. With equal quanta this reduces to
+//
+//	(n-1)*l/C - l/rf
+//
+// which is negative — SFQ wins — exactly when rf < C/(n-1); for the
+// low-throughput (interactive) threads of §6 this always holds.
+func DelayAdvantageSFQ(server FC, l, rf float64, n int) float64 {
+	return float64(n-1)*l/server.Rate - l/rf
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates values into fixed-width buckets over [Lo, Hi);
+// values outside the range land in underflow/overflow counters. It renders
+// the latency/slack distributions of the Fig. 9 experiments textually.
+type Histogram struct {
+	Lo, Hi  float64
+	buckets []int
+	under   int
+	over    int
+	n       int
+	sum     float64
+}
+
+// NewHistogram creates a histogram with the given bucket count over
+// [lo, hi).
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if hi <= lo || buckets < 1 {
+		panic(fmt.Sprintf("metrics: bad histogram [%v,%v)/%d", lo, hi, buckets))
+	}
+	return &Histogram{Lo: lo, Hi: hi, buckets: make([]int, buckets)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	h.sum += v
+	switch {
+	case v < h.Lo:
+		h.under++
+	case v >= h.Hi:
+		h.over++
+	default:
+		idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.buckets)))
+		if idx == len(h.buckets) { // v == Hi-epsilon rounding
+			idx--
+		}
+		h.buckets[idx]++
+	}
+}
+
+// AddAll records a slice of values.
+func (h *Histogram) AddAll(vs []float64) {
+	for _, v := range vs {
+		h.Add(v)
+	}
+}
+
+// N returns the number of recorded values.
+func (h *Histogram) N() int { return h.n }
+
+// Mean returns the mean of recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Bucket returns the count of bucket i and its bounds.
+func (h *Histogram) Bucket(i int) (count int, lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.buckets))
+	return h.buckets[i], h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// Outliers returns the underflow and overflow counts.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// Quantile returns an estimate of the q-quantile (0..1) assuming uniform
+// distribution within buckets; outliers clamp to the range ends.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	target := q * float64(h.n)
+	acc := float64(h.under)
+	if acc >= target {
+		return h.Lo
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		if acc+float64(c) >= target && c > 0 {
+			frac := (target - acc) / float64(c)
+			return h.Lo + (float64(i)+frac)*w
+		}
+		acc += float64(c)
+	}
+	return h.Hi
+}
+
+// WriteTo renders the histogram as rows of "lo-hi count bar".
+func (h *Histogram) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	max := 1
+	for _, c := range h.buckets {
+		if c > max {
+			max = c
+		}
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "%12s  %6d\n", fmt.Sprintf("< %.3g", h.Lo), h.under)
+	}
+	for i := range h.buckets {
+		c, lo, hi := h.Bucket(i)
+		bar := strings.Repeat("█", c*40/max)
+		fmt.Fprintf(&b, "%12s  %6d %s\n", fmt.Sprintf("%.3g-%.3g", lo, hi), c, bar)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "%12s  %6d\n", fmt.Sprintf(">= %.3g", h.Hi), h.over)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

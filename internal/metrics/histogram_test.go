@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42})
+	if h.N() != 8 {
+		t.Errorf("n=%d", h.N())
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Errorf("outliers %d %d", under, over)
+	}
+	c0, lo, hi := h.Bucket(0) // {0, 1.9}
+	if c0 != 2 || lo != 0 || hi != 2 {
+		t.Errorf("bucket 0: %d [%v,%v)", c0, lo, hi)
+	}
+	if c1, _, _ := h.Bucket(1); c1 != 1 { // 2
+		t.Errorf("bucket 1: %d", c1)
+	}
+	if c4, _, _ := h.Bucket(4); c4 != 1 { // 9.999
+		t.Errorf("bucket 4: %d", c4)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 2 {
+		t.Errorf("p50 = %v", q)
+	}
+	if q := h.Quantile(0.9); math.Abs(q-90) > 2 {
+		t.Errorf("p90 = %v", q)
+	}
+	empty := NewHistogram(0, 1, 2)
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+func TestHistogramMeanAndRender(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.AddAll([]float64{1, 1, 3, -5, 100})
+	if h.Mean() != 20 {
+		t.Errorf("mean %v", h.Mean())
+	}
+	var b strings.Builder
+	if _, err := h.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"< 0", ">= 4", "1-2", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad range did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// LatencyRecorder observes machine events and records, per tracked thread,
+// the scheduling latency of each wakeup: "the duration for which a thread
+// has to wait prior to getting access to the CPU after its clock
+// interrupt" (Fig. 9a).
+type LatencyRecorder struct {
+	cpu.BaseListener
+	tracked map[*sched.Thread]bool
+	wokeAt  map[*sched.Thread]sim.Time
+	lat     map[*sched.Thread][]sim.Time
+}
+
+// NewLatencyRecorder tracks the given threads; with none given it tracks
+// every thread it sees.
+func NewLatencyRecorder(threads ...*sched.Thread) *LatencyRecorder {
+	r := &LatencyRecorder{
+		wokeAt: make(map[*sched.Thread]sim.Time),
+		lat:    make(map[*sched.Thread][]sim.Time),
+	}
+	if len(threads) > 0 {
+		r.tracked = make(map[*sched.Thread]bool, len(threads))
+		for _, t := range threads {
+			r.tracked[t] = true
+		}
+	}
+	return r
+}
+
+func (r *LatencyRecorder) tracks(t *sched.Thread) bool {
+	return r.tracked == nil || r.tracked[t]
+}
+
+// OnWake implements cpu.Listener.
+func (r *LatencyRecorder) OnWake(t *sched.Thread, now sim.Time) {
+	if !r.tracks(t) {
+		return
+	}
+	if _, pending := r.wokeAt[t]; !pending {
+		r.wokeAt[t] = now
+	}
+}
+
+// OnDispatch implements cpu.Listener.
+func (r *LatencyRecorder) OnDispatch(t *sched.Thread, now sim.Time) {
+	if !r.tracks(t) {
+		return
+	}
+	if at, pending := r.wokeAt[t]; pending {
+		r.lat[t] = append(r.lat[t], now-at)
+		delete(r.wokeAt, t)
+	}
+}
+
+// Latencies returns the recorded wake-to-dispatch latencies of t.
+func (r *LatencyRecorder) Latencies(t *sched.Thread) []sim.Time {
+	out := make([]sim.Time, len(r.lat[t]))
+	copy(out, r.lat[t])
+	return out
+}
+
+// MaxLatency returns the largest recorded latency of t, or 0.
+func (r *LatencyRecorder) MaxLatency(t *sched.Thread) sim.Time {
+	var max sim.Time
+	for _, l := range r.lat[t] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

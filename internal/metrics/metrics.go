@@ -1,0 +1,203 @@
+// Package metrics collects and summarizes the quantities the paper
+// reports: windowed per-thread throughput (loops / frames per interval),
+// scheduling latency, fairness indices over intervals, and simple ASCII
+// tables and plots for the experiment drivers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// Sampler snapshots the cumulative work of a set of threads at a fixed
+// interval, producing the time series behind Figs. 5, 8, 10 and 11.
+type Sampler struct {
+	interval sim.Time
+	threads  []*sched.Thread
+	times    []sim.Time
+	samples  [][]sched.Work // samples[i][j]: Done of thread j at times[i]
+}
+
+// NewSampler creates a sampler over the given threads. Call Install to
+// attach it to an engine.
+func NewSampler(interval sim.Time, threads ...*sched.Thread) *Sampler {
+	if interval <= 0 {
+		panic("metrics: non-positive sampling interval")
+	}
+	if len(threads) == 0 {
+		panic("metrics: sampler without threads")
+	}
+	return &Sampler{interval: interval, threads: threads}
+}
+
+// Install schedules the periodic samples on eng from time 0 through horizon.
+func (s *Sampler) Install(eng *sim.Engine, horizon sim.Time) {
+	for at := sim.Time(0); at <= horizon; at += s.interval {
+		at := at
+		eng.At(at, func() {
+			s.times = append(s.times, at)
+			row := make([]sched.Work, len(s.threads))
+			for j, t := range s.threads {
+				row[j] = t.Done
+			}
+			s.samples = append(s.samples, row)
+		})
+	}
+}
+
+// Times returns the sample instants.
+func (s *Sampler) Times() []sim.Time { return s.times }
+
+// Cumulative returns the cumulative-work series of thread j.
+func (s *Sampler) Cumulative(j int) []sched.Work {
+	out := make([]sched.Work, len(s.samples))
+	for i, row := range s.samples {
+		out[i] = row[j]
+	}
+	return out
+}
+
+// Deltas returns per-interval work (the throughput series) of thread j.
+func (s *Sampler) Deltas(j int) []sched.Work {
+	cum := s.Cumulative(j)
+	if len(cum) == 0 {
+		return nil
+	}
+	out := make([]sched.Work, len(cum)-1)
+	for i := 1; i < len(cum); i++ {
+		out[i-1] = cum[i] - cum[i-1]
+	}
+	return out
+}
+
+// RatioSeries returns the per-interval throughput ratio of threads a and b
+// (NaN where b's delta is zero), Fig. 11(b)'s metric.
+func (s *Sampler) RatioSeries(a, b int) []float64 {
+	da, db := s.Deltas(a), s.Deltas(b)
+	out := make([]float64, len(da))
+	for i := range da {
+		if db[i] == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = float64(da[i]) / float64(db[i])
+		}
+	}
+	return out
+}
+
+// JainIndex computes Jain's fairness index over normalized allocations
+// x_i = work_i / weight_i: (sum x)^2 / (n * sum x^2). 1.0 is perfectly
+// fair.
+func JainIndex(work []sched.Work, weight []float64) float64 {
+	if len(work) != len(weight) || len(work) == 0 {
+		panic("metrics: JainIndex with mismatched inputs")
+	}
+	var sum, sumsq float64
+	for i := range work {
+		x := float64(work[i]) / weight[i]
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(work)) * sumsq)
+}
+
+// MaxNormalizedGap returns max_ij |W_i/w_i - W_j/w_j|, the quantity SFQ's
+// fairness theorem bounds by l_i^max/w_i + l_j^max/w_j.
+func MaxNormalizedGap(work []sched.Work, weight []float64) float64 {
+	if len(work) != len(weight) || len(work) == 0 {
+		panic("metrics: MaxNormalizedGap with mismatched inputs")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range work {
+		x := float64(work[i]) / weight[i]
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return hi - lo
+}
+
+// CoefficientOfVariation returns stddev/mean of the values, the spread
+// statistic used to contrast Fig. 5's two panels.
+func CoefficientOfVariation(values []float64) float64 {
+	if len(values) == 0 {
+		panic("metrics: CoefficientOfVariation of nothing")
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(len(values))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(values))) / mean
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean, Stddev  float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes order statistics. It copies the input.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	v := make([]float64, len(values))
+	copy(v, values)
+	sort.Float64s(v)
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	mean := sum / float64(len(v))
+	var ss float64
+	for _, x := range v {
+		d := x - mean
+		ss += d * d
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(v)-1))
+		return v[idx]
+	}
+	return Summary{
+		N:      len(v),
+		Min:    v[0],
+		Max:    v[len(v)-1],
+		Mean:   mean,
+		Stddev: math.Sqrt(ss / float64(len(v))),
+		P50:    pct(0.50),
+		P90:    pct(0.90),
+		P99:    pct(0.99),
+	}
+}
+
+// Durations converts a slice of times to float64 milliseconds, the unit
+// the paper plots latency and slack in.
+func Durations(ts []sim.Time) []float64 {
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = t.Milliseconds()
+	}
+	return out
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f mean=%.3f sd=%.3f",
+		s.N, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean, s.Stddev)
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table renders aligned columns, the textual form of the paper's result
+// rows used by cmd/experiments.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// AsciiPlot renders series as a crude character plot, height rows tall,
+// one column per sample, for eyeballing figure shapes in a terminal. Each
+// series is drawn with its own rune.
+func AsciiPlot(w io.Writer, height int, series map[rune][]float64) error {
+	if height < 2 {
+		height = 2
+	}
+	width := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s) > width {
+			width = len(s)
+		}
+		for _, v := range s {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if width == 0 || math.IsInf(lo, 1) {
+		_, err := io.WriteString(w, "(no data)\n")
+		return err
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	// Deterministic draw order.
+	var marks []rune
+	for r := range series {
+		marks = append(marks, r)
+	}
+	for i := 1; i < len(marks); i++ {
+		for j := i; j > 0 && marks[j-1] > marks[j]; j-- {
+			marks[j-1], marks[j] = marks[j], marks[j-1]
+		}
+	}
+	for _, r := range marks {
+		for x, v := range series[r] {
+			if math.IsNaN(v) {
+				continue
+			}
+			y := int((v - lo) / (hi - lo) * float64(height-1))
+			grid[height-1-y][x] = r
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.4g ┐\n", hi)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.4g ┘\n", lo)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

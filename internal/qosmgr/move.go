@@ -1,0 +1,82 @@
+package qosmgr
+
+import (
+	"fmt"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// This file implements the paper's class mobility: "The QoS manager may
+// also move applications between classes or change the resource
+// allocation in response to change in QoS requirements" (§4). A move
+// re-runs the destination class's admission control; on refusal the
+// thread stays where it was, reservation intact. The thread must be
+// blocked, as for Structure.Move.
+
+// release undoes t's current placement and returns a restore function.
+func (m *Manager) release(t *sched.Thread) (restore func(), err error) {
+	from := m.structure.LeafOf(t)
+	if from == nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnknown, t)
+	}
+	oldHard, hadHard := m.hardRes[t]
+	oldSoft, hadSoft := m.softRes[t]
+	if err := m.Release(t); err != nil {
+		return nil, err
+	}
+	return func() {
+		if err := m.structure.Attach(t, from.ID()); err != nil {
+			panic(fmt.Sprintf("qosmgr: cannot restore %v: %v", t, err))
+		}
+		if hadHard {
+			m.hardRes[t] = oldHard
+		}
+		if hadSoft {
+			m.softRes[t] = oldSoft
+		}
+	}, nil
+}
+
+// MoveToHard re-homes a blocked thread into the hard real-time class
+// under a fresh deterministic reservation.
+func (m *Manager) MoveToHard(t *sched.Thread, cost sched.Work, period sim.Time) error {
+	restore, err := m.release(t)
+	if err != nil {
+		return err
+	}
+	if err := m.AdmitHard(t, cost, period); err != nil {
+		restore()
+		return err
+	}
+	return nil
+}
+
+// MoveToSoft re-homes a blocked thread into the soft real-time class
+// under a fresh statistical reservation.
+func (m *Manager) MoveToSoft(t *sched.Thread, meanCost sched.Work, period sim.Time) error {
+	restore, err := m.release(t)
+	if err != nil {
+		return err
+	}
+	if err := m.AdmitSoft(t, meanCost, period); err != nil {
+		restore()
+		return err
+	}
+	return nil
+}
+
+// MoveToBestEffort drops a thread's reservation and re-homes it into the
+// named user's best-effort leaf. Best effort never refuses, so this
+// always succeeds for a managed, blocked thread.
+func (m *Manager) MoveToBestEffort(t *sched.Thread, user string) error {
+	restore, err := m.release(t)
+	if err != nil {
+		return err
+	}
+	if err := m.AdmitBestEffort(t, user); err != nil {
+		restore()
+		return err
+	}
+	return nil
+}

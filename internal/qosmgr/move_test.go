@@ -1,0 +1,118 @@
+package qosmgr
+
+import (
+	"errors"
+	"testing"
+
+	"hsfq/internal/core"
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+func TestMoveBetweenClasses(t *testing.T) {
+	m := newManager(t)
+	th := sched1(t)
+
+	// Start in best effort.
+	if err := m.AdmitBestEffort(th, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	// Promote to soft.
+	if err := m.MoveToSoft(th, msWork(10), 100*sim.Millisecond); err != nil {
+		t.Fatalf("to soft: %v", err)
+	}
+	if m.structure.LeafOf(th).ID() != m.ClassNode(SoftRealTime) {
+		t.Fatal("not in soft leaf")
+	}
+	// Promote to hard.
+	if err := m.MoveToHard(th, msWork(5), 100*sim.Millisecond); err != nil {
+		t.Fatalf("to hard: %v", err)
+	}
+	if m.structure.LeafOf(th).ID() != m.ClassNode(HardRealTime) {
+		t.Fatal("not in hard leaf")
+	}
+	if len(m.softRes) != 0 {
+		t.Error("soft reservation not released on promotion")
+	}
+	// Demote back to best effort: reservation released.
+	if err := m.MoveToBestEffort(th, "alice"); err != nil {
+		t.Fatalf("to best effort: %v", err)
+	}
+	if len(m.hardRes) != 0 {
+		t.Error("hard reservation not released on demotion")
+	}
+	if u := m.hardUtilization(nil); u != 0 {
+		t.Errorf("hard utilization %v after demotion", u)
+	}
+}
+
+func TestMoveRefusalRestores(t *testing.T) {
+	m := newManager(t)
+	th := sched1(t)
+	if err := m.AdmitSoft(th, msWork(10), 100*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// A hard reservation needing 200% of the hard class is refused; the
+	// thread must keep its soft placement and reservation.
+	if err := m.MoveToHard(th, msWork(20), 100*sim.Millisecond); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("err %v", err)
+	}
+	if m.structure.LeafOf(th).ID() != m.ClassNode(SoftRealTime) {
+		t.Error("thread lost its placement on refused move")
+	}
+	if len(m.softRes) != 1 {
+		t.Error("soft reservation lost on refused move")
+	}
+}
+
+func TestMoveUnknownThread(t *testing.T) {
+	m := newManager(t)
+	th := sched1(t)
+	if err := m.MoveToBestEffort(th, "x"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("err %v", err)
+	}
+}
+
+func sched1(t *testing.T) *sched.Thread {
+	t.Helper()
+	return sched.NewThread(1, "app", 1)
+}
+
+func TestHardPolicyRM(t *testing.T) {
+	cfg := DefaultConfig(cpu.DefaultRate)
+	cfg.HardPolicy = "rm"
+	m, err := New(core.NewStructure(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HardLeaf().Name() != "rm" {
+		t.Fatalf("hard leaf %q", m.HardLeaf().Name())
+	}
+	// Hard class: 10% of 100 MIPS = 10 MIPS. A harmonic pair at class
+	// utilization ~0.85 passes RTA (with the 2-quantum margin) even
+	// though it is above the n=2 Liu-Layland bound (0.828):
+	// task1: 4ms CPU / 100ms = 40ms class time per 100ms (u=0.4)
+	// task2: 3.6ms CPU / 200ms = 36ms class time per 200ms (u=0.18)...
+	t1 := sched.NewThread(1, "t1", 1)
+	if err := m.AdmitHard(t1, msWork(4), 100*sim.Millisecond); err != nil {
+		t.Fatalf("t1: %v", err)
+	}
+	t2 := sched.NewThread(2, "t2", 1)
+	if err := m.AdmitHard(t2, msWork(7), 200*sim.Millisecond); err != nil {
+		t.Fatalf("t2 (R=40+70+40=150ms <= 200-20): %v", err)
+	}
+	// A third task pushing response times past the margin is refused.
+	t3 := sched.NewThread(3, "t3", 1)
+	if err := m.AdmitHard(t3, msWork(5), 200*sim.Millisecond); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("t3 err = %v, want admission denial", err)
+	}
+}
+
+func TestHardPolicyValidation(t *testing.T) {
+	cfg := DefaultConfig(cpu.DefaultRate)
+	cfg.HardPolicy = "bogus"
+	if _, err := New(core.NewStructure(), cfg); err == nil {
+		t.Error("bogus hard policy accepted")
+	}
+}

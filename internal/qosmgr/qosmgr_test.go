@@ -1,0 +1,244 @@
+package qosmgr
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hsfq/internal/core"
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := New(core.NewStructure(), DefaultConfig(cpu.DefaultRate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func msWork(ms int64) sched.Work { return sched.Work(ms * int64(cpu.DefaultRate) / 1000) }
+
+func TestManagerBuildsFig2Shape(t *testing.T) {
+	m := newManager(t)
+	s := m.Structure()
+	for _, c := range []Class{HardRealTime, SoftRealTime, BestEffort} {
+		id := m.ClassNode(c)
+		if s.Node(id) == nil {
+			t.Fatalf("class %v has no node", c)
+		}
+	}
+	// Weights 1:3:6 give bandwidth 0.1 / 0.3 / 0.6.
+	for _, tc := range []struct {
+		c    Class
+		want float64
+	}{{HardRealTime, 0.1}, {SoftRealTime, 0.3}, {BestEffort, 0.6}} {
+		bw, err := s.Bandwidth(m.ClassNode(tc.c))
+		if err != nil || math.Abs(bw-tc.want) > 1e-9 {
+			t.Errorf("%v bandwidth %v, want %v", tc.c, bw, tc.want)
+		}
+	}
+	if HardRealTime.String() != "hard-real-time" || Class(42).String() == "" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestAdmitHardDeterministic(t *testing.T) {
+	m := newManager(t)
+	// Hard class: 10% of 100 MIPS = 10 MIPS budget.
+	// Task: 5 ms every 100 ms at 100 MIPS = 5 MIPS demand (u=0.5).
+	t1 := sched.NewThread(1, "rt1", 1)
+	if err := m.AdmitHard(t1, msWork(5), 100*sim.Millisecond); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if t1.Period != 100*sim.Millisecond {
+		t.Error("period not set on admitted thread")
+	}
+	// Second identical task fills the class exactly (u=1.0).
+	t2 := sched.NewThread(2, "rt2", 1)
+	if err := m.AdmitHard(t2, msWork(5), 100*sim.Millisecond); err != nil {
+		t.Fatalf("second admit: %v", err)
+	}
+	// A third must be refused.
+	t3 := sched.NewThread(3, "rt3", 1)
+	if err := m.AdmitHard(t3, msWork(5), 100*sim.Millisecond); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("third admit err = %v, want admission denial", err)
+	}
+	// Releasing one frees capacity.
+	if err := m.Release(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AdmitHard(t3, msWork(5), 100*sim.Millisecond); err != nil {
+		t.Errorf("admit after release: %v", err)
+	}
+	// Bad reservations rejected.
+	if err := m.AdmitHard(sched.NewThread(9, "x", 1), 0, sim.Second); err == nil {
+		t.Error("zero cost accepted")
+	}
+}
+
+func TestAdmitSoftStatisticalOverbooking(t *testing.T) {
+	m := newManager(t)
+	// Soft class: 30% of 100 MIPS = 30 MIPS; overbook 1.3 -> 39 MIPS of
+	// mean demand allowed.
+	mk := func(id int) *sched.Thread { return sched.NewThread(id, "dec", 1) }
+	// Each decoder: mean 12 ms per 33 ms frame at 100 MIPS = ~36.4% of
+	// the CPU... use 10 ms per 100 ms = 10 MIPS each.
+	for i := 0; i < 3; i++ {
+		if err := m.AdmitSoft(mk(i+1), msWork(10), 100*sim.Millisecond); err != nil {
+			t.Fatalf("decoder %d refused: %v", i, err)
+		}
+	}
+	// Total now 30 MIPS; a 10 MIPS fourth would hit 40 > 39: refused.
+	if err := m.AdmitSoft(mk(4), msWork(10), 100*sim.Millisecond); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("overbooked admit err = %v", err)
+	}
+	// But an 8 MIPS one fits (38 <= 39): overbooking beyond guaranteed
+	// 30 MIPS is the point.
+	if err := m.AdmitSoft(mk(5), msWork(8), 100*sim.Millisecond); err != nil {
+		t.Errorf("within-overbook admit refused: %v", err)
+	}
+}
+
+func TestAdmitBestEffortNeverDenied(t *testing.T) {
+	m := newManager(t)
+	for i := 0; i < 50; i++ {
+		th := sched.NewThread(i+1, "be", 1)
+		user := "alice"
+		if i%2 == 1 {
+			user = "bob"
+		}
+		if err := m.AdmitBestEffort(th, user); err != nil {
+			t.Fatalf("best effort denied: %v", err)
+		}
+	}
+	if _, ok := m.UserLeaf("alice"); !ok {
+		t.Error("alice's leaf missing")
+	}
+	if _, ok := m.UserLeaf("carol"); ok {
+		t.Error("phantom leaf")
+	}
+	aliceID, _ := m.UserLeaf("alice")
+	ts, err := m.Structure().Threads(aliceID)
+	if err != nil || len(ts) != 25 {
+		t.Errorf("alice has %d threads (%v)", len(ts), err)
+	}
+}
+
+func TestSetClassWeightProtectsHardGuarantees(t *testing.T) {
+	m := newManager(t)
+	// Fill hard class to u=1.0 at its 10% share.
+	th := sched.NewThread(1, "rt", 1)
+	if err := m.AdmitHard(th, msWork(10), 100*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking hard's weight would break the guarantee: refused and
+	// rolled back.
+	if err := m.SetClassWeight(HardRealTime, 0.5); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("weight shrink err = %v", err)
+	}
+	if w, _ := m.Structure().NodeWeightOf(m.ClassNode(HardRealTime)); w != 1 {
+		t.Errorf("weight not rolled back: %v", w)
+	}
+	// Growing best-effort also shrinks hard's share: refused too.
+	if err := m.SetClassWeight(BestEffort, 60); !errors.Is(err, ErrAdmission) {
+		t.Errorf("best-effort growth err = %v", err)
+	}
+	// Growing hard is fine.
+	if err := m.SetClassWeight(HardRealTime, 2); err != nil {
+		t.Errorf("grow hard: %v", err)
+	}
+}
+
+func TestGrowSoftPolicy(t *testing.T) {
+	m := newManager(t)
+	// Demand 50 MIPS of soft work: doesn't fit in 39; the manager must
+	// grow the soft class, keeping best-effort at >= 20%.
+	th := sched.NewThread(1, "conf", 1)
+	if err := m.TryAdmitSoftGrowing(th, msWork(50), 100*sim.Millisecond, 0.2); err != nil {
+		t.Fatalf("growing admit failed: %v", err)
+	}
+	bw, _ := m.Structure().Bandwidth(m.ClassNode(SoftRealTime))
+	if bw*float64(cpu.DefaultRate)*m.cfg.Overbook < 50e6 {
+		t.Errorf("soft budget still too small: bw=%v", bw)
+	}
+	if bwBE, _ := m.Structure().Bandwidth(m.ClassNode(BestEffort)); bwBE < 0.2 {
+		t.Errorf("best effort starved: %v", bwBE)
+	}
+	// An absurd demand cannot be satisfied within the floor: refused,
+	// weights restored.
+	before, _ := m.Structure().NodeWeightOf(m.ClassNode(SoftRealTime))
+	th2 := sched.NewThread(2, "huge", 1)
+	if err := m.TryAdmitSoftGrowing(th2, msWork(10000), 100*sim.Millisecond, 0.2); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("absurd demand err = %v", err)
+	}
+	after, _ := m.Structure().NodeWeightOf(m.ClassNode(SoftRealTime))
+	if before != after {
+		t.Errorf("weights not restored: %v -> %v", before, after)
+	}
+}
+
+func TestManagerEndToEndSchedules(t *testing.T) {
+	// Full integration: admitted threads actually run under the machine
+	// with the promised proportions.
+	s := core.NewStructure()
+	mgr, err := New(s, DefaultConfig(cpu.DefaultRate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	m := cpu.NewMachine(eng, cpu.DefaultRate, s)
+
+	hard := sched.NewThread(1, "hard", 1)
+	if err := mgr.AdmitHard(hard, msWork(5), 100*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	m.Add(hard, cpu.Forever(cpu.Compute(msWork(5)), cpu.Sleep(95*sim.Millisecond)), 0)
+
+	soft := sched.NewThread(2, "soft", 1)
+	if err := mgr.AdmitSoft(soft, msWork(20), 100*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	m.Add(soft, cpu.Forever(cpu.Compute(1_000_000)), 0)
+
+	be := sched.NewThread(3, "be", 1)
+	if err := mgr.AdmitBestEffort(be, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	m.Add(be, cpu.Forever(cpu.Compute(1_000_000)), 0)
+
+	m.Run(10 * sim.Second)
+	// Hard gets what it asked for (5%); residual splits 3:6 between soft
+	// and best-effort.
+	hardShare := float64(hard.Done) / float64(m.Stats().Work)
+	softShare := float64(soft.Done) / float64(m.Stats().Work)
+	beShare := float64(be.Done) / float64(m.Stats().Work)
+	if math.Abs(hardShare-0.05) > 0.01 {
+		t.Errorf("hard share %.3f", hardShare)
+	}
+	if r := beShare / softShare; math.Abs(r-2) > 0.1 {
+		t.Errorf("best-effort:soft = %.3f, want 2", r)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(core.NewStructure(), Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := DefaultConfig(cpu.DefaultRate)
+	cfg.Overbook = 0.5
+	if _, err := New(core.NewStructure(), cfg); err == nil {
+		t.Error("overbook < 1 accepted")
+	}
+	// Duplicate class nodes refused.
+	s := core.NewStructure()
+	if _, err := New(s, DefaultConfig(cpu.DefaultRate)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(s, DefaultConfig(cpu.DefaultRate)); err == nil {
+		t.Error("second manager on same structure accepted")
+	}
+}

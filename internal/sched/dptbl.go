@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hsfq/internal/sim"
+)
+
+// This file reads and writes TS dispatch tables in the format of SVR4's
+// dispadmin(1M) output, so tables tuned on a real system can be dropped
+// into the simulated SVR4 class:
+//
+//	# ts_quantum  ts_tqexp  ts_slpret  ts_maxwait  ts_lwait  PRIORITY LEVEL
+//	      200         0        50          1         50      #     0
+//	      ...
+//
+// Quanta and maxwait are in milliseconds (dispadmin's RES=1000).
+
+// ParseDispatchTable reads a dispadmin-format table. It must define
+// exactly TSLevels consecutive levels starting at 0.
+func ParseDispatchTable(r io.Reader) ([]DispatchEntry, error) {
+	var table []DispatchEntry
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Strip a trailing "# N" level comment.
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("sched: dispatch table line %d: want 5 fields, got %d", lineno, len(fields))
+		}
+		var vals [5]int
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("sched: dispatch table line %d: %w", lineno, err)
+			}
+			vals[i] = v
+		}
+		level := len(table)
+		e := DispatchEntry{
+			Quantum: sim.Time(vals[0]) * sim.Millisecond,
+			TQExp:   vals[1],
+			SlpRet:  vals[2],
+			MaxWait: sim.Time(vals[3]) * sim.Millisecond,
+			LWait:   vals[4],
+		}
+		if e.Quantum <= 0 {
+			return nil, fmt.Errorf("sched: dispatch table level %d: non-positive quantum", level)
+		}
+		if e.TQExp < 0 || e.TQExp >= TSLevels || e.SlpRet < 0 || e.SlpRet >= TSLevels ||
+			e.LWait < 0 || e.LWait >= TSLevels {
+			return nil, fmt.Errorf("sched: dispatch table level %d: target priority out of range", level)
+		}
+		table = append(table, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(table) != TSLevels {
+		return nil, fmt.Errorf("sched: dispatch table has %d levels, want %d", len(table), TSLevels)
+	}
+	return table, nil
+}
+
+// WriteDispatchTable emits a table in the format ParseDispatchTable
+// accepts.
+func WriteDispatchTable(w io.Writer, table []DispatchEntry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# ts_quantum  ts_tqexp  ts_slpret  ts_maxwait  ts_lwait  # LEVEL")
+	for i, e := range table {
+		if _, err := fmt.Fprintf(bw, "%8d %9d %10d %11d %9d  # %5d\n",
+			int64(e.Quantum/sim.Millisecond), e.TQExp, e.SlpRet,
+			int64(e.MaxWait/sim.Millisecond), e.LWait, i); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

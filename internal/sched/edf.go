@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"hsfq/internal/sim"
+)
+
+// EDF is an Earliest Deadline First scheduler for hard real-time leaf
+// classes (§1: "Conventional schedulers such as the Earliest Deadline First
+// ... are suitable for such applications").
+//
+// A thread's job deadline is assigned when it is enqueued: now +
+// t.Deadline(). Periodic programs wake the thread exactly at each release,
+// so the deadline of job j released at r_j is r_j + D. Threads with no
+// period and no relative deadline are treated as background (infinite
+// deadline).
+type EDF struct {
+	quantum sim.Time
+	entries map[*Thread]*edfEntry
+	heap    edfHeap
+	seq     uint64
+}
+
+type edfEntry struct {
+	t        *Thread
+	deadline sim.Time
+	seq      uint64
+	idx      int
+}
+
+type edfHeap []*edfEntry
+
+func (h edfHeap) Len() int { return len(h) }
+func (h edfHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h edfHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *edfHeap) Push(x any) {
+	e := x.(*edfEntry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *edfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// NewEDF returns an EDF scheduler. quantum bounds how long a job may run
+// before the scheduler re-examines the queue; <= 0 means jobs run until
+// they block or a wakeup preempts them.
+func NewEDF(quantum sim.Time) *EDF {
+	if quantum <= 0 {
+		quantum = sim.Time(1 << 62)
+	}
+	return &EDF{quantum: quantum, entries: make(map[*Thread]*edfEntry)}
+}
+
+// Name implements Scheduler.
+func (s *EDF) Name() string { return "edf" }
+
+// Deadline returns the absolute deadline of t's current job, or the maximum
+// time if t is background or not runnable.
+func (s *EDF) Deadline(t *Thread) sim.Time {
+	if e, ok := s.entries[t]; ok && e.idx != -1 {
+		return e.deadline
+	}
+	return sim.Time(math.MaxInt64)
+}
+
+// Enqueue implements Scheduler.
+func (s *EDF) Enqueue(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil {
+		e = &edfEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	if e.idx != -1 {
+		panic(fmt.Sprintf("edf: Enqueue of runnable thread %v", t))
+	}
+	if d := t.Deadline(); d > 0 {
+		e.deadline = now + d
+	} else {
+		e.deadline = sim.Time(math.MaxInt64)
+	}
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.heap, e)
+}
+
+// Remove implements Scheduler.
+func (s *EDF) Remove(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil || e.idx == -1 {
+		panic(fmt.Sprintf("edf: Remove of non-runnable thread %v", t))
+	}
+	heap.Remove(&s.heap, e.idx)
+}
+
+// Pick implements Scheduler: earliest absolute deadline first.
+func (s *EDF) Pick(now sim.Time) *Thread {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	return s.heap[0].t
+}
+
+// Quantum implements Scheduler.
+func (s *EDF) Quantum(t *Thread, now sim.Time) sim.Time { return s.quantum }
+
+// Charge implements Scheduler. EDF keeps the job's deadline across
+// preemptions; a blocked job gets a fresh deadline at its next release.
+func (s *EDF) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
+	e := s.entries[t]
+	if e == nil || e.idx == -1 {
+		panic(fmt.Sprintf("edf: Charge of non-runnable thread %v", t))
+	}
+	if !runnable {
+		heap.Remove(&s.heap, e.idx)
+	}
+}
+
+// Preempts implements Scheduler: a woken job with an earlier deadline
+// preempts immediately.
+func (s *EDF) Preempts(running, woken *Thread, now sim.Time) bool {
+	re, ok1 := s.entries[running]
+	we, ok2 := s.entries[woken]
+	if !ok1 || !ok2 || re.idx == -1 || we.idx == -1 {
+		return false
+	}
+	return we.deadline < re.deadline
+}
+
+// Len implements Scheduler.
+func (s *EDF) Len() int { return len(s.heap) }
+
+// SchedulableEDF reports whether a set of periodic demands (compute time
+// per period) is schedulable under EDF on a dedicated CPU: sum(C_i/T_i) <=
+// 1 (Liu & Layland). Used by the QoS manager's deterministic admission
+// control for hard real-time classes.
+func SchedulableEDF(compute, period []sim.Time) bool {
+	if len(compute) != len(period) {
+		panic("sched: SchedulableEDF with mismatched slice lengths")
+	}
+	u := 0.0
+	for i := range compute {
+		if period[i] <= 0 {
+			return false
+		}
+		u += float64(compute[i]) / float64(period[i])
+	}
+	return u <= 1.0
+}

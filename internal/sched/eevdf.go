@@ -1,0 +1,193 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hsfq/internal/sim"
+)
+
+// EEVDF is the Earliest Eligible Virtual Deadline First scheduler of
+// Stoica, Abdel-Wahab & Jeffay (RTSS '96), cited in the paper's related
+// work as a contemporaneous proportionate-share algorithm. Each runnable
+// thread holds a request of nominal size reqWork; the request is eligible
+// at virtual time ve and has virtual deadline vd = ve + reqWork/weight.
+// System virtual time advances by used/totalWeight as work is served; the
+// scheduler runs the eligible request with the earliest virtual deadline.
+type EEVDF struct {
+	quantum sim.Time
+	reqWork Work
+	entries map[*Thread]*eevdfEntry
+	heap    eevdfHeap // ordered by (vd, seq); eligibility filtered at Pick
+	vtime   float64
+	total   float64
+	seq     uint64
+	picked  *eevdfEntry
+}
+
+type eevdfEntry struct {
+	t      *Thread
+	ve, vd float64
+	served Work // progress within the current request
+	seq    uint64
+	idx    int
+}
+
+type eevdfHeap []*eevdfEntry
+
+func (h eevdfHeap) Len() int { return len(h) }
+func (h eevdfHeap) Less(i, j int) bool {
+	if h[i].vd != h[j].vd {
+		return h[i].vd < h[j].vd
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eevdfHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eevdfHeap) Push(x any) {
+	e := x.(*eevdfEntry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eevdfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// NewEEVDF returns an EEVDF scheduler. reqWork is the nominal request size
+// in work units (typically quantum x CPU rate); it must be positive.
+func NewEEVDF(quantum sim.Time, reqWork Work) *EEVDF {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	if reqWork <= 0 {
+		panic("eevdf: non-positive request size")
+	}
+	return &EEVDF{quantum: quantum, reqWork: reqWork, entries: make(map[*Thread]*eevdfEntry)}
+}
+
+// Name implements Scheduler.
+func (s *EEVDF) Name() string { return "eevdf" }
+
+// VirtualTime returns the system virtual time, for tests.
+func (s *EEVDF) VirtualTime() float64 { return s.vtime }
+
+// Enqueue implements Scheduler: a joining thread's request becomes
+// eligible no earlier than the current virtual time, so sleeping banks no
+// credit.
+func (s *EEVDF) Enqueue(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil {
+		e = &eevdfEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	if e.idx != -1 {
+		panic(fmt.Sprintf("eevdf: Enqueue of runnable thread %v", t))
+	}
+	if e.ve < s.vtime {
+		e.ve = s.vtime
+	}
+	e.vd = e.ve + float64(s.reqWork)/t.Weight
+	e.served = 0
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.heap, e)
+	s.total += t.Weight
+}
+
+// Remove implements Scheduler.
+func (s *EEVDF) Remove(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil || e.idx == -1 {
+		panic(fmt.Sprintf("eevdf: Remove of non-runnable thread %v", t))
+	}
+	heap.Remove(&s.heap, e.idx)
+	s.total -= t.Weight
+}
+
+// Pick implements Scheduler: the eligible request with the earliest
+// virtual deadline. If no request is eligible (possible after sleeps), the
+// virtual clock jumps forward to the earliest eligible time, keeping the
+// scheduler work-conserving.
+func (s *EEVDF) Pick(now sim.Time) *Thread {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	best := s.eligibleMinVD()
+	if best == nil {
+		// Jump virtual time to the earliest eligible request.
+		minVE := s.heap[0].ve
+		for _, e := range s.heap {
+			if e.ve < minVE {
+				minVE = e.ve
+			}
+		}
+		s.vtime = minVE
+		best = s.eligibleMinVD()
+	}
+	s.picked = best
+	return best.t
+}
+
+func (s *EEVDF) eligibleMinVD() *eevdfEntry {
+	// The heap is ordered by vd; scan for the first eligible entry. The
+	// scan is O(n) in the worst case but the heap order makes the common
+	// case (heap top eligible) O(1).
+	var best *eevdfEntry
+	for _, e := range s.heap {
+		if e.ve > s.vtime {
+			continue
+		}
+		if best == nil || e.vd < best.vd || (e.vd == best.vd && e.seq < best.seq) {
+			best = e
+		}
+	}
+	return best
+}
+
+// Quantum implements Scheduler.
+func (s *EEVDF) Quantum(t *Thread, now sim.Time) sim.Time { return s.quantum }
+
+// Charge implements Scheduler.
+func (s *EEVDF) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
+	e := s.entries[t]
+	if e == nil || e.idx == -1 || s.picked != e {
+		panic(fmt.Sprintf("eevdf: Charge of thread %v that was not picked", t))
+	}
+	s.picked = nil
+	if s.total > 0 {
+		s.vtime += float64(used) / s.total
+	}
+	e.served += used
+	for e.served >= s.reqWork {
+		// Request fulfilled: issue the next one back to back.
+		e.served -= s.reqWork
+		e.ve = e.vd
+		e.vd = e.ve + float64(s.reqWork)/t.Weight
+	}
+	if runnable {
+		e.seq = s.seq
+		s.seq++
+		heap.Fix(&s.heap, e.idx)
+	} else {
+		heap.Remove(&s.heap, e.idx)
+		s.total -= t.Weight
+	}
+}
+
+// Preempts implements Scheduler.
+func (s *EEVDF) Preempts(running, woken *Thread, now sim.Time) bool { return false }
+
+// Len implements Scheduler.
+func (s *EEVDF) Len() int { return len(s.heap) }
+
+// TotalWeight implements WeightedLen.
+func (s *EEVDF) TotalWeight() float64 { return s.total }

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"fmt"
+
+	"hsfq/internal/sim"
+)
+
+// Lottery is Waldspurger & Weihl's randomized proportional-share scheduler
+// (OSDI '94), discussed in the paper's related work: each decision draws a
+// ticket uniformly at random, so allocation is fair only in expectation and
+// only over long intervals — the limitation the A3 ablation experiment
+// demonstrates against stride and SFQ.
+//
+// A thread's ticket count is its Weight; fractional weights are honored.
+type Lottery struct {
+	quantum sim.Time
+	rng     *sim.Rand
+	queue   []*Thread
+	total   float64
+	picked  *Thread
+}
+
+// NewLottery returns a lottery scheduler drawing randomness from rng, which
+// must not be shared with other consumers if deterministic replay is
+// desired. quantum <= 0 selects DefaultQuantum.
+func NewLottery(quantum sim.Time, rng *sim.Rand) *Lottery {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	if rng == nil {
+		panic("lottery: nil rng")
+	}
+	return &Lottery{quantum: quantum, rng: rng}
+}
+
+// Name implements Scheduler.
+func (l *Lottery) Name() string { return "lottery" }
+
+// Enqueue implements Scheduler.
+func (l *Lottery) Enqueue(t *Thread, now sim.Time) {
+	if l.index(t) != -1 {
+		panic(fmt.Sprintf("lottery: Enqueue of runnable thread %v", t))
+	}
+	l.queue = append(l.queue, t)
+	l.total += t.Weight
+}
+
+// Remove implements Scheduler.
+func (l *Lottery) Remove(t *Thread, now sim.Time) {
+	i := l.index(t)
+	if i == -1 {
+		panic(fmt.Sprintf("lottery: Remove of non-runnable thread %v", t))
+	}
+	l.queue = append(l.queue[:i], l.queue[i+1:]...)
+	l.total -= t.Weight
+}
+
+// Pick implements Scheduler: hold a lottery over the runnable tickets.
+func (l *Lottery) Pick(now sim.Time) *Thread {
+	if len(l.queue) == 0 {
+		return nil
+	}
+	draw := l.rng.Float64() * l.total
+	acc := 0.0
+	for _, t := range l.queue {
+		acc += t.Weight
+		if draw < acc {
+			l.picked = t
+			return t
+		}
+	}
+	// Floating-point slack: the draw landed past the last ticket.
+	l.picked = l.queue[len(l.queue)-1]
+	return l.picked
+}
+
+// Quantum implements Scheduler.
+func (l *Lottery) Quantum(t *Thread, now sim.Time) sim.Time { return l.quantum }
+
+// Charge implements Scheduler: lottery keeps no per-thread service state;
+// history does not influence future draws.
+func (l *Lottery) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
+	if l.picked != t {
+		panic(fmt.Sprintf("lottery: Charge of thread %v that was not picked", t))
+	}
+	l.picked = nil
+	if !runnable {
+		l.Remove(t, now)
+	}
+}
+
+// Preempts implements Scheduler.
+func (l *Lottery) Preempts(running, woken *Thread, now sim.Time) bool { return false }
+
+// Len implements Scheduler.
+func (l *Lottery) Len() int { return len(l.queue) }
+
+// TotalWeight implements WeightedLen.
+func (l *Lottery) TotalWeight() float64 { return l.total }
+
+func (l *Lottery) index(t *Thread) int {
+	for i, q := range l.queue {
+		if q == t {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hsfq/internal/sim"
+)
+
+// Priority is a preemptive static-priority scheduler (higher Priority
+// first, round-robin within a level). §3 item 4 of the paper names this
+// family as the cheaper alternative that fails the requirements:
+// "Although static priority algorithms have lower complexity, they
+// provide no protection, and hence, have been found to be unsatisfactory
+// for multimedia operating systems [15]" — the ablation-protection
+// experiment demonstrates the starvation that sentence refers to.
+type Priority struct {
+	quantum sim.Time
+	entries map[*Thread]*prioEntry
+	heap    prioHeap
+	seq     uint64
+}
+
+type prioEntry struct {
+	t    *Thread
+	prio int
+	seq  uint64
+	idx  int
+}
+
+type prioHeap []*prioEntry
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h prioHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *prioHeap) Push(x any) {
+	e := x.(*prioEntry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *prioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// NewPriority returns a static-priority scheduler; quantum <= 0 selects
+// DefaultQuantum (the quantum only round-robins equal priorities).
+func NewPriority(quantum sim.Time) *Priority {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &Priority{quantum: quantum, entries: make(map[*Thread]*prioEntry)}
+}
+
+// Name implements Scheduler.
+func (s *Priority) Name() string { return "priority" }
+
+// Enqueue implements Scheduler. The thread's Priority field is read at
+// enqueue time.
+func (s *Priority) Enqueue(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil {
+		e = &prioEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	if e.idx != -1 {
+		panic(fmt.Sprintf("priority: Enqueue of runnable thread %v", t))
+	}
+	e.prio = t.Priority
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.heap, e)
+}
+
+// Remove implements Scheduler.
+func (s *Priority) Remove(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil || e.idx == -1 {
+		panic(fmt.Sprintf("priority: Remove of non-runnable thread %v", t))
+	}
+	heap.Remove(&s.heap, e.idx)
+}
+
+// Pick implements Scheduler.
+func (s *Priority) Pick(now sim.Time) *Thread {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	return s.heap[0].t
+}
+
+// Quantum implements Scheduler.
+func (s *Priority) Quantum(t *Thread, now sim.Time) sim.Time { return s.quantum }
+
+// Charge implements Scheduler: equal priorities round-robin via the
+// refreshed sequence number; higher priorities simply keep running.
+func (s *Priority) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
+	e := s.entries[t]
+	if e == nil || e.idx == -1 {
+		panic(fmt.Sprintf("priority: Charge of non-runnable thread %v", t))
+	}
+	if !runnable {
+		heap.Remove(&s.heap, e.idx)
+		return
+	}
+	e.seq = s.seq
+	s.seq++
+	heap.Fix(&s.heap, e.idx)
+}
+
+// Preempts implements Scheduler: a strictly higher-priority wakeup
+// preempts immediately.
+func (s *Priority) Preempts(running, woken *Thread, now sim.Time) bool {
+	re, ok1 := s.entries[running]
+	we, ok2 := s.entries[woken]
+	if !ok1 || !ok2 || re.idx == -1 || we.idx == -1 {
+		return false
+	}
+	return we.prio > re.prio
+}
+
+// Len implements Scheduler.
+func (s *Priority) Len() int { return len(s.heap) }
+
+// Forget drops state for an exited thread.
+func (s *Priority) Forget(t *Thread) {
+	if e, ok := s.entries[t]; ok {
+		if e.idx != -1 {
+			panic(fmt.Sprintf("priority: Forget of runnable thread %v", t))
+		}
+		delete(s.entries, t)
+	}
+}

@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"hsfq/internal/sim"
+)
+
+func TestLotteryProportionalInExpectation(t *testing.T) {
+	rng := sim.NewRand(123)
+	s := NewLottery(0, rng)
+	a := NewThread(1, "a", 1)
+	b := NewThread(2, "b", 3)
+	s.Enqueue(a, 0)
+	s.Enqueue(b, 0)
+	got := serve(s, 40000, 100)
+	ratio := float64(got[b]) / float64(got[a])
+	if ratio < 2.8 || ratio > 3.2 {
+		t.Errorf("long-run ratio %v, want ~3", ratio)
+	}
+}
+
+func TestLotteryDeterministicGivenSeed(t *testing.T) {
+	run := func() []int {
+		s := NewLottery(0, sim.NewRand(99))
+		a := NewThread(1, "a", 1)
+		b := NewThread(2, "b", 1)
+		s.Enqueue(a, 0)
+		s.Enqueue(b, 0)
+		var picks []int
+		for i := 0; i < 200; i++ {
+			p := s.Pick(0)
+			picks = append(picks, p.ID)
+			s.Charge(p, 1, 0, true)
+		}
+		return picks
+	}
+	p1, p2 := run(), run()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed produced different lottery outcomes")
+		}
+	}
+}
+
+func TestLotteryFractionalTickets(t *testing.T) {
+	s := NewLottery(0, sim.NewRand(7))
+	a := NewThread(1, "a", 0.5)
+	b := NewThread(2, "b", 1.5)
+	s.Enqueue(a, 0)
+	s.Enqueue(b, 0)
+	if s.TotalWeight() != 2 {
+		t.Errorf("total tickets %v", s.TotalWeight())
+	}
+	got := serve(s, 20000, 100)
+	ratio := float64(got[b]) / float64(got[a])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Errorf("ratio %v, want ~3", ratio)
+	}
+}
+
+func TestStrideExactInterleave(t *testing.T) {
+	s := NewStride(0)
+	a := NewThread(1, "a", 1)
+	b := NewThread(2, "b", 2)
+	s.Enqueue(a, 0)
+	s.Enqueue(b, 0)
+	// With weights 1:2 and equal quanta, every window of 3 decisions
+	// contains exactly 1 a and 2 b (after the start-up transient).
+	var picks []int
+	for i := 0; i < 30; i++ {
+		p := s.Pick(0)
+		picks = append(picks, p.ID)
+		s.Charge(p, 100, 0, true)
+	}
+	for start := 3; start+3 <= len(picks); start += 3 {
+		countA := 0
+		for _, id := range picks[start : start+3] {
+			if id == 1 {
+				countA++
+			}
+		}
+		if countA != 1 {
+			t.Fatalf("window at %d has %d picks of a: %v", start, countA, picks)
+		}
+	}
+}
+
+func TestStrideNoSleepCredit(t *testing.T) {
+	s := NewStride(0)
+	a := NewThread(1, "a", 1)
+	b := NewThread(2, "b", 1)
+	s.Enqueue(a, 0)
+	for i := 0; i < 100; i++ {
+		p := s.Pick(0)
+		s.Charge(p, 1000, 0, true)
+	}
+	passA := s.Pass(a)
+	s.Enqueue(b, 0)
+	// The global pass is captured at Pick time, so a joiner may trail the
+	// last charge by at most one quantum (1000/weight) — bounded lag, no
+	// binge.
+	if s.Pass(b) < passA-1000 {
+		t.Errorf("joining thread pass %v far below %v: would binge", s.Pass(b), passA)
+	}
+	got := serve(s, 1000, 1000)
+	if math.Abs(float64(got[a])-float64(got[b])) > 1000 {
+		t.Errorf("post-join split %v:%v", got[a], got[b])
+	}
+}
+
+func TestStrideTotalWeight(t *testing.T) {
+	s := NewStride(0)
+	a := NewThread(1, "a", 2)
+	s.Enqueue(a, 0)
+	if s.TotalWeight() != 2 {
+		t.Errorf("total %v", s.TotalWeight())
+	}
+	s.Pick(0)
+	s.Charge(a, 1, 0, false)
+	if s.TotalWeight() != 0 {
+		t.Errorf("total %v after block", s.TotalWeight())
+	}
+}
+
+func TestEEVDFProportionalAllocation(t *testing.T) {
+	s := NewEEVDF(0, 1000)
+	a := NewThread(1, "a", 1)
+	b := NewThread(2, "b", 3)
+	s.Enqueue(a, 0)
+	s.Enqueue(b, 0)
+	got := serve(s, 8000, 1000)
+	ratio := float64(got[b]) / float64(got[a])
+	if ratio < 2.95 || ratio > 3.05 {
+		t.Errorf("ratio %v, want 3", ratio)
+	}
+}
+
+func TestEEVDFEligibilityGate(t *testing.T) {
+	// A thread cannot run ahead of its eligible time: after consuming a
+	// full request, its next request is eligible only at its old virtual
+	// deadline, letting the other thread catch up.
+	s := NewEEVDF(0, 1000)
+	a := NewThread(1, "a", 1)
+	b := NewThread(2, "b", 1)
+	s.Enqueue(a, 0)
+	s.Enqueue(b, 0)
+	first := s.Pick(0)
+	s.Charge(first, 1000, 0, true) // full request consumed
+	second := s.Pick(0)
+	if second == first {
+		t.Errorf("same thread served twice while peer was eligible")
+	}
+	s.Charge(second, 1000, 0, true)
+}
+
+func TestEEVDFVirtualTimeAdvances(t *testing.T) {
+	s := NewEEVDF(0, 1000)
+	a := NewThread(1, "a", 2)
+	s.Enqueue(a, 0)
+	v0 := s.VirtualTime()
+	s.Pick(0)
+	s.Charge(a, 500, 0, true)
+	if s.VirtualTime() != v0+250 {
+		t.Errorf("vtime advanced to %v, want %v (used/totalWeight)", s.VirtualTime(), v0+250)
+	}
+}
+
+func TestEEVDFNoSleepCredit(t *testing.T) {
+	s := NewEEVDF(0, 1000)
+	a := NewThread(1, "a", 1)
+	b := NewThread(2, "b", 1)
+	s.Enqueue(a, 0)
+	for i := 0; i < 50; i++ {
+		s.Pick(0)
+		s.Charge(a, 1000, 0, true)
+	}
+	s.Enqueue(b, 0)
+	got := serve(s, 400, 1000)
+	if math.Abs(float64(got[a])-float64(got[b])) > 2000 {
+		t.Errorf("post-join split %v:%v", got[a], got[b])
+	}
+}
+
+// TestEEVDFLagBound: EEVDF's defining property is bounded lag — each
+// client's service never drifts from its ideal proportional share by more
+// than one request size in normalized terms.
+func TestEEVDFLagBound(t *testing.T) {
+	const req = 1000
+	s := NewEEVDF(0, req)
+	weights := []float64{1, 2, 5}
+	threads := make([]*Thread, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		threads[i] = NewThread(i+1, "t", w)
+		s.Enqueue(threads[i], 0)
+		total += w
+	}
+	served := make(map[*Thread]float64)
+	elapsed := 0.0
+	for round := 0; round < 5000; round++ {
+		p := s.Pick(0)
+		s.Charge(p, req, 0, true)
+		served[p] += req
+		elapsed += req
+		for i, th := range threads {
+			ideal := elapsed * weights[i] / total
+			lag := math.Abs(served[th]-ideal) / weights[i]
+			// One request per weight unit of slack on either side.
+			if lag > 2*req {
+				t.Fatalf("round %d: thread %d lag %v exceeds 2 requests", round, i, lag)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"testing"
+
+	"hsfq/internal/sim"
+)
+
+func TestEDFOrdersByDeadline(t *testing.T) {
+	s := NewEDF(0)
+	long := NewThread(1, "long", 1)
+	long.RelDeadline = 500 * sim.Millisecond
+	short := NewThread(2, "short", 1)
+	short.RelDeadline = 100 * sim.Millisecond
+	s.Enqueue(long, 0)
+	s.Enqueue(short, 0)
+	if got := s.Pick(0); got != short {
+		t.Fatalf("picked %v, want shortest deadline", got)
+	}
+	s.Charge(short, 1, 0, false)
+	if got := s.Pick(0); got != long {
+		t.Fatalf("picked %v after short finished", got)
+	}
+	s.Charge(long, 1, 0, false)
+}
+
+func TestEDFDeadlineFromEnqueueTime(t *testing.T) {
+	s := NewEDF(0)
+	a := NewThread(1, "a", 1)
+	a.Period = 100 * sim.Millisecond
+	s.Enqueue(a, 50*sim.Millisecond)
+	if d := s.Deadline(a); d != 150*sim.Millisecond {
+		t.Errorf("deadline %v, want 150ms", d)
+	}
+	// An earlier-released but longer-deadline job loses to a
+	// later-released shorter one.
+	b := NewThread(2, "b", 1)
+	b.RelDeadline = 10 * sim.Millisecond
+	s.Enqueue(b, 60*sim.Millisecond)
+	if got := s.Pick(60 * sim.Millisecond); got != b {
+		t.Errorf("picked %v, want b (deadline 70ms)", got)
+	}
+	s.Charge(b, 1, 60*sim.Millisecond, false)
+}
+
+func TestEDFBackgroundThreadsLast(t *testing.T) {
+	s := NewEDF(0)
+	bg := NewThread(1, "bg", 1) // no period, no deadline
+	rt := NewThread(2, "rt", 1)
+	rt.Period = 50 * sim.Millisecond
+	s.Enqueue(bg, 0)
+	s.Enqueue(rt, 0)
+	if got := s.Pick(0); got != rt {
+		t.Fatalf("background thread beat a deadline job")
+	}
+	s.Charge(rt, 1, 0, false)
+	if got := s.Pick(0); got != bg {
+		t.Fatalf("background thread not served when alone")
+	}
+	s.Charge(bg, 1, 0, true)
+}
+
+func TestEDFPreempts(t *testing.T) {
+	s := NewEDF(0)
+	running := NewThread(1, "running", 1)
+	running.RelDeadline = sim.Second
+	s.Enqueue(running, 0)
+	s.Pick(0)
+
+	woken := NewThread(2, "woken", 1)
+	woken.RelDeadline = 10 * sim.Millisecond
+	s.Enqueue(woken, sim.Millisecond)
+	if !s.Preempts(running, woken, sim.Millisecond) {
+		t.Error("earlier deadline did not preempt")
+	}
+	if s.Preempts(woken, running, sim.Millisecond) {
+		t.Error("later deadline preempted")
+	}
+	s.Charge(running, 1, sim.Millisecond, false)
+}
+
+func TestSchedulableEDF(t *testing.T) {
+	ms := func(v int) sim.Time { return sim.Time(v) * sim.Millisecond }
+	if !SchedulableEDF([]sim.Time{ms(10), ms(150)}, []sim.Time{ms(60), ms(960)}) {
+		t.Error("paper's Fig. 9 task set must be schedulable (u=0.32)")
+	}
+	if SchedulableEDF([]sim.Time{ms(50), ms(60)}, []sim.Time{ms(100), ms(100)}) {
+		t.Error("u=1.1 accepted")
+	}
+	if !SchedulableEDF(nil, nil) {
+		t.Error("empty set rejected")
+	}
+	if SchedulableEDF([]sim.Time{ms(10)}, []sim.Time{0}) {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestRMOrdersByPeriod(t *testing.T) {
+	s := NewRM(0)
+	slow := NewThread(1, "slow", 1)
+	slow.Period = 960 * sim.Millisecond
+	fast := NewThread(2, "fast", 1)
+	fast.Period = 60 * sim.Millisecond
+	s.Enqueue(slow, 0)
+	s.Enqueue(fast, 0)
+	if got := s.Pick(0); got != fast {
+		t.Fatalf("picked %v, want shorter period", got)
+	}
+	// Fixed priority: fast wins again even after being served.
+	s.Charge(fast, 1, 0, true)
+	if got := s.Pick(0); got != fast {
+		t.Fatalf("RM is fixed priority; picked %v", got)
+	}
+	s.Charge(fast, 1, 0, false)
+	if got := s.Pick(0); got != slow {
+		t.Fatalf("picked %v", got)
+	}
+	s.Charge(slow, 1, 0, false)
+}
+
+func TestRMAperiodicByPriority(t *testing.T) {
+	s := NewRM(0)
+	lo := NewThread(1, "lo", 1)
+	lo.Priority = 1
+	hi := NewThread(2, "hi", 1)
+	hi.Priority = 9
+	periodic := NewThread(3, "p", 1)
+	periodic.Period = sim.Second
+	s.Enqueue(lo, 0)
+	s.Enqueue(hi, 0)
+	s.Enqueue(periodic, 0)
+	if got := s.Pick(0); got != periodic {
+		t.Fatalf("aperiodic beat periodic: %v", got)
+	}
+	s.Charge(periodic, 1, 0, false)
+	if got := s.Pick(0); got != hi {
+		t.Fatalf("picked %v, want higher priority aperiodic", got)
+	}
+	s.Charge(hi, 1, 0, false)
+}
+
+func TestRMPreempts(t *testing.T) {
+	s := NewRM(0)
+	slow := NewThread(1, "slow", 1)
+	slow.Period = sim.Second
+	s.Enqueue(slow, 0)
+	s.Pick(0)
+	fast := NewThread(2, "fast", 1)
+	fast.Period = 50 * sim.Millisecond
+	s.Enqueue(fast, 0)
+	if !s.Preempts(slow, fast, 0) {
+		t.Error("shorter period did not preempt")
+	}
+	if s.Preempts(fast, slow, 0) {
+		t.Error("longer period preempted")
+	}
+	s.Charge(slow, 1, 0, false)
+}
+
+func TestSchedulableRM(t *testing.T) {
+	ms := func(v int) sim.Time { return sim.Time(v) * sim.Millisecond }
+	// Fig. 9 task set: u = 0.323 <= 2(sqrt(2)-1) = 0.828.
+	if !SchedulableRM([]sim.Time{ms(10), ms(150)}, []sim.Time{ms(60), ms(960)}) {
+		t.Error("paper's task set must pass the Liu-Layland bound")
+	}
+	// u = 0.9 with n=2 exceeds the bound (conservative reject).
+	if SchedulableRM([]sim.Time{ms(45), ms(45)}, []sim.Time{ms(100), ms(100)}) {
+		t.Error("u=0.9 accepted by the n=2 bound")
+	}
+	if !SchedulableRM(nil, nil) {
+		t.Error("empty set rejected")
+	}
+}
+
+// TestEDFSchedulesFeasibleSet drives a full EDF simulation at the
+// scheduler level: two jobs at 80% utilization, verifying no deadline is
+// ever passed while work remains.
+func TestEDFMeetsDeadlinesUnderFullProtocol(t *testing.T) {
+	s := NewEDF(10 * sim.Millisecond)
+	a := NewThread(1, "a", 1)
+	a.Period = 100 * sim.Millisecond
+	b := NewThread(2, "b", 1)
+	b.Period = 250 * sim.Millisecond
+
+	type job struct {
+		t        *Thread
+		left     Work
+		deadline sim.Time
+	}
+	// 1 work unit = 1 us of CPU at this abstraction.
+	us := func(d sim.Time) Work { return Work(d / sim.Microsecond) }
+	jobs := map[*Thread]*job{}
+	release := func(t *Thread, now sim.Time, cost Work) {
+		jobs[t] = &job{t: t, left: cost, deadline: now + t.Period}
+		s.Enqueue(t, now)
+	}
+	release(a, 0, us(40*sim.Millisecond))
+	release(b, 0, us(100*sim.Millisecond))
+	nextA, nextB := a.Period, b.Period
+
+	now := sim.Time(0)
+	for now < 10*sim.Second {
+		p := s.Pick(now)
+		if p == nil {
+			// Idle until next release.
+			now = sim.MinTime(nextA, nextB)
+		} else {
+			j := jobs[p]
+			run := j.left
+			if lim := us(10 * sim.Millisecond); run > lim {
+				run = lim
+			}
+			now += sim.Time(run) * sim.Microsecond
+			j.left -= run
+			done := j.left == 0
+			s.Charge(p, run, now, !done)
+			if done && now > j.deadline {
+				t.Fatalf("%v missed deadline %v at %v", p, j.deadline, now)
+			}
+		}
+		if now >= nextA && jobs[a].left == 0 {
+			release(a, nextA, us(40*sim.Millisecond))
+			nextA += a.Period
+		}
+		if now >= nextB && jobs[b].left == 0 {
+			release(b, nextB, us(100*sim.Millisecond))
+			nextB += b.Period
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"fmt"
+
+	"hsfq/internal/sim"
+)
+
+// This file implements exact response-time analysis (RTA) for fixed
+// priority scheduling (Joseph & Pandya / Audsley). The Liu-Layland bound
+// used by SchedulableRM is only sufficient; RTA is exact for synchronous
+// periodic task sets with deadlines equal to periods, so a QoS manager
+// can admit harmonic task sets the simple bound rejects.
+
+// ResponseTimesRM computes the worst-case response time of each task
+// under Rate Monotonic priorities (shorter period = higher priority),
+// given compute times and periods. It returns ok=false if any task's
+// recurrence fails to converge within its period (the task set is
+// unschedulable) — response times beyond the period are not meaningful
+// for deadline=period task sets and iteration stops there.
+//
+// The recurrence for task i with higher-priority set hp(i):
+//
+//	R = C_i + sum_{j in hp(i)} ceil(R / T_j) * C_j
+//
+// iterated to a fixed point.
+func ResponseTimesRM(compute, period []sim.Time) (resp []sim.Time, ok bool) {
+	if len(compute) != len(period) {
+		panic("sched: ResponseTimesRM with mismatched slice lengths")
+	}
+	n := len(compute)
+	resp = make([]sim.Time, n)
+	ok = true
+	// Priority order: ascending period (ties by index).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if period[a] > period[b] || (period[a] == period[b] && a > b) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	for rank, i := range order {
+		if compute[i] <= 0 || period[i] <= 0 {
+			panic(fmt.Sprintf("sched: task %d with non-positive parameters", i))
+		}
+		r := compute[i]
+		for iter := 0; ; iter++ {
+			if iter > 1_000_000 {
+				panic("sched: RTA failed to converge")
+			}
+			next := compute[i]
+			for _, j := range order[:rank] {
+				jobs := (r + period[j] - 1) / period[j] // ceil(r / T_j)
+				next += jobs * compute[j]
+			}
+			if next == r {
+				break
+			}
+			r = next
+			if r > period[i] {
+				// Deadline (= period) already blown; no point iterating on.
+				ok = false
+				break
+			}
+		}
+		resp[i] = r
+	}
+	return resp, ok
+}
+
+// SchedulableRMExact reports whether the task set is schedulable under
+// Rate Monotonic by exact response-time analysis: every task's worst-case
+// response time fits within its period. Unlike SchedulableRM's
+// Liu-Layland bound, this is necessary and sufficient for synchronous
+// deadline=period task sets — e.g. harmonic sets at utilization 1.0 are
+// accepted.
+func SchedulableRMExact(compute, period []sim.Time) bool {
+	if len(compute) == 0 {
+		return true
+	}
+	resp, ok := ResponseTimesRM(compute, period)
+	if !ok {
+		return false
+	}
+	for i, r := range resp {
+		if r > period[i] {
+			return false
+		}
+	}
+	return true
+}

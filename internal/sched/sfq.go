@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hsfq/internal/sim"
+)
+
+// SFQ is the Start-time Fair Queuing scheduler of the paper (§3), used both
+// as a leaf scheduler and, via internal/core, as the algorithm that
+// schedules every intermediate node of the hierarchy.
+//
+// Each thread f carries a start tag S_f and a finish tag F_f. When quantum
+// j is requested, S_f = max(v(t), F_f); when it completes after l
+// instructions, F_f = S_f + l/phi_f. Threads run in increasing start-tag
+// order. The virtual time v(t) is the start tag of the thread in service
+// while the scheduler is busy, and the maximum finish tag ever assigned
+// while it is idle.
+type SFQ struct {
+	quantum   sim.Time
+	entries   map[*Thread]*sfqEntry
+	heap      sfqHeap
+	inService *sfqEntry
+	maxFinish float64
+	seq       uint64
+	total     float64             // total effective weight of runnable threads
+	donated   map[*Thread]float64 // priority-inversion weight transfers (§4)
+	quanta    map[*Thread]sim.Time
+}
+
+type sfqEntry struct {
+	t      *Thread
+	start  float64
+	finish float64
+	seq    uint64 // tie-break: FIFO among equal start tags
+	idx    int    // heap index; -1 while not runnable
+}
+
+type sfqHeap []*sfqEntry
+
+func (h sfqHeap) Len() int { return len(h) }
+func (h sfqHeap) Less(i, j int) bool {
+	if h[i].start != h[j].start {
+		return h[i].start < h[j].start
+	}
+	return h[i].seq < h[j].seq
+}
+func (h sfqHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *sfqHeap) Push(x any) {
+	e := x.(*sfqEntry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *sfqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// NewSFQ returns an SFQ scheduler granting the given quantum per
+// scheduling decision; quantum <= 0 selects DefaultQuantum.
+func NewSFQ(quantum sim.Time) *SFQ {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &SFQ{
+		quantum: quantum,
+		quanta:  make(map[*Thread]sim.Time),
+		entries: make(map[*Thread]*sfqEntry),
+		donated: make(map[*Thread]float64),
+	}
+}
+
+// SetThreadQuantum overrides the quantum for one thread. SFQ's fairness
+// and delay bounds (Eqs. 3 and 8) are expressed in per-thread maximum
+// quantum lengths l_f^max, so giving latency-sensitive threads shorter
+// quanta tightens exactly their terms of the bound. A zero duration
+// restores the scheduler default.
+func (s *SFQ) SetThreadQuantum(t *Thread, q sim.Time) {
+	if q < 0 {
+		panic(fmt.Sprintf("sfq: negative quantum for %v", t))
+	}
+	if q == 0 {
+		delete(s.quanta, t)
+		return
+	}
+	s.quanta[t] = q
+}
+
+// Name implements Scheduler.
+func (s *SFQ) Name() string { return "sfq" }
+
+// VirtualTime returns v(t): the start tag of the thread in service, the
+// minimum runnable start tag between decisions, or the maximum finish tag
+// ever assigned while idle.
+func (s *SFQ) VirtualTime() float64 {
+	if s.inService != nil {
+		return s.inService.start
+	}
+	if len(s.heap) > 0 {
+		return s.heap[0].start
+	}
+	return s.maxFinish
+}
+
+// Tags returns the current start and finish tags of t. Threads that have
+// never been enqueued report zero tags.
+func (s *SFQ) Tags(t *Thread) (start, finish float64) {
+	if e, ok := s.entries[t]; ok {
+		return e.start, e.finish
+	}
+	return 0, 0
+}
+
+// Enqueue implements Scheduler. The thread is stamped with
+// S = max(v(now), F), so a thread returning from sleep cannot claim service
+// for the time it was absent.
+func (s *SFQ) Enqueue(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil {
+		e = &sfqEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	if e.idx != -1 {
+		panic(fmt.Sprintf("sfq: Enqueue of runnable thread %v", t))
+	}
+	e.start = maxf(s.VirtualTime(), e.finish)
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.heap, e)
+	s.total += s.EffectiveWeight(t)
+}
+
+// Remove implements Scheduler.
+func (s *SFQ) Remove(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil || e.idx == -1 {
+		panic(fmt.Sprintf("sfq: Remove of non-runnable thread %v", t))
+	}
+	if s.inService == e {
+		panic(fmt.Sprintf("sfq: Remove of in-service thread %v", t))
+	}
+	heap.Remove(&s.heap, e.idx)
+	s.total -= s.EffectiveWeight(t)
+}
+
+// Pick implements Scheduler: the runnable thread with the minimum start
+// tag, ties broken in arrival order.
+func (s *SFQ) Pick(now sim.Time) *Thread {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	s.inService = s.heap[0]
+	return s.inService.t
+}
+
+// Quantum implements Scheduler.
+func (s *SFQ) Quantum(t *Thread, now sim.Time) sim.Time {
+	if q, ok := s.quanta[t]; ok {
+		return q
+	}
+	return s.quantum
+}
+
+// Charge implements Scheduler: the completed quantum's finish tag is
+// F = S + used/phi (Eq. 2), and if the thread stays runnable its next
+// quantum is stamped immediately with S = max(v, F). Since v equals the
+// charged thread's own start tag while it is in service and F >= S, that
+// reduces to S = F for a continuing thread, exactly as in the paper's
+// worked example.
+func (s *SFQ) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
+	e := s.entries[t]
+	if e == nil || e.idx == -1 {
+		panic(fmt.Sprintf("sfq: Charge of non-runnable thread %v", t))
+	}
+	e.finish = e.start + float64(used)/s.EffectiveWeight(t)
+	if e.finish > s.maxFinish {
+		s.maxFinish = e.finish
+	}
+	s.inService = nil
+	if runnable {
+		e.start = e.finish
+		e.seq = s.seq
+		s.seq++
+		heap.Fix(&s.heap, e.idx)
+	} else {
+		heap.Remove(&s.heap, e.idx)
+		s.total -= s.EffectiveWeight(t)
+	}
+}
+
+// Preempts implements Scheduler. SFQ is quantum-driven: a wakeup never cuts
+// a quantum short; the new thread competes at the next decision point. This
+// is what bounds the paper's Fig. 9 scheduling latency by the quantum.
+func (s *SFQ) Preempts(running, woken *Thread, now sim.Time) bool { return false }
+
+// Len implements Scheduler.
+func (s *SFQ) Len() int { return len(s.heap) }
+
+// TotalWeight implements WeightedLen.
+func (s *SFQ) TotalWeight() float64 { return s.total }
+
+// Forget discards tag state for an exited thread so the entry map does not
+// grow without bound in long simulations.
+func (s *SFQ) Forget(t *Thread) {
+	if e, ok := s.entries[t]; ok {
+		if e.idx != -1 {
+			panic(fmt.Sprintf("sfq: Forget of runnable thread %v", t))
+		}
+		delete(s.entries, t)
+		delete(s.quanta, t)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

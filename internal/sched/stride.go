@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hsfq/internal/sim"
+)
+
+// Stride is Waldspurger & Weihl's deterministic proportional-share
+// scheduler (MIT TM-528), the fix for lottery scheduling's short-interval
+// unfairness and, as the paper's related work notes, a variant of WFQ.
+// Each thread advances a pass value by used/weight; the minimum pass runs.
+// On wakeup a thread resumes from max(own pass, global pass), so it cannot
+// bank credit while asleep.
+type Stride struct {
+	quantum sim.Time
+	entries map[*Thread]*strideEntry
+	heap    strideHeap
+	global  float64 // pass of the most recently dispatched thread
+	seq     uint64
+	total   float64
+}
+
+type strideEntry struct {
+	t    *Thread
+	pass float64
+	seq  uint64
+	idx  int
+}
+
+type strideHeap []*strideEntry
+
+func (h strideHeap) Len() int { return len(h) }
+func (h strideHeap) Less(i, j int) bool {
+	if h[i].pass != h[j].pass {
+		return h[i].pass < h[j].pass
+	}
+	return h[i].seq < h[j].seq
+}
+func (h strideHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *strideHeap) Push(x any) {
+	e := x.(*strideEntry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *strideHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// NewStride returns a stride scheduler; quantum <= 0 selects
+// DefaultQuantum.
+func NewStride(quantum sim.Time) *Stride {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &Stride{quantum: quantum, entries: make(map[*Thread]*strideEntry)}
+}
+
+// Name implements Scheduler.
+func (s *Stride) Name() string { return "stride" }
+
+// Pass returns t's current pass value, for tests.
+func (s *Stride) Pass(t *Thread) float64 {
+	if e, ok := s.entries[t]; ok {
+		return e.pass
+	}
+	return 0
+}
+
+// Enqueue implements Scheduler.
+func (s *Stride) Enqueue(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil {
+		e = &strideEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	if e.idx != -1 {
+		panic(fmt.Sprintf("stride: Enqueue of runnable thread %v", t))
+	}
+	if e.pass < s.global {
+		e.pass = s.global
+	}
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.heap, e)
+	s.total += t.Weight
+}
+
+// Remove implements Scheduler.
+func (s *Stride) Remove(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil || e.idx == -1 {
+		panic(fmt.Sprintf("stride: Remove of non-runnable thread %v", t))
+	}
+	heap.Remove(&s.heap, e.idx)
+	s.total -= t.Weight
+}
+
+// Pick implements Scheduler: minimum pass first.
+func (s *Stride) Pick(now sim.Time) *Thread {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	s.global = s.heap[0].pass
+	return s.heap[0].t
+}
+
+// Quantum implements Scheduler.
+func (s *Stride) Quantum(t *Thread, now sim.Time) sim.Time { return s.quantum }
+
+// Charge implements Scheduler: pass advances in proportion to the service
+// actually consumed, the natural generalization of "pass += stride" to
+// variable-length quanta.
+func (s *Stride) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
+	e := s.entries[t]
+	if e == nil || e.idx == -1 {
+		panic(fmt.Sprintf("stride: Charge of non-runnable thread %v", t))
+	}
+	e.pass += float64(used) / t.Weight
+	if runnable {
+		e.seq = s.seq
+		s.seq++
+		heap.Fix(&s.heap, e.idx)
+	} else {
+		heap.Remove(&s.heap, e.idx)
+		s.total -= t.Weight
+	}
+}
+
+// Preempts implements Scheduler.
+func (s *Stride) Preempts(running, woken *Thread, now sim.Time) bool { return false }
+
+// Len implements Scheduler.
+func (s *Stride) Len() int { return len(s.heap) }
+
+// TotalWeight implements WeightedLen.
+func (s *Stride) TotalWeight() float64 { return s.total }

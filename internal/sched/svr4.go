@@ -1,0 +1,319 @@
+package sched
+
+import (
+	"fmt"
+
+	"hsfq/internal/sim"
+)
+
+// SVR4 models the SVR4/Solaris 2.4 class-based dispatcher that the paper
+// compares against and reuses as a leaf scheduler ("we have ... modified
+// the existing SVR4 priority based scheduler to operate as a scheduler for
+// a leaf node"). It implements two scheduling classes:
+//
+//   - A time-sharing (TS) class: 60 priority levels driven by a dispatch
+//     table in the shape of ts_dptbl. Using a full quantum lowers a
+//     thread's priority (tqexp); returning from sleep boosts it (slpret);
+//     waiting on the run queue longer than maxwait boosts it (lwait).
+//     These feedback rules are what make SVR4 TS throughput unpredictable
+//     in the paper's Fig. 5.
+//
+//   - A real-time (RT) class: fixed priorities above every TS priority,
+//     FIFO within a priority, preemptive on wakeup. The paper's Fig. 9
+//     experiment runs two Rate-Monotonic threads in this class.
+//
+// Priorities are compared on a single global scale: TS occupies
+// [0, TSLevels) and RT occupies [rtBase, rtBase+RTLevels).
+type SVR4 struct {
+	table     []DispatchEntry
+	ips       int64 // CPU instructions per second, to convert Work to time
+	rtQuantum sim.Time
+
+	entries map[*Thread]*svr4Entry
+	queues  map[int][]*svr4Entry // global priority -> FIFO
+	count   int
+	picked  *svr4Entry
+}
+
+// DispatchEntry is one row of the TS dispatch table, mirroring the fields
+// of SVR4's ts_dptbl.
+type DispatchEntry struct {
+	Quantum sim.Time // time slice at this level
+	TQExp   int      // new level after the quantum is fully consumed
+	SlpRet  int      // level assigned when returning from sleep
+	MaxWait sim.Time // run-queue wait that triggers a starvation boost
+	LWait   int      // level assigned by the starvation boost
+}
+
+// TS priority geometry.
+const (
+	TSLevels    = 60 // TS priorities 0..59, higher is better
+	TSInitial   = 29 // initial level of a new TS thread
+	rtBase      = 100
+	RTLevels    = 60
+	classRT     = 1
+	classTS     = 0
+	frontInsert = true
+	tailInsert  = false
+)
+
+type svr4Entry struct {
+	t        *Thread
+	class    int
+	level    int      // TS level or RT priority (within class)
+	waitFrom sim.Time // when enqueued on the run queue
+	runnable bool
+}
+
+func (e *svr4Entry) globalPrio() int {
+	if e.class == classRT {
+		return rtBase + e.level
+	}
+	return e.level
+}
+
+// DefaultDispatchTable builds a ts_dptbl-shaped table: long quanta at low
+// priorities (200 ms) shrinking to 20 ms at high priorities, a 10-level
+// drop on quantum expiry, a 25-level boost on sleep return, and a 10-level
+// boost after waiting one second.
+func DefaultDispatchTable() []DispatchEntry {
+	table := make([]DispatchEntry, TSLevels)
+	for p := 0; p < TSLevels; p++ {
+		q := 200 - 36*(p/10) // 200,164,128,92,56,20 ms per decade
+		table[p] = DispatchEntry{
+			Quantum: sim.Time(q) * sim.Millisecond,
+			TQExp:   maxi(0, p-10),
+			SlpRet:  mini(TSLevels-1, p+25),
+			MaxWait: sim.Second,
+			LWait:   mini(TSLevels-1, p+10),
+		}
+	}
+	return table
+}
+
+// NewSVR4 returns an SVR4-style dispatcher. table may be nil to use
+// DefaultDispatchTable. ips is the CPU speed in instructions per second,
+// needed to decide whether a charge consumed the full quantum; it must
+// match the machine the scheduler is attached to. rtQuantum bounds RT
+// run segments (the paper uses 25 ms); <= 0 means run-until-block.
+func NewSVR4(table []DispatchEntry, ips int64, rtQuantum sim.Time) *SVR4 {
+	if table == nil {
+		table = DefaultDispatchTable()
+	}
+	if len(table) != TSLevels {
+		panic(fmt.Sprintf("svr4: dispatch table has %d levels, want %d", len(table), TSLevels))
+	}
+	if ips <= 0 {
+		panic("svr4: non-positive instruction rate")
+	}
+	if rtQuantum <= 0 {
+		rtQuantum = sim.Time(1 << 62)
+	}
+	return &SVR4{
+		table:     table,
+		ips:       ips,
+		rtQuantum: rtQuantum,
+		entries:   make(map[*Thread]*svr4Entry),
+		queues:    make(map[int][]*svr4Entry),
+	}
+}
+
+// Name implements Scheduler.
+func (s *SVR4) Name() string { return "svr4" }
+
+// SetRealTime places t in the RT class at the given RT priority (0..59,
+// higher first). Must be called before the thread is enqueued.
+func (s *SVR4) SetRealTime(t *Thread, prio int) {
+	if prio < 0 || prio >= RTLevels {
+		panic(fmt.Sprintf("svr4: RT priority %d out of range", prio))
+	}
+	e := s.entry(t)
+	if e.runnable {
+		panic(fmt.Sprintf("svr4: SetRealTime on runnable thread %v", t))
+	}
+	e.class = classRT
+	e.level = prio
+}
+
+// Level returns the thread's current class and level, for tests and traces.
+func (s *SVR4) Level(t *Thread) (class, level int) {
+	e := s.entry(t)
+	return e.class, e.level
+}
+
+func (s *SVR4) entry(t *Thread) *svr4Entry {
+	e := s.entries[t]
+	if e == nil {
+		e = &svr4Entry{t: t, class: classTS, level: TSInitial}
+		s.entries[t] = e
+	}
+	return e
+}
+
+// Enqueue implements Scheduler. A TS thread waking from sleep returns at
+// its level's slpret priority, the boost that lets interactive threads
+// leapfrog CPU hogs.
+func (s *SVR4) Enqueue(t *Thread, now sim.Time) {
+	e := s.entry(t)
+	if e.runnable {
+		panic(fmt.Sprintf("svr4: Enqueue of runnable thread %v", t))
+	}
+	if e.class == classTS && t.WokeAt == now && t.Segments > 0 {
+		e.level = s.table[e.level].SlpRet
+	}
+	s.insert(e, now, tailInsert)
+}
+
+func (s *SVR4) insert(e *svr4Entry, now sim.Time, front bool) {
+	p := e.globalPrio()
+	if front {
+		s.queues[p] = append([]*svr4Entry{e}, s.queues[p]...)
+	} else {
+		s.queues[p] = append(s.queues[p], e)
+	}
+	e.runnable = true
+	e.waitFrom = now
+	s.count++
+}
+
+func (s *SVR4) unlink(e *svr4Entry) {
+	p := e.globalPrio()
+	q := s.queues[p]
+	for i, x := range q {
+		if x == e {
+			s.queues[p] = append(q[:i], q[i+1:]...)
+			if len(s.queues[p]) == 0 {
+				delete(s.queues, p)
+			}
+			e.runnable = false
+			s.count--
+			return
+		}
+	}
+	panic(fmt.Sprintf("svr4: thread %v not on its run queue", e.t))
+}
+
+// Remove implements Scheduler.
+func (s *SVR4) Remove(t *Thread, now sim.Time) {
+	e := s.entries[t]
+	if e == nil || !e.runnable {
+		panic(fmt.Sprintf("svr4: Remove of non-runnable thread %v", t))
+	}
+	s.unlink(e)
+}
+
+// Pick implements Scheduler: the head of the highest-priority non-empty
+// queue, after applying any starvation boosts that have come due (the
+// lazy equivalent of SVR4's once-a-second ts_update scan).
+func (s *SVR4) Pick(now sim.Time) *Thread {
+	s.applyWaitBoosts(now)
+	best := -1
+	for p := range s.queues {
+		if p > best {
+			best = p
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	s.picked = s.queues[best][0]
+	return s.picked.t
+}
+
+// applyWaitBoosts moves TS threads that have waited past their level's
+// maxwait to the lwait level.
+func (s *SVR4) applyWaitBoosts(now sim.Time) {
+	var due []*svr4Entry
+	for _, q := range s.queues {
+		for _, e := range q {
+			if e.class != classTS {
+				continue
+			}
+			row := s.table[e.level]
+			if row.LWait > e.level && now-e.waitFrom >= row.MaxWait {
+				due = append(due, e)
+			}
+		}
+	}
+	// Deterministic order: by thread ID.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && due[j-1].t.ID > due[j].t.ID; j-- {
+			due[j-1], due[j] = due[j], due[j-1]
+		}
+	}
+	for _, e := range due {
+		wf := e.waitFrom
+		s.unlink(e)
+		e.level = s.table[e.level].LWait
+		s.insert(e, now, tailInsert)
+		e.waitFrom = wf // boost does not reset the wait clock origin
+	}
+}
+
+// Quantum implements Scheduler.
+func (s *SVR4) Quantum(t *Thread, now sim.Time) sim.Time {
+	e := s.entry(t)
+	if e.class == classRT {
+		return s.rtQuantum
+	}
+	return s.table[e.level].Quantum
+}
+
+// Charge implements Scheduler. Full-quantum consumption demotes a TS
+// thread to tqexp and requeues it at the tail; a preempted thread keeps
+// its level and returns to the head of its queue.
+func (s *SVR4) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
+	e := s.entries[t]
+	if e == nil || !e.runnable || s.picked != e {
+		panic(fmt.Sprintf("svr4: Charge of thread %v that was not picked", t))
+	}
+	s.picked = nil
+	s.unlink(e)
+	if !runnable {
+		return
+	}
+	usedTime := sim.Time(float64(used) / float64(s.ips) * float64(sim.Second))
+	if e.class == classTS {
+		if usedTime >= s.table[e.level].Quantum {
+			e.level = s.table[e.level].TQExp
+			s.insert(e, now, tailInsert)
+		} else {
+			s.insert(e, now, frontInsert)
+		}
+		return
+	}
+	// RT: round-robin within the priority on quantum expiry.
+	if usedTime >= s.rtQuantum {
+		s.insert(e, now, tailInsert)
+	} else {
+		s.insert(e, now, frontInsert)
+	}
+}
+
+// Preempts implements Scheduler: SVR4 sets the dispatcher's "runrun" flag
+// whenever a higher-priority thread becomes runnable.
+func (s *SVR4) Preempts(running, woken *Thread, now sim.Time) bool {
+	re := s.entries[running]
+	we := s.entries[woken]
+	if re == nil || we == nil || !re.runnable || !we.runnable {
+		return false
+	}
+	return we.globalPrio() > re.globalPrio()
+}
+
+// Len implements Scheduler.
+func (s *SVR4) Len() int { return s.count }
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,280 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"hsfq/internal/sim"
+)
+
+const svr4IPS = 100_000_000 // 100 MIPS, matching the experiments
+
+func msWork(ms int64) Work { return Work(ms * svr4IPS / 1000) }
+
+func TestDispatchTableShape(t *testing.T) {
+	table := DefaultDispatchTable()
+	if len(table) != TSLevels {
+		t.Fatalf("table has %d levels", len(table))
+	}
+	for p, row := range table {
+		if row.Quantum <= 0 {
+			t.Errorf("level %d: quantum %v", p, row.Quantum)
+		}
+		if p > 0 && table[p].Quantum > table[p-1].Quantum {
+			t.Errorf("quantum grows with priority at level %d", p)
+		}
+		if row.TQExp > p {
+			t.Errorf("level %d: tqexp %d raises priority", p, row.TQExp)
+		}
+		if row.SlpRet < p {
+			t.Errorf("level %d: slpret %d lowers priority", p, row.SlpRet)
+		}
+		if row.LWait < p {
+			t.Errorf("level %d: lwait %d lowers priority", p, row.LWait)
+		}
+		if row.TQExp < 0 || row.SlpRet >= TSLevels || row.LWait >= TSLevels {
+			t.Errorf("level %d: targets out of range", p)
+		}
+	}
+	if table[0].Quantum != 200*sim.Millisecond {
+		t.Errorf("lowest level quantum %v, want 200ms", table[0].Quantum)
+	}
+	if table[TSLevels-1].Quantum != 20*sim.Millisecond {
+		t.Errorf("highest level quantum %v, want 20ms", table[TSLevels-1].Quantum)
+	}
+}
+
+func TestSVR4QuantumExpiryDemotes(t *testing.T) {
+	s := NewSVR4(nil, svr4IPS, 0)
+	a := NewThread(1, "a", 1)
+	s.Enqueue(a, 0)
+	_, before := s.Level(a)
+	p := s.Pick(0)
+	q := s.Quantum(p, 0)
+	s.Charge(p, Work(int64(q)*svr4IPS/int64(sim.Second)), q, true)
+	_, after := s.Level(a)
+	if after >= before {
+		t.Errorf("level %d -> %d after full quantum, want demotion", before, after)
+	}
+}
+
+func TestSVR4PartialQuantumKeepsLevel(t *testing.T) {
+	s := NewSVR4(nil, svr4IPS, 0)
+	a := NewThread(1, "a", 1)
+	s.Enqueue(a, 0)
+	_, before := s.Level(a)
+	s.Pick(0)
+	s.Charge(a, msWork(1), sim.Millisecond, true) // preempted early
+	_, after := s.Level(a)
+	if after != before {
+		t.Errorf("level changed %d -> %d on partial quantum", before, after)
+	}
+}
+
+func TestSVR4SleepReturnBoost(t *testing.T) {
+	s := NewSVR4(nil, svr4IPS, 0)
+	a := NewThread(1, "a", 1)
+	s.Enqueue(a, 0)
+	s.Pick(0)
+	s.Charge(a, msWork(1), 0, false) // blocks
+	a.Segments = 1
+	_, before := s.Level(a)
+	a.WokeAt = sim.Second
+	s.Enqueue(a, sim.Second)
+	_, after := s.Level(a)
+	want := DefaultDispatchTable()[before].SlpRet
+	if after != want {
+		t.Errorf("sleep return level %d, want slpret %d", after, want)
+	}
+}
+
+func TestSVR4HigherLevelRunsFirst(t *testing.T) {
+	s := NewSVR4(nil, svr4IPS, 0)
+	hog := NewThread(1, "hog", 1)
+	s.Enqueue(hog, 0)
+	// Demote the hog through several full quanta.
+	for i := 0; i < 3; i++ {
+		p := s.Pick(0)
+		if p != hog {
+			t.Fatalf("round %d picked %v", i, p)
+		}
+		q := s.Quantum(p, 0)
+		s.Charge(p, Work(int64(q)*svr4IPS/int64(sim.Second)), 0, true)
+	}
+	fresh := NewThread(2, "fresh", 1)
+	s.Enqueue(fresh, 0)
+	if got := s.Pick(0); got != fresh {
+		t.Errorf("demoted hog beat a fresh thread")
+	}
+	s.Charge(fresh, 1, 0, false)
+}
+
+func TestSVR4WaitBoost(t *testing.T) {
+	s := NewSVR4(nil, svr4IPS, 0)
+	waiter := NewThread(1, "waiter", 1)
+	s.Enqueue(waiter, 0)
+	// Demote waiter far below initial.
+	for i := 0; i < 3; i++ {
+		p := s.Pick(0)
+		q := s.Quantum(p, 0)
+		s.Charge(p, Work(int64(q)*svr4IPS/int64(sim.Second)), 0, true)
+	}
+	_, demoted := s.Level(waiter)
+	// After waiting more than MaxWait, Pick must apply the lwait boost.
+	s.Pick(2 * sim.Second)
+	_, boosted := s.Level(waiter)
+	if boosted <= demoted {
+		t.Errorf("no starvation boost: %d -> %d", demoted, boosted)
+	}
+	s.Charge(waiter, 1, 2*sim.Second, false)
+}
+
+func TestSVR4RTClassAboveTS(t *testing.T) {
+	s := NewSVR4(nil, svr4IPS, 25*sim.Millisecond)
+	ts := NewThread(1, "ts", 1)
+	rt := NewThread(2, "rt", 1)
+	s.SetRealTime(rt, 0)
+	s.Enqueue(ts, 0)
+	s.Enqueue(rt, 0)
+	if got := s.Pick(0); got != rt {
+		t.Fatalf("RT thread did not outrank TS")
+	}
+	if q := s.Quantum(rt, 0); q != 25*sim.Millisecond {
+		t.Errorf("RT quantum %v", q)
+	}
+	s.Charge(rt, 1, 0, false)
+	if got := s.Pick(0); got != ts {
+		t.Fatal("TS thread not served after RT left")
+	}
+	s.Charge(ts, 1, 0, true)
+}
+
+func TestSVR4RTPriorityOrderAndPreempt(t *testing.T) {
+	s := NewSVR4(nil, svr4IPS, 0)
+	lo := NewThread(1, "rt-lo", 1)
+	hi := NewThread(2, "rt-hi", 1)
+	ts := NewThread(3, "ts", 1)
+	s.SetRealTime(lo, 10)
+	s.SetRealTime(hi, 20)
+	s.Enqueue(lo, 0)
+	s.Enqueue(ts, 0)
+	if got := s.Pick(0); got != lo {
+		t.Fatalf("picked %v", got)
+	}
+	// A higher-priority RT wakeup preempts; a TS one does not.
+	s.Enqueue(hi, 0)
+	if !s.Preempts(lo, hi, 0) {
+		t.Error("higher RT priority did not preempt")
+	}
+	if s.Preempts(lo, ts, 0) {
+		t.Error("TS preempted RT")
+	}
+	s.Charge(lo, 1, 0, true)
+	if got := s.Pick(0); got != hi {
+		t.Errorf("picked %v, want rt-hi", got)
+	}
+	s.Charge(hi, 1, 0, false)
+}
+
+func TestSVR4SetRealTimeValidation(t *testing.T) {
+	s := NewSVR4(nil, svr4IPS, 0)
+	a := NewThread(1, "a", 1)
+	s.Enqueue(a, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetRealTime on runnable thread did not panic")
+		}
+	}()
+	s.SetRealTime(a, 5)
+}
+
+func TestSVR4FIFOWithinPriority(t *testing.T) {
+	s := NewSVR4(nil, svr4IPS, 0)
+	a := NewThread(1, "a", 1)
+	b := NewThread(2, "b", 1)
+	s.Enqueue(a, 0)
+	s.Enqueue(b, 0)
+	if got := s.Pick(0); got != a {
+		t.Fatalf("picked %v, want FIFO head", got)
+	}
+	// Full quantum sends a to the tail of a lower level; b now runs.
+	q := s.Quantum(a, 0)
+	s.Charge(a, Work(int64(q)*svr4IPS/int64(sim.Second)), 0, true)
+	if got := s.Pick(0); got != b {
+		t.Errorf("picked %v, want b", got)
+	}
+	s.Charge(b, 1, 0, false)
+}
+
+func TestDispatchTableRoundTrip(t *testing.T) {
+	orig := DefaultDispatchTable()
+	var buf strings.Builder
+	if err := WriteDispatchTable(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDispatchTable(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("level %d: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+	// The parsed table drives a working scheduler.
+	s := NewSVR4(got, svr4IPS, 0)
+	a := NewThread(1, "a", 1)
+	s.Enqueue(a, 0)
+	if s.Pick(0) != a {
+		t.Fatal("parsed table unusable")
+	}
+	s.Charge(a, 1, 0, false)
+}
+
+func TestParseDispatchTableErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong fields":   "200 0 50 1\n",
+		"non-numeric":    "abc 0 50 1 50\n",
+		"zero quantum":   "0 0 50 1 50\n",
+		"bad target":     "200 99 50 1 50\n",
+		"too few levels": "200 0 50 1 50\n200 0 50 1 50\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseDispatchTable(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestSVR4NoStarvationProperty: whatever the mix of hogs, the lwait boost
+// guarantees every TS thread keeps making progress — unlike pure static
+// priority. Random thread counts and phases; every thread must be served
+// within any window of a few seconds.
+func TestSVR4NoStarvationProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := sim.NewRand(seed)
+		s := NewSVR4(nil, svr4IPS, 0)
+		n := rng.Intn(6) + 2
+		threads := make([]*Thread, n)
+		lastServed := make(map[*Thread]sim.Time)
+		for i := 0; i < n; i++ {
+			threads[i] = NewThread(i+1, "t", 1)
+			s.Enqueue(threads[i], 0)
+			lastServed[threads[i]] = 0
+		}
+		now := sim.Time(0)
+		for now < 60*sim.Second {
+			p := s.Pick(now)
+			q := s.Quantum(p, now)
+			used := Work(int64(q) * svr4IPS / int64(sim.Second))
+			now += q
+			s.Charge(p, used, now, true)
+			lastServed[p] = now
+			for _, th := range threads {
+				if wait := now - lastServed[th]; wait > 10*sim.Second {
+					t.Fatalf("seed %d: %v starved for %v with %d threads", seed, th, wait, n)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events fire in increasing time order;
+// events at the same instant fire in the order they were scheduled, which
+// keeps the simulation deterministic.
+type Event struct {
+	At  Time
+	Fn  func()
+	seq uint64
+	idx int // heap index, -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event has been removed from the queue
+// (either by firing or by Engine.Cancel).
+func (e *Event) Cancelled() bool { return e.idx == -1 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation loop. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine whose clock starts at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events that have executed, a cheap progress
+// and determinism probe for tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// panics: it is always a simulation bug, never recoverable input error.
+func (e *Engine) At(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", at, e.now))
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delta after the current time.
+func (e *Engine) After(delta Time, fn func()) *Event {
+	return e.At(e.now+delta, fn)
+}
+
+// Cancel removes ev from the queue if it has not fired. It is safe to call
+// on an already-fired or already-cancelled event.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx == -1 {
+		return
+	}
+	heap.Remove(&e.queue, ev.idx)
+}
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.fired++
+	ev.Fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil executes events with At <= deadline, then advances the clock to
+// the deadline (even if no event lies exactly there). Events scheduled at
+// the deadline do fire.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if !e.halted && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }

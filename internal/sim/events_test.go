@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{Second, "1s"},
+		{3 * Second, "3s"},
+		{Millisecond, "1ms"},
+		{1500 * Microsecond, "1500us"},
+		{Microsecond, "1us"},
+		{7, "7ns"},
+		{2*Second + 500*Millisecond, "2500ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Duration(1500*time.Millisecond) != 1500*Millisecond {
+		t.Error("Duration conversion wrong")
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds conversion wrong")
+	}
+	if (3 * Millisecond).Milliseconds() != 3.0 {
+		t.Error("Milliseconds conversion wrong")
+	}
+	if MinTime(2, 5) != 2 || MaxTime(2, 5) != 5 {
+		t.Error("min/max wrong")
+	}
+}
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events fired in order %v", got)
+	}
+	if e.Now() != 30 {
+		t.Errorf("clock at %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered: got[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // idempotent
+	e.Cancel(nil)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("event does not report cancelled")
+	}
+}
+
+func TestEngineCancelFromEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var ev *Event
+	e.At(5, func() { e.Cancel(ev) })
+	ev = e.At(10, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Error("event cancelled mid-run still fired")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(25)
+	if len(got) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(got))
+	}
+	if e.Now() != 25 {
+		t.Errorf("clock advanced to %v, want 25", e.Now())
+	}
+	// Events exactly at the deadline fire.
+	e.RunUntil(30)
+	if len(got) != 3 {
+		t.Errorf("fired %d events by t=30, want 3", len(got))
+	}
+	e.RunUntil(100)
+	if len(got) != 4 || e.Now() != 100 {
+		t.Errorf("final state: %d events, now %v", len(got), e.Now())
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func() { count++; e.Halt() })
+	e.At(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Errorf("halt did not stop the loop: %d events fired", count)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if count != 2 {
+		t.Errorf("resume after halt failed: %d", count)
+	}
+}
+
+func TestEngineEventsScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, rec)
+		}
+	}
+	e.At(0, rec)
+	e.Run()
+	if depth != 100 {
+		t.Errorf("chained %d events, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Errorf("clock %v, want 99", e.Now())
+	}
+	if e.Fired() != 100 {
+		t.Errorf("fired %d, want 100", e.Fired())
+	}
+}
+
+// TestEngineOrderProperty: for any set of (time, id) pairs, execution
+// order is sorted by time with ties in insertion order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, at := range times {
+			i := i
+			at := Time(at)
+			e.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		e.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

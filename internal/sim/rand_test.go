@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRand(8)
+	same := 0
+	a2 := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds coincided %d times", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(1)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 10; v++ {
+		if seen[v] < 700 || seen[v] > 1300 {
+			t.Errorf("value %d drawn %d times of 10000, badly skewed", v, seen[v])
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(2)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; mean < 0.48 || mean > 0.52 {
+		t.Errorf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandExpFloat64Mean(t *testing.T) {
+	r := NewRand(3)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.97 || mean > 1.03 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestRandNormFloat64Moments(t *testing.T) {
+	r := NewRand(4)
+	var sum, sumsq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if sd < 0.97 || sd > 1.03 {
+		t.Errorf("normal sd = %v, want ~1", sd)
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(5)
+	p := r.Perm(50)
+	if len(p) != 50 {
+		t.Fatalf("perm length %d", len(p))
+	}
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandFork(t *testing.T) {
+	r := NewRand(6)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forked streams start identically")
+	}
+	// Forking is itself deterministic.
+	r2 := NewRand(6)
+	g1 := r2.Fork()
+	r3 := NewRand(6)
+	h1 := r3.Fork()
+	if g1.Uint64() != h1.Uint64() {
+		t.Error("fork of same seed differs")
+	}
+}

@@ -1,0 +1,120 @@
+package simconfig
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestShippedExampleConfigs builds and runs every JSON config under
+// examples/configs, so the shipped configurations can never rot.
+func TestShippedExampleConfigs(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "configs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected shipped configs in %s, found %d", dir, len(entries))
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			cfg, err := Parse(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Cap the horizon so the test stays fast regardless of what
+			// the config ships with.
+			if cfg.Horizon.Time() > 5_000_000_000 {
+				cfg.Horizon = Duration(5_000_000_000)
+			}
+			s, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Run()
+			if s.Machine.Stats().Work == 0 {
+				t.Error("config ran but did no work")
+			}
+			for name, p := range s.Periodics {
+				if p.MissedDeadlines() > 0 {
+					t.Errorf("periodic %q missed %d deadlines", name, p.MissedDeadlines())
+				}
+			}
+			if err := s.Structure.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestTraceProgramKind(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "costs.txt")
+	if err := os.WriteFile(path, []byte("1000000\n2000000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	js := `{
+	  "horizon": "1s",
+	  "nodes": [{"path": "/a", "leaf": "sfq"}],
+	  "threads": [{"name": "replay", "leaf": "/a",
+	    "program": {"kind": "trace", "file": ` + strconv.Quote(path) + `, "loop": true}}]
+	}`
+	cfg, err := Parse(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if s.Decoders["replay"] == nil || s.Threads[0].Done == 0 {
+		t.Error("trace program did not run")
+	}
+	// Missing file is a build error.
+	cfg2, _ := Parse(strings.NewReader(`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"x","leaf":"/a","program":{"kind":"trace","file":"/no/such"}}]}`))
+	if _, err := Build(cfg2); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestReserveLeafConfig(t *testing.T) {
+	js := `{
+	  "horizon": "2s",
+	  "nodes": [{"path": "/r", "leaf": "reserves", "quantum": "5ms"}],
+	  "threads": [
+	    {"name": "res", "leaf": "/r",
+	     "reserve_cost": "20ms", "reserve_period": "100ms",
+	     "program": {"kind": "loop"}},
+	    {"name": "bg", "leaf": "/r", "program": {"kind": "loop"}}
+	  ]
+	}`
+	cfg, err := Parse(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	share := float64(s.Threads[0].Done) / float64(s.Machine.Stats().Work)
+	// Soft reserve: 20% guaranteed plus half the background band.
+	if share < 0.55 || share > 0.65 {
+		t.Errorf("reserved thread share %.3f, want ~0.60", share)
+	}
+	// Reserve on a non-reserves leaf refused.
+	bad, _ := Parse(strings.NewReader(`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"x","leaf":"/a","reserve_cost":"1ms","reserve_period":"10ms"}]}`))
+	if _, err := Build(bad); err == nil {
+		t.Error("reserve on sfq leaf accepted")
+	}
+}

@@ -1,0 +1,403 @@
+// Package simconfig builds a complete simulation — scheduling structure,
+// machine, interrupt sources, threads and their programs — from a JSON
+// description, the configuration surface of cmd/hsfqsim.
+//
+// A minimal config:
+//
+//	{
+//	  "rate_mips": 100,
+//	  "horizon": "30s",
+//	  "nodes": [
+//	    {"path": "/soft", "weight": 3, "leaf": "sfq", "quantum": "10ms"},
+//	    {"path": "/be/user1", "weight": 6, "leaf": "svr4"}
+//	  ],
+//	  "threads": [
+//	    {"name": "dec", "leaf": "/soft", "weight": 5,
+//	     "program": {"kind": "mpeg", "frames": 100000, "loop": true}},
+//	    {"name": "hog", "leaf": "/be/user1",
+//	     "program": {"kind": "loop"}}
+//	  ]
+//	}
+package simconfig
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hsfq/internal/core"
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+	"hsfq/internal/workload"
+)
+
+// Duration is a sim.Time that unmarshals from Go duration strings
+// ("10ms") or bare nanosecond numbers.
+type Duration sim.Time
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("simconfig: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v.Nanoseconds())
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("simconfig: duration must be a string or nanoseconds: %s", b)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Time converts to the simulator unit.
+func (d Duration) Time() sim.Time { return sim.Time(d) }
+
+// Config is the top-level simulation description.
+type Config struct {
+	// RateMIPS is the CPU speed; 0 means 100 MIPS.
+	RateMIPS int64 `json:"rate_mips"`
+	// Horizon is how long to simulate; 0 means 30 s.
+	Horizon Duration `json:"horizon"`
+	// Seed drives all randomness; same seed, same run.
+	Seed uint64 `json:"seed"`
+	// Nodes describe the scheduling structure; parents are created
+	// implicitly with weight 1 (override by listing them first).
+	Nodes []NodeConfig `json:"nodes"`
+	// Threads to run.
+	Threads []ThreadConfig `json:"threads"`
+	// Interrupts optionally load the CPU at top priority.
+	Interrupts []InterruptConfig `json:"interrupts"`
+}
+
+// NodeConfig describes one node of the scheduling structure.
+type NodeConfig struct {
+	Path   string  `json:"path"`
+	Weight float64 `json:"weight"`
+	// Leaf selects a scheduler ("sfq", "rr", "fifo", "priority", "edf",
+	// "rm", "svr4", "lottery", "stride", "eevdf"); empty means
+	// intermediate node.
+	Leaf    string   `json:"leaf"`
+	Quantum Duration `json:"quantum"`
+}
+
+// ThreadConfig describes one thread.
+type ThreadConfig struct {
+	Name    string        `json:"name"`
+	Leaf    string        `json:"leaf"`
+	Weight  float64       `json:"weight"`
+	Start   Duration      `json:"start"`
+	Program ProgramConfig `json:"program"`
+	// RTPriority places the thread in an SVR4 leaf's real-time class.
+	RTPriority *int `json:"rt_priority"`
+	// ReserveCost/ReservePeriod grant the thread a capacity reserve in a
+	// "reserves" leaf: ReserveCost of CPU time every ReservePeriod.
+	ReserveCost   Duration `json:"reserve_cost"`
+	ReservePeriod Duration `json:"reserve_period"`
+}
+
+// ProgramConfig describes a thread's behaviour.
+type ProgramConfig struct {
+	// Kind: "loop", "dhrystone", "mpeg", "trace", "periodic",
+	// "interactive", "onoff".
+	Kind string `json:"kind"`
+	// trace: path to a recorded per-item cost file (workload.ReadCosts
+	// format); played through a Decoder, honoring Loop.
+	File string `json:"file"`
+	// loop/dhrystone: work per burst (instructions); 0 = 10 ms worth.
+	Burst int64 `json:"burst"`
+	// dhrystone: fault cadence.
+	FaultEvery int      `json:"fault_every"`
+	FaultSleep Duration `json:"fault_sleep"`
+	// mpeg: trace length and looping.
+	Frames int  `json:"frames"`
+	Loop   bool `json:"loop"`
+	// periodic: cost per period.
+	Period Duration `json:"period"`
+	Cost   Duration `json:"cost"`
+	// interactive: think/burst means.
+	ThinkMean Duration `json:"think_mean"`
+	// onoff: bursts per on-phase and off duration.
+	Bursts int      `json:"bursts"`
+	Off    Duration `json:"off"`
+}
+
+// InterruptConfig describes an interrupt source.
+type InterruptConfig struct {
+	// Kind: "periodic", "poisson", "burst".
+	Kind    string   `json:"kind"`
+	Period  Duration `json:"period"`
+	Service Duration `json:"service"`
+	// poisson: arrivals per second and mean service.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// burst: interrupts per burst.
+	Count int `json:"count"`
+}
+
+// Simulation is a ready-to-run build of a Config.
+type Simulation struct {
+	Config    Config
+	Engine    *sim.Engine
+	Machine   *cpu.Machine
+	Structure *core.Structure
+	Threads   []*sched.Thread
+	// Periodics exposes deadline-tracking programs by thread name.
+	Periodics map[string]*workload.Periodic
+	// Decoders exposes frame-counting programs by thread name.
+	Decoders map[string]*workload.Decoder
+}
+
+// Parse decodes a JSON config.
+func Parse(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("simconfig: %w", err)
+	}
+	return c, nil
+}
+
+// Build constructs the simulation described by c.
+func Build(c Config) (*Simulation, error) {
+	if c.RateMIPS == 0 {
+		c.RateMIPS = 100
+	}
+	if c.Horizon == 0 {
+		c.Horizon = Duration(30 * sim.Second)
+	}
+	if len(c.Nodes) == 0 {
+		return nil, fmt.Errorf("simconfig: no nodes")
+	}
+	rate := cpu.MIPS(c.RateMIPS)
+	eng := sim.NewEngine()
+	s := core.NewStructure()
+	rng := sim.NewRand(c.Seed)
+
+	leaves := map[string]core.NodeID{}
+	svr4s := map[string]*sched.SVR4{}
+	reserves := map[string]*sched.Reserves{}
+	for _, nc := range c.Nodes {
+		w := nc.Weight
+		if w == 0 {
+			w = 1
+		}
+		var leaf sched.Scheduler
+		if nc.Leaf != "" {
+			var err error
+			leaf, err = buildLeaf(nc.Leaf, nc.Quantum.Time(), rate, rng)
+			if err != nil {
+				return nil, err
+			}
+		}
+		id, err := s.MknodPath(nc.Path, w, leaf)
+		if err != nil {
+			return nil, fmt.Errorf("simconfig: node %q: %w", nc.Path, err)
+		}
+		if leaf != nil {
+			leaves[nc.Path] = id
+			if v, ok := leaf.(*sched.SVR4); ok {
+				svr4s[nc.Path] = v
+			}
+			if v, ok := leaf.(*sched.Reserves); ok {
+				reserves[nc.Path] = v
+			}
+		}
+	}
+
+	m := cpu.NewMachine(eng, rate, s)
+	simn := &Simulation{
+		Config:    c,
+		Engine:    eng,
+		Machine:   m,
+		Structure: s,
+		Periodics: map[string]*workload.Periodic{},
+		Decoders:  map[string]*workload.Decoder{},
+	}
+
+	for i, tc := range c.Threads {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("simconfig: thread %d has no name", i)
+		}
+		id, ok := leaves[tc.Leaf]
+		if !ok {
+			return nil, fmt.Errorf("simconfig: thread %q: no leaf %q", tc.Name, tc.Leaf)
+		}
+		w := tc.Weight
+		if w == 0 {
+			w = 1
+		}
+		th := sched.NewThread(i+1, tc.Name, w)
+		prog, err := buildProgram(simn, tc, rate, rng)
+		if err != nil {
+			return nil, err
+		}
+		if tc.RTPriority != nil {
+			v, ok := svr4s[tc.Leaf]
+			if !ok {
+				return nil, fmt.Errorf("simconfig: thread %q: rt_priority needs an svr4 leaf", tc.Name)
+			}
+			v.SetRealTime(th, *tc.RTPriority)
+		}
+		if tc.ReserveCost > 0 || tc.ReservePeriod > 0 {
+			v, ok := reserves[tc.Leaf]
+			if !ok {
+				return nil, fmt.Errorf("simconfig: thread %q: reserve needs a reserves leaf", tc.Name)
+			}
+			if tc.ReserveCost <= 0 || tc.ReservePeriod <= 0 {
+				return nil, fmt.Errorf("simconfig: thread %q: reserve needs both cost and period", tc.Name)
+			}
+			v.SetReserve(th, rate.WorkFor(tc.ReserveCost.Time()), tc.ReservePeriod.Time())
+		}
+		if err := s.Attach(th, id); err != nil {
+			return nil, fmt.Errorf("simconfig: thread %q: %w", tc.Name, err)
+		}
+		m.Add(th, prog, tc.Start.Time())
+		simn.Threads = append(simn.Threads, th)
+	}
+
+	for _, ic := range c.Interrupts {
+		src, err := buildInterrupt(ic, rng)
+		if err != nil {
+			return nil, err
+		}
+		m.AddInterrupts(src)
+	}
+	return simn, nil
+}
+
+// Run executes the simulation to its horizon and settles accounting.
+func (s *Simulation) Run() {
+	s.Machine.Run(s.Config.Horizon.Time())
+	s.Machine.Flush()
+}
+
+func buildLeaf(kind string, quantum sim.Time, rate cpu.Rate, rng *sim.Rand) (sched.Scheduler, error) {
+	switch kind {
+	case "sfq":
+		return sched.NewSFQ(quantum), nil
+	case "rr":
+		return sched.NewRoundRobin(quantum), nil
+	case "fifo":
+		return sched.NewFIFO(), nil
+	case "priority":
+		return sched.NewPriority(quantum), nil
+	case "reserves":
+		return sched.NewReserves(quantum), nil
+	case "edf":
+		return sched.NewEDF(quantum), nil
+	case "rm":
+		return sched.NewRM(quantum), nil
+	case "svr4":
+		q := quantum
+		if q <= 0 {
+			q = 25 * sim.Millisecond
+		}
+		return sched.NewSVR4(nil, int64(rate), q), nil
+	case "lottery":
+		return sched.NewLottery(quantum, rng.Fork()), nil
+	case "stride":
+		return sched.NewStride(quantum), nil
+	case "eevdf":
+		q := quantum
+		if q <= 0 {
+			q = sched.DefaultQuantum
+		}
+		return sched.NewEEVDF(q, rate.WorkFor(q)), nil
+	default:
+		return nil, fmt.Errorf("simconfig: unknown leaf scheduler %q", kind)
+	}
+}
+
+func buildProgram(s *Simulation, tc ThreadConfig, rate cpu.Rate, rng *sim.Rand) (cpu.Program, error) {
+	pc := tc.Program
+	burst := sched.Work(pc.Burst)
+	if burst == 0 {
+		burst = rate.WorkFor(10 * sim.Millisecond)
+	}
+	switch pc.Kind {
+	case "", "loop":
+		return workload.CPUBound(burst), nil
+	case "dhrystone":
+		d := workload.Dhrystone{
+			LoopWork:   rate.WorkFor(100 * sim.Microsecond),
+			FaultEvery: pc.FaultEvery,
+			FaultSleep: pc.FaultSleep.Time(),
+		}
+		return d.Program(), nil
+	case "mpeg":
+		frames := pc.Frames
+		if frames == 0 {
+			frames = 100000
+		}
+		gen := workload.DefaultMPEG(int64(rate), rng.Fork())
+		dec := workload.NewDecoder(gen.Trace(frames), pc.Loop)
+		s.Decoders[tc.Name] = dec
+		return dec, nil
+	case "trace":
+		if pc.File == "" {
+			return nil, fmt.Errorf("simconfig: thread %q: trace needs a file", tc.Name)
+		}
+		f, err := os.Open(pc.File)
+		if err != nil {
+			return nil, fmt.Errorf("simconfig: thread %q: %w", tc.Name, err)
+		}
+		costs, err := workload.ReadCosts(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("simconfig: thread %q: %w", tc.Name, err)
+		}
+		dec := workload.NewDecoder(costs, pc.Loop)
+		s.Decoders[tc.Name] = dec
+		return dec, nil
+	case "periodic":
+		if pc.Period == 0 || pc.Cost == 0 {
+			return nil, fmt.Errorf("simconfig: thread %q: periodic needs period and cost", tc.Name)
+		}
+		p := &workload.Periodic{
+			Period: pc.Period.Time(),
+			Cost:   rate.WorkFor(pc.Cost.Time()),
+		}
+		s.Periodics[tc.Name] = p
+		return p, nil
+	case "interactive":
+		think := pc.ThinkMean.Time()
+		if think == 0 {
+			think = 150 * sim.Millisecond
+		}
+		iv := workload.Interactive{ThinkMean: think, BurstMean: burst, Rand: rng.Fork()}
+		return iv.Program(), nil
+	case "onoff":
+		bursts := pc.Bursts
+		if bursts == 0 {
+			bursts = 10
+		}
+		off := pc.Off.Time()
+		if off == 0 {
+			off = sim.Second
+		}
+		return workload.OnOff(burst, bursts, off), nil
+	default:
+		return nil, fmt.Errorf("simconfig: thread %q: unknown program %q", tc.Name, pc.Kind)
+	}
+}
+
+func buildInterrupt(ic InterruptConfig, rng *sim.Rand) (cpu.InterruptSource, error) {
+	switch ic.Kind {
+	case "periodic":
+		return &cpu.PeriodicInterrupts{Period: ic.Period.Time(), Service: ic.Service.Time()}, nil
+	case "poisson":
+		return &cpu.PoissonInterrupts{RatePerSec: ic.RatePerSec, ServiceMean: ic.Service.Time(), Rand: rng.Fork()}, nil
+	case "burst":
+		return &cpu.BurstInterrupts{Period: ic.Period.Time(), Count: ic.Count, Service: ic.Service.Time()}, nil
+	default:
+		return nil, fmt.Errorf("simconfig: unknown interrupt kind %q", ic.Kind)
+	}
+}

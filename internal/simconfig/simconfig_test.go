@@ -1,0 +1,188 @@
+package simconfig
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hsfq/internal/sim"
+)
+
+const fullConfig = `{
+  "rate_mips": 100,
+  "horizon": "5s",
+  "seed": 7,
+  "nodes": [
+    {"path": "/hard", "weight": 1, "leaf": "rm", "quantum": "25ms"},
+    {"path": "/soft", "weight": 3, "leaf": "sfq", "quantum": "10ms"},
+    {"path": "/be", "weight": 6},
+    {"path": "/be/u1", "weight": 1, "leaf": "sfq"},
+    {"path": "/be/u2", "weight": 1, "leaf": "svr4"}
+  ],
+  "threads": [
+    {"name": "rt", "leaf": "/hard",
+     "program": {"kind": "periodic", "period": "100ms", "cost": "5ms"}},
+    {"name": "video", "leaf": "/soft", "weight": 2,
+     "program": {"kind": "mpeg", "frames": 5000, "loop": true}},
+    {"name": "hog1", "leaf": "/be/u1", "program": {"kind": "loop"}},
+    {"name": "hog2", "leaf": "/be/u2", "program": {"kind": "dhrystone", "fault_every": 500, "fault_sleep": "2ms"}},
+    {"name": "think", "leaf": "/be/u2", "program": {"kind": "interactive", "think_mean": "100ms"}},
+    {"name": "pulse", "leaf": "/be/u1", "program": {"kind": "onoff", "bursts": 5, "off": "500ms"}}
+  ],
+  "interrupts": [
+    {"kind": "periodic", "period": "10ms", "service": "100us"},
+    {"kind": "poisson", "rate_per_sec": 20, "service": "50us"},
+    {"kind": "burst", "period": "1s", "count": 3, "service": "200us"}
+  ]
+}`
+
+func TestParseAndBuildFullConfig(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(fullConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Horizon.Time() != 5*sim.Second || cfg.Seed != 7 {
+		t.Errorf("parsed %+v", cfg)
+	}
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Threads) != 6 {
+		t.Fatalf("%d threads", len(s.Threads))
+	}
+	s.Run()
+
+	if s.Engine.Now() != 5*sim.Second {
+		t.Errorf("clock %v", s.Engine.Now())
+	}
+	p := s.Periodics["rt"]
+	if p == nil || len(p.Slack) < 45 {
+		t.Fatalf("periodic did not run: %+v", p)
+	}
+	if p.MissedDeadlines() != 0 {
+		t.Errorf("rt missed %d deadlines", p.MissedDeadlines())
+	}
+	d := s.Decoders["video"]
+	if d == nil || d.FramesDecoded(5*sim.Second) == 0 {
+		t.Error("decoder decoded nothing")
+	}
+	// Shares: hard uses ~16.7% of its budget; soft (2/2 weight) gets the
+	// video thread a solid share.
+	if s.Machine.Stats().Work == 0 {
+		t.Fatal("no work")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	run := func() int64 {
+		cfg, err := Parse(strings.NewReader(fullConfig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		var sum int64
+		for _, th := range s.Threads {
+			sum = sum*31 + int64(th.Done)
+		}
+		return sum
+	}
+	if run() != run() {
+		t.Error("same config produced different runs")
+	}
+}
+
+func TestDurationUnmarshal(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"1.5ms"`)); err != nil || d.Time() != 1500*sim.Microsecond {
+		t.Errorf("string form: %v %v", d, err)
+	}
+	if err := d.UnmarshalJSON([]byte(`2500`)); err != nil || d.Time() != 2500 {
+		t.Errorf("numeric form: %v %v", d, err)
+	}
+	if err := d.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Error("bad duration accepted")
+	}
+	if err := d.UnmarshalJSON([]byte(`{}`)); err == nil {
+		t.Error("object accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := map[string]string{
+		"no nodes":        `{"threads":[]}`,
+		"unknown leaf":    `{"nodes":[{"path":"/a","leaf":"bogus"}]}`,
+		"unknown program": `{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","program":{"kind":"bogus"}}]}`,
+		"missing leaf":    `{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/b"}]}`,
+		"nameless thread": `{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"leaf":"/a"}]}`,
+		"periodic params": `{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","program":{"kind":"periodic"}}]}`,
+		"rt non-svr4":     `{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","rt_priority":5}]}`,
+		"bad interrupt":   `{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"bogus"}]}`,
+	}
+	for name, js := range cases {
+		cfg, err := Parse(strings.NewReader(js))
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Unknown fields are rejected at parse time.
+	if _, err := Parse(strings.NewReader(`{"bogus_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestRTPriorityPlacement(t *testing.T) {
+	js := `{
+	  "horizon": "2s",
+	  "nodes": [{"path": "/svr", "leaf": "svr4"}],
+	  "threads": [
+	    {"name": "rt", "leaf": "/svr", "rt_priority": 10,
+	     "program": {"kind": "periodic", "period": "50ms", "cost": "5ms"}},
+	    {"name": "ts", "leaf": "/svr", "program": {"kind": "loop"}}
+	  ]
+	}`
+	cfg, err := Parse(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// RT class preempts TS: the periodic thread gets exactly its 10%.
+	p := s.Periodics["rt"]
+	if p.MissedDeadlines() != 0 {
+		t.Errorf("rt missed %d deadlines under TS load", p.MissedDeadlines())
+	}
+	rtShare := float64(s.Threads[0].Done) / float64(s.Machine.Stats().Work)
+	if math.Abs(rtShare-0.1) > 0.01 {
+		t.Errorf("rt share %.3f", rtShare)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// Defaults: 100 MIPS for 30 s, program "loop".
+	if s.Engine.Now() != 30*sim.Second {
+		t.Errorf("default horizon: %v", s.Engine.Now())
+	}
+	if got := int64(s.Threads[0].Done); got < 2_999_000_000 {
+		t.Errorf("default loop did %d work", got)
+	}
+}

@@ -1,0 +1,239 @@
+package synch
+
+import (
+	"testing"
+
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+func newSFQMachine(quantum sim.Time) (*cpu.Machine, *sched.SFQ) {
+	leaf := sched.NewSFQ(quantum)
+	return cpu.NewMachine(sim.NewEngine(), cpu.DefaultRate, leaf), leaf
+}
+
+func msWork(ms int64) sched.Work { return cpu.DefaultRate.WorkFor(sim.Time(ms) * sim.Millisecond) }
+
+func TestMutexHandsOverFIFO(t *testing.T) {
+	m, leaf := newSFQMachine(10 * sim.Millisecond)
+	mu := NewMutex("m", m, leaf)
+
+	loops := make([]*CriticalLoop, 3)
+	for i := range loops {
+		th := sched.NewThread(i+1, "t", 1)
+		loops[i] = &CriticalLoop{Mutex: mu, Thread: th, CS: msWork(5), Rounds: 50}
+		m.Add(th, loops[i], sim.Time(i)) // staggered by 1 ns: deterministic order
+	}
+	m.Run(5 * sim.Second)
+
+	for i, l := range loops {
+		if len(l.AcquireDelays) != 50 {
+			t.Errorf("loop %d acquired %d times, want 50", i, len(l.AcquireDelays))
+		}
+	}
+	if mu.Owner() != nil || mu.Waiters() != 0 {
+		t.Errorf("mutex not clean at end: owner=%v waiters=%d", mu.Owner(), mu.Waiters())
+	}
+	if mu.Contentions == 0 {
+		t.Error("no contention recorded despite 3 threads")
+	}
+}
+
+func TestMutexSerializesCriticalSections(t *testing.T) {
+	// With pure lock/CS/unlock loops the total CS work equals total CPU
+	// work: nothing overlaps, nothing is lost.
+	m, leaf := newSFQMachine(10 * sim.Millisecond)
+	mu := NewMutex("m", m, leaf)
+	a := sched.NewThread(1, "a", 1)
+	b := sched.NewThread(2, "b", 1)
+	m.Add(a, &CriticalLoop{Mutex: mu, Thread: a, CS: msWork(3)}, 0)
+	m.Add(b, &CriticalLoop{Mutex: mu, Thread: b, CS: msWork(7)}, 0)
+	m.Run(2 * sim.Second)
+	m.Flush()
+	st := m.Stats()
+	total := a.Done + b.Done
+	if total != st.Work {
+		t.Errorf("accounting: %d vs %d", total, st.Work)
+	}
+	// The CPU is never idle: one of the two always owns or computes.
+	if st.Idle > sim.Millisecond {
+		t.Errorf("idle %v with a contended mutex", st.Idle)
+	}
+}
+
+// TestPriorityInversionAvoidance reproduces §4's scenario: a low-weight
+// thread holds a lock a high-weight thread needs while a medium-weight
+// CPU hog runs. Without weight transfer the holder crawls at its own
+// weight and the high-weight thread waits; with transfer the holder
+// finishes the critical section at the combined weight.
+func TestPriorityInversionAvoidance(t *testing.T) {
+	run := func(transfer bool) sim.Time {
+		leaf := sched.NewSFQ(sim.Millisecond)
+		m := cpu.NewMachine(sim.NewEngine(), cpu.DefaultRate, leaf)
+		var donate *sched.SFQ
+		if transfer {
+			donate = leaf
+		}
+		mu := NewMutex("m", m, donate)
+
+		low := sched.NewThread(1, "low", 1)
+		lowLoop := &CriticalLoop{Mutex: mu, Thread: low, CS: msWork(50), Think: 5 * sim.Millisecond}
+		m.Add(low, lowLoop, 0)
+
+		// The hog saturates the CPU at weight 8.
+		hog := sched.NewThread(2, "hog", 8)
+		m.Add(hog, cpu.Forever(cpu.Compute(1_000_000)), 0)
+
+		// The high-weight thread requests the lock at t=10ms, while low
+		// holds it.
+		high := sched.NewThread(3, "high", 16)
+		highLoop := &CriticalLoop{Mutex: mu, Thread: high, CS: msWork(1), Rounds: 1}
+		m.Add(high, highLoop, 10*sim.Millisecond)
+
+		m.Run(10 * sim.Second)
+		if len(highLoop.AcquireDelays) != 1 {
+			t.Fatalf("high acquired %d times", len(highLoop.AcquireDelays))
+		}
+		return highLoop.AcquireDelays[0]
+	}
+
+	without := run(false)
+	with := run(true)
+	t.Logf("high-weight lock wait: without transfer %v, with transfer %v", without, with)
+	// Without transfer, low runs its ~50 ms critical section at weight
+	// 1/25 of the CPU; with the waiter's 16 donated it runs at 17/25.
+	if with >= without {
+		t.Fatalf("weight transfer did not help: %v >= %v", with, without)
+	}
+	if without < 5*with {
+		t.Errorf("expected a large improvement, got %v -> %v", without, with)
+	}
+}
+
+func TestMutexDonationRevokedAfterUnlock(t *testing.T) {
+	m, leaf := newSFQMachine(sim.Millisecond)
+	mu := NewMutex("m", m, leaf)
+	holder := sched.NewThread(1, "holder", 1)
+	waiter := sched.NewThread(2, "waiter", 9)
+
+	if !mu.TryLock(holder) {
+		t.Fatal("lock not free")
+	}
+	m.Add(holder, cpu.Forever(cpu.Compute(1_000_000)), 0)
+	m.Add(waiter, cpu.ProgramFunc(func(now sim.Time) cpu.Action {
+		if mu.Owner() == waiter {
+			mu.Unlock(waiter)
+			return cpu.Exit()
+		}
+		if mu.TryLock(waiter) {
+			mu.Unlock(waiter)
+			return cpu.Exit()
+		}
+		return cpu.Block()
+	}), 0)
+
+	m.Run(time10ms())
+	if leaf.EffectiveWeight(holder) != 10 {
+		t.Fatalf("effective weight %v during wait, want 10", leaf.EffectiveWeight(holder))
+	}
+	mu.Unlock(holder)
+	if leaf.EffectiveWeight(holder) != 1 {
+		t.Errorf("effective weight %v after unlock, want 1", leaf.EffectiveWeight(holder))
+	}
+	// The handover woke the waiter, whose program immediately unlocked
+	// and exited.
+	if waiter.State != sched.StateExited || mu.Owner() != nil {
+		t.Errorf("handover failed: waiter=%v owner=%v", waiter.State, mu.Owner())
+	}
+}
+
+func time10ms() sim.Time { return 10 * sim.Millisecond }
+
+func TestMutexMisusePanics(t *testing.T) {
+	m, leaf := newSFQMachine(sim.Millisecond)
+	mu := NewMutex("m", m, leaf)
+	a := sched.NewThread(1, "a", 1)
+	b := sched.NewThread(2, "b", 1)
+
+	if !mu.TryLock(a) {
+		t.Fatal("lock busy")
+	}
+	for name, fn := range map[string]func(){
+		"relock":         func() { mu.TryLock(a) },
+		"unlock by peer": func() { mu.Unlock(b) },
+		"nil trylock":    func() { mu.TryLock(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWakeSemantics(t *testing.T) {
+	leaf := sched.NewSFQ(sim.Millisecond)
+	m := cpu.NewMachine(sim.NewEngine(), cpu.DefaultRate, leaf)
+	a := sched.NewThread(1, "a", 1)
+	woke := false
+	m.Add(a, cpu.ProgramFunc(func(now sim.Time) cpu.Action {
+		if woke {
+			return cpu.Exit()
+		}
+		woke = true
+		return cpu.Block()
+	}), 0)
+	m.Run(sim.Millisecond)
+	if a.State != sched.StateBlocked {
+		t.Fatalf("state %v", a.State)
+	}
+	// Waking a runnable thread is a no-op; waking a blocked one works;
+	// waking it twice is a no-op again.
+	if !m.Wake(a) {
+		t.Error("wake of blocked thread failed")
+	}
+	m.Run(10 * sim.Millisecond)
+	if a.State != sched.StateExited {
+		t.Errorf("state %v after wake", a.State)
+	}
+	if m.Wake(a) {
+		t.Error("wake of exited thread succeeded")
+	}
+}
+
+// TestWakeCancelsTimedSleep: a Wake may arrive before a timed sleep
+// expires (lock released early); the timer must be cancelled, not fire a
+// second wake.
+func TestWakeCancelsTimedSleep(t *testing.T) {
+	leaf := sched.NewSFQ(sim.Millisecond)
+	eng := sim.NewEngine()
+	m := cpu.NewMachine(eng, cpu.DefaultRate, leaf)
+	a := sched.NewThread(1, "a", 1)
+	phase := 0
+	m.Add(a, cpu.ProgramFunc(func(now sim.Time) cpu.Action {
+		phase++
+		switch phase {
+		case 1:
+			return cpu.Sleep(sim.Second)
+		case 2:
+			if now != 10*sim.Millisecond {
+				t.Errorf("woke at %v, want 10ms", now)
+			}
+			return cpu.Compute(1000)
+		default:
+			return cpu.Exit()
+		}
+	}), 0)
+	eng.At(10*sim.Millisecond, func() { m.Wake(a) })
+	m.Run(2 * sim.Second)
+	if a.State != sched.StateExited {
+		t.Errorf("state %v", a.State)
+	}
+	if phase != 3 {
+		t.Errorf("program advanced %d phases, want 3 (timer must not re-fire)", phase)
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hsfq/internal/sim"
+)
+
+// Gantt renders recorded run spans as an ASCII chart: one row per thread,
+// one column per bucket of simulated time, '#' where the thread held the
+// CPU for most of the bucket and '.' where it ran at all.
+//
+//	sensor  |##....##....##....
+//	decoder |..####..####..####
+func Gantt(w io.Writer, spans []RunSpan, from, to sim.Time, columns int) error {
+	if columns < 1 {
+		columns = 80
+	}
+	if to <= from {
+		return fmt.Errorf("trace: empty gantt window [%v,%v]", from, to)
+	}
+	bucket := (to - from) / sim.Time(columns)
+	if bucket < 1 {
+		bucket = 1
+	}
+
+	// Stable thread order: by first appearance.
+	var names []string
+	index := map[string]int{}
+	for _, sp := range spans {
+		if _, ok := index[sp.Thread]; !ok {
+			index[sp.Thread] = len(names)
+			names = append(names, sp.Thread)
+		}
+	}
+	if len(names) == 0 {
+		_, err := io.WriteString(w, "(no spans)\n")
+		return err
+	}
+	// occupancy[thread][col] = time the thread ran in that bucket.
+	occ := make([][]sim.Time, len(names))
+	for i := range occ {
+		occ[i] = make([]sim.Time, columns)
+	}
+	for _, sp := range spans {
+		lo, hi := sp.Start, sp.End
+		if hi <= from || lo >= to {
+			continue
+		}
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		for t := lo; t < hi; {
+			col := int((t - from) / bucket)
+			if col >= columns {
+				break
+			}
+			bucketEnd := from + sim.Time(col+1)*bucket
+			seg := sim.MinTime(hi, bucketEnd) - t
+			occ[index[sp.Thread]][col] += seg
+			t += seg
+		}
+	}
+
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	var b strings.Builder
+	for _, name := range sorted {
+		row := occ[index[name]]
+		fmt.Fprintf(&b, "%-*s |", width, name)
+		for _, d := range row {
+			switch {
+			case d > bucket/2:
+				b.WriteByte('#')
+			case d > 0:
+				b.WriteByte('.')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s +%s\n", width, "", strings.Repeat("-", columns))
+	fmt.Fprintf(&b, "%-*s  %v%s%v\n", width, "", from, strings.Repeat(" ", maxInt(columns-len(from.String())-len(to.String()), 1)), to)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

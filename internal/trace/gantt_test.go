@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hsfq/internal/sim"
+)
+
+func TestGanttRendersRows(t *testing.T) {
+	spans := []RunSpan{
+		{Thread: "a", TID: 1, Start: 0, End: 500 * sim.Millisecond},
+		{Thread: "b", TID: 2, Start: 500 * sim.Millisecond, End: sim.Second},
+	}
+	var buf strings.Builder
+	if err := Gantt(&buf, spans, 0, sim.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // two rows + axis + labels
+		t.Fatalf("lines:\n%s", out)
+	}
+	// a occupies the first half, b the second.
+	if !strings.HasPrefix(lines[0], "a |#####     ") && !strings.Contains(lines[0], "#####") {
+		t.Errorf("row a: %q", lines[0])
+	}
+	aRow := lines[0][strings.Index(lines[0], "|")+1:]
+	bRow := lines[1][strings.Index(lines[1], "|")+1:]
+	if aRow[:5] != "#####" || strings.TrimSpace(aRow[5:]) != "" {
+		t.Errorf("a row %q", aRow)
+	}
+	if bRow[5:] != "#####" || strings.TrimSpace(bRow[:5]) != "" {
+		t.Errorf("b row %q", bRow)
+	}
+}
+
+func TestGanttPartialOccupancy(t *testing.T) {
+	// A thread running 20% of each bucket renders '.'.
+	var spans []RunSpan
+	for i := 0; i < 10; i++ {
+		start := sim.Time(i) * 100 * sim.Millisecond
+		spans = append(spans, RunSpan{Thread: "x", Start: start, End: start + 20*sim.Millisecond})
+	}
+	var buf strings.Builder
+	if err := Gantt(&buf, spans, 0, sim.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	row := strings.Split(buf.String(), "\n")[0]
+	cells := row[strings.Index(row, "|")+1:]
+	if cells != ".........." {
+		t.Errorf("cells %q", cells)
+	}
+}
+
+func TestGanttEdgeCases(t *testing.T) {
+	var buf strings.Builder
+	if err := Gantt(&buf, nil, 0, sim.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no spans") {
+		t.Error("empty gantt output")
+	}
+	if err := Gantt(&buf, nil, sim.Second, 0, 10); err == nil {
+		t.Error("inverted window accepted")
+	}
+	// Spans outside the window are clipped away.
+	buf.Reset()
+	spans := []RunSpan{{Thread: "x", Start: 2 * sim.Second, End: 3 * sim.Second}}
+	if err := Gantt(&buf, spans, 0, sim.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	row := strings.Split(buf.String(), "\n")[0]
+	if strings.ContainsAny(row[strings.Index(row, "|")+1:], "#.") {
+		t.Errorf("out-of-window span rendered: %q", row)
+	}
+}

@@ -1,0 +1,198 @@
+// Package trace records scheduling events from a simulated machine for
+// debugging, experiment output, and golden-trace tests such as the
+// reproduction of the paper's Fig. 3 worked example.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// Kind classifies a recorded event.
+type Kind string
+
+// Event kinds.
+const (
+	Dispatch  Kind = "dispatch"
+	Charge    Kind = "charge"
+	Wake      Kind = "wake"
+	Block     Kind = "block"
+	Exit      Kind = "exit"
+	Interrupt Kind = "interrupt"
+	Idle      Kind = "idle"
+)
+
+// Event is one scheduling event.
+type Event struct {
+	At       sim.Time   `json:"at"`
+	Kind     Kind       `json:"kind"`
+	Thread   string     `json:"thread,omitempty"`
+	ThreadID int        `json:"tid,omitempty"`
+	Used     sched.Work `json:"used,omitempty"`
+	Runnable bool       `json:"runnable,omitempty"`
+	Service  sim.Time   `json:"service,omitempty"`
+}
+
+// Recorder implements cpu.Listener and stores events, optionally bounded
+// to the most recent max events (0 = unbounded).
+type Recorder struct {
+	cpu.BaseListener
+	max    int
+	events []Event
+	drops  int
+}
+
+// NewRecorder returns a recorder keeping at most max events; max <= 0
+// keeps everything.
+func NewRecorder(max int) *Recorder { return &Recorder{max: max} }
+
+func (r *Recorder) add(e Event) {
+	if r.max > 0 && len(r.events) >= r.max {
+		copy(r.events, r.events[1:])
+		r.events[len(r.events)-1] = e
+		r.drops++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// OnDispatch implements cpu.Listener.
+func (r *Recorder) OnDispatch(t *sched.Thread, now sim.Time) {
+	r.add(Event{At: now, Kind: Dispatch, Thread: t.Name, ThreadID: t.ID})
+}
+
+// OnCharge implements cpu.Listener.
+func (r *Recorder) OnCharge(t *sched.Thread, used sched.Work, now sim.Time, runnable bool) {
+	r.add(Event{At: now, Kind: Charge, Thread: t.Name, ThreadID: t.ID, Used: used, Runnable: runnable})
+}
+
+// OnWake implements cpu.Listener.
+func (r *Recorder) OnWake(t *sched.Thread, now sim.Time) {
+	r.add(Event{At: now, Kind: Wake, Thread: t.Name, ThreadID: t.ID})
+}
+
+// OnBlock implements cpu.Listener.
+func (r *Recorder) OnBlock(t *sched.Thread, now sim.Time) {
+	r.add(Event{At: now, Kind: Block, Thread: t.Name, ThreadID: t.ID})
+}
+
+// OnExit implements cpu.Listener.
+func (r *Recorder) OnExit(t *sched.Thread, now sim.Time) {
+	r.add(Event{At: now, Kind: Exit, Thread: t.Name, ThreadID: t.ID})
+}
+
+// OnInterrupt implements cpu.Listener.
+func (r *Recorder) OnInterrupt(now, service sim.Time) {
+	r.add(Event{At: now, Kind: Interrupt, Service: service})
+}
+
+// OnIdle implements cpu.Listener.
+func (r *Recorder) OnIdle(now sim.Time) {
+	r.add(Event{At: now, Kind: Idle})
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Dropped returns how many events were evicted from a bounded recorder.
+func (r *Recorder) Dropped() int { return r.drops }
+
+// Filter returns the events of the given kinds.
+func (r *Recorder) Filter(kinds ...Kind) []Event {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, e := range r.events {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteCSV emits the events as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_ns", "kind", "thread", "tid", "used", "runnable", "service_ns"}); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		rec := []string{
+			strconv.FormatInt(int64(e.At), 10),
+			string(e.Kind),
+			e.Thread,
+			strconv.Itoa(e.ThreadID),
+			strconv.FormatInt(int64(e.Used), 10),
+			strconv.FormatBool(e.Runnable),
+			strconv.FormatInt(int64(e.Service), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the events as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.events)
+}
+
+// RunSpans folds dispatch/charge pairs into (thread, start, end) spans —
+// the Gantt view of the schedule.
+type RunSpan struct {
+	Thread string
+	TID    int
+	Start  sim.Time
+	End    sim.Time
+	Used   sched.Work
+}
+
+// Spans extracts run spans from the recorded events. A span opens at a
+// dispatch and closes at the next charge of the same thread; interrupts in
+// between lengthen the span's wall time, not its Used work.
+func (r *Recorder) Spans() []RunSpan {
+	var out []RunSpan
+	open := make(map[int]*RunSpan)
+	for _, e := range r.events {
+		switch e.Kind {
+		case Dispatch:
+			open[e.ThreadID] = &RunSpan{Thread: e.Thread, TID: e.ThreadID, Start: e.At}
+		case Charge:
+			if sp, ok := open[e.ThreadID]; ok {
+				sp.End = e.At
+				sp.Used = e.Used
+				out = append(out, *sp)
+				delete(open, e.ThreadID)
+			}
+		}
+	}
+	return out
+}
+
+// FormatSpans renders spans compactly: "name[start-end]".
+func FormatSpans(spans []RunSpan) string {
+	var b []byte
+	for i, sp := range spans {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, fmt.Sprintf("%s[%v-%v]", sp.Thread, sp.Start, sp.End)...)
+	}
+	return string(b)
+}

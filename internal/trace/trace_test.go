@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+func sampleRecorder() (*Recorder, *sched.Thread) {
+	r := NewRecorder(0)
+	t1 := sched.NewThread(1, "worker", 1)
+	r.OnWake(t1, 0)
+	r.OnDispatch(t1, 5)
+	r.OnInterrupt(7, 2)
+	r.OnCharge(t1, 1000, 15, true)
+	r.OnDispatch(t1, 15)
+	r.OnCharge(t1, 500, 20, false)
+	r.OnBlock(t1, 20)
+	r.OnIdle(20)
+	r.OnExit(t1, 30)
+	return r, t1
+}
+
+func TestRecorderEventsAndFilter(t *testing.T) {
+	r, _ := sampleRecorder()
+	evs := r.Events()
+	if len(evs) != 9 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Kind != Wake || evs[8].Kind != Exit {
+		t.Errorf("event order wrong: %v ... %v", evs[0].Kind, evs[8].Kind)
+	}
+	charges := r.Filter(Charge)
+	if len(charges) != 2 || charges[0].Used != 1000 || !charges[0].Runnable || charges[1].Runnable {
+		t.Errorf("charges %+v", charges)
+	}
+	both := r.Filter(Dispatch, Charge)
+	if len(both) != 4 {
+		t.Errorf("filter pair got %d", len(both))
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	r := NewRecorder(3)
+	th := sched.NewThread(1, "t", 1)
+	for i := 0; i < 10; i++ {
+		r.OnDispatch(th, sim.Time(i))
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d events kept", len(evs))
+	}
+	if evs[0].At != 7 || evs[2].At != 9 {
+		t.Errorf("kept wrong window: %v", evs)
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("dropped %d", r.Dropped())
+	}
+}
+
+func TestSpans(t *testing.T) {
+	r, _ := sampleRecorder()
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans %v", spans)
+	}
+	if spans[0].Start != 5 || spans[0].End != 15 || spans[0].Used != 1000 {
+		t.Errorf("span 0 %+v", spans[0])
+	}
+	if spans[1].Start != 15 || spans[1].End != 20 || spans[1].Used != 500 {
+		t.Errorf("span 1 %+v", spans[1])
+	}
+	s := FormatSpans(spans)
+	if !strings.Contains(s, "worker[5ns-15ns]") {
+		t.Errorf("formatted %q", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r, _ := sampleRecorder()
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d CSV rows", len(rows))
+	}
+	if rows[0][0] != "at_ns" || rows[0][1] != "kind" {
+		t.Errorf("header %v", rows[0])
+	}
+	if rows[1][1] != "wake" || rows[1][2] != "worker" {
+		t.Errorf("first row %v", rows[1])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r, _ := sampleRecorder()
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.Unmarshal([]byte(b.String()), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 9 || evs[3].Used != 1000 {
+		t.Errorf("decoded %d events, evs[3]=%+v", len(evs), evs[3])
+	}
+}
+
+// TestRecorderOnMachine wires the recorder to a real machine run and
+// checks the event stream is self-consistent.
+func TestRecorderOnMachine(t *testing.T) {
+	eng := sim.NewEngine()
+	m := cpu.NewMachine(eng, 1000, sched.NewSFQ(10*sim.Millisecond))
+	r := NewRecorder(0)
+	m.Listen(r)
+	m.Spawn("a", 1, cpu.Sequence(cpu.Compute(25), cpu.Sleep(5*sim.Millisecond), cpu.Compute(5), cpu.Exit()), 0)
+	m.Run(sim.Second)
+
+	spans := r.Spans()
+	var total sched.Work
+	for _, sp := range spans {
+		if sp.End < sp.Start {
+			t.Errorf("span %+v inverted", sp)
+		}
+		total += sp.Used
+	}
+	if total != 30 {
+		t.Errorf("total span work %d, want 30", total)
+	}
+	if got := r.Filter(Exit); len(got) != 1 {
+		t.Errorf("exit events %d", len(got))
+	}
+	if got := r.Filter(Block); len(got) != 1 {
+		t.Errorf("block events %d", len(got))
+	}
+	if got := r.Filter(Wake); len(got) != 2 {
+		t.Errorf("wake events %d (spawn + sleep return)", len(got))
+	}
+}

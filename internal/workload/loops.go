@@ -1,0 +1,180 @@
+// Package workload provides the thread programs used by the paper's
+// evaluation: a Dhrystone-like CPU-bound loop benchmark, a VBR MPEG
+// decode-cost generator with frame- and scene-scale variability, periodic
+// hard real-time tasks that track deadlines, and interactive (think-time)
+// tasks that stand in for the "normal system processes" present in the
+// paper's multiuser measurements.
+package workload
+
+import (
+	"fmt"
+
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// Dhrystone mimics the paper's Dhrystone V2.1 usage: a CPU-bound loop
+// whose performance metric is loops completed in a fixed duration. Loops
+// completed = thread.Done / LoopWork.
+type Dhrystone struct {
+	// LoopWork is the cost of one benchmark loop in instructions.
+	LoopWork sched.Work
+
+	// FaultEvery and FaultSleep optionally model the brief involuntary
+	// sleeps (page-ins, TLB fills through the kernel) that real benchmark
+	// processes experience: after each FaultEvery loops the thread sleeps
+	// for FaultSleep. These sleeps are what let SVR4's slpret boost kick
+	// in and make time-sharing throughput diverge across identical
+	// threads (Fig. 5); under SFQ they are invisible in the totals.
+	FaultEvery int
+	FaultSleep sim.Time
+
+	// Phase staggers the first fault so identical threads do not fault in
+	// lockstep.
+	Phase int
+}
+
+// Program returns a fresh program instance; each thread needs its own.
+//
+// A CPU-bound benchmark never traps into the scheduler between loops, so
+// the program computes in long bursts — FaultEvery loops at a time when
+// faults are modeled, effectively unbounded otherwise — and lets quantum
+// expiry slice them. Completed loops are Done/LoopWork.
+func (d Dhrystone) Program() cpu.Program {
+	if d.LoopWork <= 0 {
+		panic("workload: Dhrystone with non-positive loop work")
+	}
+	if d.FaultEvery <= 0 {
+		// About 28 hours of loops per burst: unbounded in practice.
+		return cpu.Forever(cpu.Compute(d.LoopWork * 1_000_000_000))
+	}
+	first := d.FaultEvery - d.Phase%d.FaultEvery
+	computing := false
+	batch := first
+	return cpu.ProgramFunc(func(now sim.Time) cpu.Action {
+		computing = !computing
+		if computing {
+			w := cpu.Compute(d.LoopWork * sched.Work(batch))
+			batch = d.FaultEvery
+			return w
+		}
+		return cpu.Sleep(d.FaultSleep)
+	})
+}
+
+// Loops returns the number of completed benchmark loops given the total
+// work the thread has executed.
+func (d Dhrystone) Loops(done sched.Work) int64 {
+	return int64(done / d.LoopWork)
+}
+
+// CPUBound returns the simplest possible program: compute forever in
+// bursts of the given size.
+func CPUBound(burst sched.Work) cpu.Program {
+	if burst <= 0 {
+		panic("workload: CPUBound with non-positive burst")
+	}
+	return cpu.Forever(cpu.Compute(burst))
+}
+
+// OnOff alternates between computing for onDur worth of work and sleeping
+// for offDur, starting in the on phase. It generates the fluctuating
+// background load of the Fig. 8(a) experiment.
+func OnOff(burst sched.Work, bursts int, offDur sim.Time) cpu.Program {
+	if burst <= 0 || bursts <= 0 || offDur <= 0 {
+		panic("workload: OnOff misconfigured")
+	}
+	i := 0
+	return cpu.ProgramFunc(func(now sim.Time) cpu.Action {
+		i++
+		if i%(bursts+1) == 0 {
+			return cpu.Sleep(offDur)
+		}
+		return cpu.Compute(burst)
+	})
+}
+
+// Window is a half-open interval of simulated time.
+type Window struct {
+	From, To sim.Time
+}
+
+// ScheduledLoop is a CPU-bound loop that is forcibly asleep during the
+// given windows, the mechanism behind Fig. 11's "thread 1 was put to sleep
+// at time 6 ... resumed execution at time 9".
+func ScheduledLoop(burst sched.Work, asleep []Window) cpu.Program {
+	if burst <= 0 {
+		panic("workload: ScheduledLoop with non-positive burst")
+	}
+	for _, w := range asleep {
+		if w.To <= w.From {
+			panic(fmt.Sprintf("workload: bad sleep window %v-%v", w.From, w.To))
+		}
+	}
+	return cpu.ProgramFunc(func(now sim.Time) cpu.Action {
+		for _, w := range asleep {
+			if now >= w.From && now < w.To {
+				return cpu.SleepUntil(w.To)
+			}
+		}
+		return cpu.Compute(burst)
+	})
+}
+
+// Interactive models a think-compute loop: sleep for an exponentially
+// distributed think time, then compute an exponentially distributed burst.
+// A handful of these stand in for the "normal system processes" running
+// during all of the paper's experiments.
+type Interactive struct {
+	ThinkMean sim.Time
+	BurstMean sched.Work
+	Rand      *sim.Rand
+}
+
+// Program returns a fresh program instance.
+func (iv Interactive) Program() cpu.Program {
+	if iv.ThinkMean <= 0 || iv.BurstMean <= 0 || iv.Rand == nil {
+		panic("workload: Interactive misconfigured")
+	}
+	thinking := true
+	return cpu.ProgramFunc(func(now sim.Time) cpu.Action {
+		if thinking {
+			thinking = false
+			d := sim.Time(iv.Rand.ExpFloat64() * float64(iv.ThinkMean))
+			if d < 1 {
+				d = 1
+			}
+			return cpu.Sleep(d)
+		}
+		thinking = true
+		w := sched.Work(iv.Rand.ExpFloat64() * float64(iv.BurstMean))
+		if w < 1 {
+			w = 1
+		}
+		return cpu.Compute(w)
+	})
+}
+
+// Arrivals schedules spawn at Poisson arrival instants with the given
+// rate until the horizon, for open-workload experiments (batch job
+// streams, request arrivals). The callback receives the arrival index and
+// instant; it typically calls Machine.Add with a fresh thread.
+func Arrivals(eng *sim.Engine, rng *sim.Rand, ratePerSec float64, horizon sim.Time, spawn func(i int, at sim.Time)) {
+	if eng == nil || rng == nil || ratePerSec <= 0 || spawn == nil {
+		panic("workload: Arrivals misconfigured")
+	}
+	at := sim.Time(0)
+	for i := 0; ; i++ {
+		gap := sim.Time(rng.ExpFloat64() / ratePerSec * float64(sim.Second))
+		if gap < 1 {
+			gap = 1
+		}
+		at += gap
+		if at > horizon {
+			return
+		}
+		i, instant := i, at
+		eng.At(instant, func() { spawn(i, instant) })
+	}
+}

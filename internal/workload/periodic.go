@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// Periodic is a hard real-time task: it releases a job of Cost
+// instructions every Period, waking on a simulated clock interrupt exactly
+// at each release, as the paper's Fig. 9 threads do ("a clock interrupt
+// was used to announce the deadline for the current round and the start of
+// a new round of computation").
+//
+// Per round it records the slack time — "the difference in time between
+// the deadline and the time at which the current round of computation
+// completes" (Fig. 9b). Scheduling latency (Fig. 9a) is a dispatch-time
+// quantity recorded by metrics.LatencyRecorder, not by the program.
+type Periodic struct {
+	Period sim.Time
+	Cost   sched.Work
+	Offset sim.Time
+	// Rounds bounds the number of jobs; 0 means run forever.
+	Rounds int
+
+	// Slack[i] = deadline(i) - completion(i); positive means the deadline
+	// was met.
+	Slack []sim.Time
+	// Releases[i] is the release time of round i.
+	Releases []sim.Time
+
+	nextRelease sim.Time
+	pending     bool
+	deadline    sim.Time
+	started     bool
+	done        int
+}
+
+// Next implements cpu.Program.
+func (p *Periodic) Next(now sim.Time) cpu.Action {
+	if p.Period <= 0 || p.Cost <= 0 {
+		panic("workload: Periodic misconfigured")
+	}
+	if !p.started {
+		p.started = true
+		p.nextRelease = p.Offset
+	}
+	if p.pending {
+		p.Slack = append(p.Slack, p.deadline-now)
+		p.pending = false
+		p.done++
+	}
+	if p.Rounds > 0 && p.done >= p.Rounds {
+		return cpu.Exit()
+	}
+	if now < p.nextRelease {
+		return cpu.SleepUntil(p.nextRelease)
+	}
+	release := p.nextRelease
+	p.Releases = append(p.Releases, release)
+	p.nextRelease = release + p.Period
+	p.deadline = release + p.Period
+	p.pending = true
+	return cpu.Compute(p.Cost)
+}
+
+// MissedDeadlines returns the number of rounds that finished after their
+// deadline.
+func (p *Periodic) MissedDeadlines() int {
+	n := 0
+	for _, s := range p.Slack {
+		if s < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MinSlack returns the smallest recorded slack, or 0 if none.
+func (p *Periodic) MinSlack() sim.Time {
+	if len(p.Slack) == 0 {
+		return 0
+	}
+	min := p.Slack[0]
+	for _, s := range p.Slack[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hsfq/internal/sched"
+)
+
+// ReadCosts parses a per-item cost trace — for instance real MPEG frame
+// decode costs measured on actual hardware — so recorded traces can drive
+// Decoder and PacedDecoder in place of the synthetic generator. The
+// format is one cost per line, in instructions; blank lines and
+// #-comments are ignored, and an optional second whitespace-separated
+// column (e.g. a frame type annotation) is tolerated.
+func ReadCosts(r io.Reader) ([]sched.Work, error) {
+	var out []sched.Work
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		v, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: non-positive cost %d", line, v)
+		}
+		out = append(out, sched.Work(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty cost trace")
+	}
+	return out, nil
+}
+
+// WriteCosts emits a cost trace in the format ReadCosts parses.
+func WriteCosts(w io.Writer, costs []sched.Work) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range costs {
+		if _, err := fmt.Fprintln(bw, int64(c)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

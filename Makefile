@@ -1,0 +1,29 @@
+GO ?= go
+
+# Benchmarks covered by `make bench` — the scheduling spine plus the packet
+# algorithms. Output is benchstat-compatible (`benchstat old.txt new.txt`).
+BENCH ?= BenchmarkSchedule|BenchmarkLeafSchedulers|BenchmarkMachineSimulation|BenchmarkPacketAlgorithms
+BENCH_COUNT ?= 5
+BENCH_TIME ?= 200ms
+
+.PHONY: all build test race vet bench fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) .

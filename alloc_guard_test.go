@@ -1,0 +1,133 @@
+package hsfq_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hsfq/internal/core"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// These tests pin down the PR's zero-allocation property: once a hierarchy
+// is built and its threads have been seen once, the scheduling spine —
+// Structure.Pick, Quantum, Charge, and the Enqueue/Charge(false) block
+// cycle — performs no heap allocations and no map lookups per decision.
+// A regression here (a map access growing back into the hot path, an
+// interface conversion that boxes, a heap operation that reallocates)
+// shows up as a non-zero AllocsPerRun.
+
+// buildThreeLevelTree returns the Fig. 2-shaped structure used by the
+// guards: root -> {rt, be} -> be/{u1, u2}, SFQ leaves, two threads per
+// leaf, all runnable.
+func buildThreeLevelTree(t testing.TB) (*core.Structure, []*sched.Thread) {
+	s := core.NewStructure()
+	mk := func(path string, w float64, leaf sched.Scheduler) core.NodeID {
+		id, err := s.MknodPath(path, w, leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	leaves := []core.NodeID{
+		mk("/rt", 1, sched.NewSFQ(10*sim.Millisecond)),
+		mk("/be/u1", 2, sched.NewSFQ(10*sim.Millisecond)),
+		mk("/be/u2", 3, sched.NewSFQ(10*sim.Millisecond)),
+	}
+	var threads []*sched.Thread
+	for i, id := range leaves {
+		for j := 0; j < 2; j++ {
+			th := sched.NewThread(i*2+j+1, fmt.Sprintf("t%d", i*2+j+1), float64(j+1))
+			if err := s.Attach(th, id); err != nil {
+				t.Fatal(err)
+			}
+			s.Enqueue(th, 0)
+			threads = append(threads, th)
+		}
+	}
+	return s, threads
+}
+
+// TestPickChargeDoesNotAllocate guards the steady-state decision cycle:
+// Pick -> Quantum -> Charge(runnable) on a 3-level hierarchy with SFQ at
+// every level.
+func TestPickChargeDoesNotAllocate(t *testing.T) {
+	s, _ := buildThreeLevelTree(t)
+	now := sim.Time(0)
+	// Warm caches: every thread picked and charged at least once.
+	for i := 0; i < 32; i++ {
+		th := s.Pick(now)
+		s.Charge(th, 1_000_000, now, true)
+		now += sim.Millisecond
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		th := s.Pick(now)
+		_ = s.Quantum(th, now)
+		s.Charge(th, 1_000_000, now, true)
+		now += sim.Millisecond
+	})
+	if allocs != 0 {
+		t.Fatalf("Pick/Quantum/Charge allocates %v times per decision, want 0", allocs)
+	}
+}
+
+// TestBlockWakeCycleDoesNotAllocate guards the sleep/wake edge: a thread
+// blocking (Charge runnable=false, emptying its leaf and walking the
+// hsfq_sleep path) and re-entering (Enqueue, the hsfq_setrun walk).
+func TestBlockWakeCycleDoesNotAllocate(t *testing.T) {
+	s, _ := buildThreeLevelTree(t)
+	now := sim.Time(0)
+	for i := 0; i < 32; i++ {
+		th := s.Pick(now)
+		s.Charge(th, 1_000_000, now, true)
+		now += sim.Millisecond
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		th := s.Pick(now)
+		s.Charge(th, 1_000_000, now, false)
+		now += sim.Millisecond
+		s.Enqueue(th, now)
+	})
+	if allocs != 0 {
+		t.Fatalf("block/wake cycle allocates %v times per cycle, want 0", allocs)
+	}
+}
+
+// TestLeafSchedulersDoNotAllocate guards the flat hot path of every
+// heap-based leaf algorithm (the randomized and queue-rotating ones — rr,
+// lottery, svr4 — are excluded: their hot paths involve slice rotation or
+// RNG state by design).
+func TestLeafSchedulersDoNotAllocate(t *testing.T) {
+	algos := map[string]sched.Scheduler{
+		"sfq":      sched.NewSFQ(10 * sim.Millisecond),
+		"edf":      sched.NewEDF(10 * sim.Millisecond),
+		"rm":       sched.NewRM(10 * sim.Millisecond),
+		"priority": sched.NewPriority(10 * sim.Millisecond),
+		"stride":   sched.NewStride(10 * sim.Millisecond),
+		"eevdf":    sched.NewEEVDF(10*sim.Millisecond, 1_000_000),
+		"reserves": sched.NewReserves(10 * sim.Millisecond),
+	}
+	for name, s := range algos {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 8; i++ {
+				th := sched.NewThread(i+1, "t", float64(i%3+1))
+				th.Period = sim.Time(i+1) * 10 * sim.Millisecond
+				s.Enqueue(th, 0)
+			}
+			now := sim.Time(0)
+			for i := 0; i < 16; i++ {
+				th := s.Pick(now)
+				s.Charge(th, 1_000_000, now, true)
+				now += sim.Millisecond
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				th := s.Pick(now)
+				s.Charge(th, 1_000_000, now, true)
+				now += sim.Millisecond
+			})
+			if allocs != 0 {
+				t.Fatalf("%s Pick/Charge allocates %v times per decision, want 0", name, allocs)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	hsfqsim -config sim.json
 //	hsfqsim -config sim.json -trace events.csv -dot structure.dot
+//	hsfqsim -config sim.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With no -config it runs a built-in demonstration: the paper's Fig. 2
 // structure under mixed load.
@@ -14,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hsfq/internal/metrics"
@@ -57,12 +60,50 @@ func main() {
 		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart of the first second")
 		dotPath    = flag.String("dot", "", "write the scheduling structure in DOT format")
 		seed       = flag.Uint64("seed", 0, "override the config's random seed")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*configPath, *tracePath, *dotPath, *seed, *gantt); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hsfqsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hsfqsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*configPath, *tracePath, *dotPath, *seed, *gantt)
+	if *memProf != "" {
+		if merr := writeMemProfile(*memProf); err == nil {
+			err = merr
+		}
+	}
+	if err != nil {
+		if *cpuProf != "" {
+			pprof.StopCPUProfile()
+		}
 		fmt.Fprintln(os.Stderr, "hsfqsim:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile snapshots the allocation profile after a final GC so the
+// numbers reflect live and cumulative allocations of the run.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(configPath, tracePath, dotPath string, seed uint64, gantt bool) error {

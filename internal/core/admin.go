@@ -49,7 +49,7 @@ func (s *Structure) SetThreadWeight(t *sched.Thread, weight float64) error {
 	if weight <= 0 {
 		return fmt.Errorf("%w: %v", ErrBadWeight, weight)
 	}
-	n := s.byThread[t]
+	n := s.nodeOf(t)
 	if n == nil {
 		return fmt.Errorf("%w: %v", ErrNoThread, t)
 	}
@@ -189,8 +189,9 @@ func (s *Structure) checkNode(n *Node) error {
 	// Heap membership: exactly the runnable children, each with a
 	// consistent index and start >= finish never required, but
 	// start <= finish always (F = S + l/w with l >= 0).
-	inHeap := make(map[*Node]bool, len(n.runq))
-	for i, c := range n.runq {
+	runq := n.runq.Items()
+	inHeap := make(map[*Node]bool, len(runq))
+	for i, c := range runq {
 		if c.heapIdx != i {
 			return fmt.Errorf("core: node %q heap index %d inconsistent", s.PathOf(c.id), i)
 		}
@@ -200,9 +201,9 @@ func (s *Structure) checkNode(n *Node) error {
 		inHeap[c] = true
 	}
 	// Heap order property.
-	for i := range n.runq {
+	for i := range runq {
 		for _, j := range []int{2*i + 1, 2*i + 2} {
-			if j < len(n.runq) && n.runq.Less(j, i) {
+			if j < len(runq) && runq[j].HeapLess(runq[i]) {
 				return fmt.Errorf("core: heap order violated under %q", path)
 			}
 		}
@@ -216,7 +217,7 @@ func (s *Structure) checkNode(n *Node) error {
 				return fmt.Errorf("core: leaf %q runnable flag out of sync with scheduler", s.PathOf(c.id))
 			}
 		} else {
-			if (len(c.runq) > 0) != (c.heapIdx != -1) {
+			if (c.runq.Len() > 0) != (c.heapIdx != -1) {
 				return fmt.Errorf("core: node %q runnable flag out of sync with children", s.PathOf(c.id))
 			}
 		}
@@ -321,6 +322,7 @@ func (s *Structure) Detach(t *sched.Thread) error {
 	}
 	delete(n.threads, t)
 	delete(s.byThread, t)
+	t.NodeSlot.Drop(s)
 	return nil
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hsfq/internal/sched"
@@ -13,6 +12,21 @@ import (
 // hsfq_setrun / hsfq_sleep eligibility marking of §4.
 
 var _ sched.Scheduler = (*Structure)(nil)
+
+// nodeOf returns the leaf node t is attached to, consulting the byThread
+// map only after a cache miss (first touch, or right after a Move changed
+// the attachment). The steady-state Pick/Quantum/Charge cycle therefore
+// performs no map lookups at this layer.
+func (s *Structure) nodeOf(t *sched.Thread) *Node {
+	if v, ok := t.NodeSlot.Get(s); ok {
+		return v.(*Node)
+	}
+	if n := s.byThread[t]; n != nil {
+		t.NodeSlot.Set(s, n)
+		return n
+	}
+	return nil
+}
 
 // Name implements sched.Scheduler.
 func (s *Structure) Name() string { return "hsfq" }
@@ -27,7 +41,7 @@ func (s *Structure) Len() int { return s.runnable }
 // "this function has to traverse the path from the leaf up the tree only
 // until a node that is already runnable is found".
 func (s *Structure) Enqueue(t *sched.Thread, now sim.Time) {
-	n := s.byThread[t]
+	n := s.nodeOf(t)
 	if n == nil {
 		panic(fmt.Sprintf("core: Enqueue of unattached thread %v", t))
 	}
@@ -45,11 +59,11 @@ func (s *Structure) Enqueue(t *sched.Thread, now sim.Time) {
 func (s *Structure) setRun(n *Node) {
 	for n.parent != nil && n.heapIdx == -1 {
 		p := n.parent
-		wasRunnable := len(p.runq) > 0
-		n.start = maxf(p.VirtualTime(), n.finish)
+		wasRunnable := p.runq.Len() > 0
+		n.start = sim.Maxf(p.VirtualTime(), n.finish)
 		n.seq = s.seq
 		s.seq++
-		heap.Push(&p.runq, n)
+		p.runq.Push(n)
 		if wasRunnable {
 			return
 		}
@@ -64,7 +78,7 @@ func (s *Structure) setRun(n *Node) {
 // traverse the path from the leaf only until a node that has more than one
 // runnable child nodes is found".
 func (s *Structure) Remove(t *sched.Thread, now sim.Time) {
-	n := s.byThread[t]
+	n := s.nodeOf(t)
 	if n == nil {
 		panic(fmt.Sprintf("core: Remove of unattached thread %v", t))
 	}
@@ -80,8 +94,8 @@ func (s *Structure) Remove(t *sched.Thread, now sim.Time) {
 func (s *Structure) sleep(n *Node) {
 	for n.parent != nil && n.heapIdx != -1 {
 		p := n.parent
-		heap.Remove(&p.runq, n.heapIdx)
-		if len(p.runq) > 0 {
+		p.runq.Remove(n.heapIdx)
+		if p.runq.Len() > 0 {
 			return
 		}
 		n = p
@@ -95,13 +109,13 @@ func (s *Structure) sleep(n *Node) {
 func (s *Structure) Pick(now sim.Time) *sched.Thread {
 	n := s.root
 	for !n.IsLeaf() {
-		if len(n.runq) == 0 {
+		if n.runq.Len() == 0 {
 			if n == s.root {
 				return nil
 			}
 			panic(fmt.Sprintf("core: runnable intermediate node %q with no runnable children", s.PathOf(n.id)))
 		}
-		n = n.runq[0]
+		n = n.runq.Min()
 	}
 	t := n.leaf.Pick(now)
 	if t == nil {
@@ -114,7 +128,7 @@ func (s *Structure) Pick(now sim.Time) *sched.Thread {
 // Quantum implements sched.Scheduler: the quantum is a property of the
 // thread's leaf class.
 func (s *Structure) Quantum(t *sched.Thread, now sim.Time) sim.Time {
-	n := s.byThread[t]
+	n := s.nodeOf(t)
 	if n == nil {
 		panic(fmt.Sprintf("core: Quantum of unattached thread %v", t))
 	}
@@ -133,7 +147,7 @@ func (s *Structure) Quantum(t *sched.Thread, now sim.Time) sim.Time {
 // leaves its parent's runnable heap (the hsfq_sleep case folded into the
 // update).
 func (s *Structure) Charge(t *sched.Thread, used sched.Work, now sim.Time, runnable bool) {
-	n := s.byThread[t]
+	n := s.nodeOf(t)
 	if n == nil {
 		panic(fmt.Sprintf("core: Charge of unattached thread %v", t))
 	}
@@ -163,11 +177,15 @@ func (s *Structure) Charge(t *sched.Thread, used sched.Work, now sim.Time, runna
 			n.start = n.finish
 			n.seq = s.seq
 			s.seq++
-			heap.Fix(&p.runq, n.heapIdx)
+			// A single-child runnable set (common on chain-shaped
+			// hierarchies) cannot reorder; skip the sift entirely.
+			if p.runq.Len() > 1 {
+				p.runq.Fix(n.heapIdx)
+			}
 		} else if n.heapIdx != -1 {
-			heap.Remove(&p.runq, n.heapIdx)
+			p.runq.Remove(n.heapIdx)
 		}
-		stillRunnable = len(p.runq) > 0
+		stillRunnable = p.runq.Len() > 0
 		n = p
 	}
 }
@@ -178,17 +196,10 @@ func (s *Structure) Charge(t *sched.Thread, used sched.Work, now sim.Time, runna
 // preemption — the woken class gains the CPU at the next quantum boundary,
 // which is what bounds Fig. 9's scheduling latency by the quantum length.
 func (s *Structure) Preempts(running, woken *sched.Thread, now sim.Time) bool {
-	rl := s.byThread[running]
-	wl := s.byThread[woken]
+	rl := s.nodeOf(running)
+	wl := s.nodeOf(woken)
 	if rl == nil || wl == nil || rl != wl {
 		return false
 	}
 	return rl.leaf.Preempts(running, woken, now)
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

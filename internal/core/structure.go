@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"hsfq/internal/sched"
+	"hsfq/internal/sim"
 )
 
 // NodeID identifies a node in a scheduling structure, as the int node
@@ -78,8 +79,8 @@ type Node struct {
 	heapIdx       int // index in parent's runnable heap; -1 if not runnable
 
 	// Virtual-time state for this node's own domain.
-	runq      nodeHeap // runnable children ordered by start tag
-	maxFinish float64  // max finish tag ever assigned to a child
+	runq      sim.Heap[*Node] // runnable children ordered by start tag
+	maxFinish float64         // max finish tag ever assigned to a child
 
 	// Leaf state.
 	leaf    sched.Scheduler
@@ -106,7 +107,7 @@ func (n *Node) Tags() (start, finish float64) { return n.start, n.finish }
 // leaf in its subtree has a runnable thread.
 func (n *Node) Runnable() bool {
 	if n.parent == nil {
-		return len(n.runq) > 0
+		return n.runq.Len() > 0
 	}
 	return n.heapIdx != -1
 }
@@ -115,8 +116,8 @@ func (n *Node) Runnable() bool {
 // minimum start tag among runnable children while busy, and the maximum
 // finish tag ever assigned while idle (§3, rule 2). Leaves report 0.
 func (n *Node) VirtualTime() float64 {
-	if len(n.runq) > 0 {
-		return n.runq[0].start
+	if n.runq.Len() > 0 {
+		return n.runq.Min().start
 	}
 	return n.maxFinish
 }
@@ -128,37 +129,20 @@ func (n *Node) Children() []*Node {
 	return out
 }
 
-// nodeHeap orders runnable children by (start tag, insertion sequence):
-// "threads are serviced in the increasing order of the start tags; ties
-// are broken arbitrarily" — we break them FIFO for determinism.
-type nodeHeap []*Node
-
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].start != h[j].start {
-		return h[i].start < h[j].start
+// HeapLess implements sim.HeapItem so a node can sit on its parent's
+// runnable heap; it is not part of the public API. Runnable children are
+// ordered by (start tag, insertion sequence): "threads are serviced in the
+// increasing order of the start tags; ties are broken arbitrarily" — we
+// break them FIFO for determinism.
+func (n *Node) HeapLess(o *Node) bool {
+	if n.start != o.start {
+		return n.start < o.start
 	}
-	return h[i].seq < h[j].seq
+	return n.seq < o.seq
 }
-func (h nodeHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
-}
-func (h *nodeHeap) Push(x any) {
-	n := x.(*Node)
-	n.heapIdx = len(*h)
-	*h = append(*h, n)
-}
-func (h *nodeHeap) Pop() any {
-	old := *h
-	l := len(old)
-	n := old[l-1]
-	old[l-1] = nil
-	n.heapIdx = -1
-	*h = old[:l-1]
-	return n
-}
+
+// HeapIndex implements sim.HeapItem; it is not part of the public API.
+func (n *Node) HeapIndex() *int { return &n.heapIdx }
 
 // Structure is a scheduling structure: the tree plus the thread-to-leaf
 // map. It implements sched.Scheduler.
@@ -358,6 +342,7 @@ func (s *Structure) Attach(t *sched.Thread, leaf NodeID) error {
 	}
 	n.threads[t] = struct{}{}
 	s.byThread[t] = n
+	t.NodeSlot.Set(s, n)
 	return nil
 }
 
@@ -381,6 +366,7 @@ func (s *Structure) Move(t *sched.Thread, to NodeID) error {
 	delete(from.threads, t)
 	dst.threads[t] = struct{}{}
 	s.byThread[t] = dst
+	t.NodeSlot.Set(s, dst)
 	return nil
 }
 

@@ -70,6 +70,7 @@ type tstate struct {
 	prog      Program
 	burstLeft sched.Work
 	wake      *sim.Event
+	wakeFn    func() // timed-wakeup callback, built once at Add
 }
 
 // Machine is a simulated uniprocessor.
@@ -81,6 +82,7 @@ type Machine struct {
 	listeners []Listener
 
 	seg          *segment
+	segbuf       segment  // backing store for seg: one segment is in flight at a time
 	inCallback   int      // depth of program-callback nesting (see progNext)
 	intrUntil    sim.Time // CPU busy with interrupts until this time
 	intrEnd      *sim.Event
@@ -89,6 +91,11 @@ type Machine struct {
 	stats        Stats
 	nextID       int
 	dispatchCost func(t *sched.Thread) sim.Time
+
+	// Method values are built once here; evaluating m.segmentEnd at each
+	// dispatch would allocate a fresh closure per run segment.
+	segEndFn   func()
+	intrDoneFn func()
 }
 
 // SetDispatchCost models the CPU time consumed by each scheduling
@@ -109,7 +116,7 @@ func NewMachine(eng *sim.Engine, rate Rate, scheduler sched.Scheduler) *Machine 
 	if rate <= 0 {
 		rate = DefaultRate
 	}
-	return &Machine{
+	m := &Machine{
 		eng:       eng,
 		rate:      rate,
 		scheduler: scheduler,
@@ -117,6 +124,9 @@ func NewMachine(eng *sim.Engine, rate Rate, scheduler sched.Scheduler) *Machine 
 		idle:      true,
 		nextID:    1,
 	}
+	m.segEndFn = m.segmentEnd
+	m.intrDoneFn = m.interruptDone
+	return m
 }
 
 // Engine returns the simulation engine driving the machine.
@@ -159,25 +169,50 @@ func (m *Machine) Add(t *sched.Thread, prog Program, startAt sim.Time) {
 		m.nextID = t.ID + 1
 	}
 	ts := &tstate{t: t, prog: prog}
+	ts.wakeFn = func() {
+		ts.wake = nil
+		ts.t.WokeAt = m.eng.Now()
+		m.advance(ts)
+	}
 	m.threads[t] = ts
+	t.MachSlot.Set(m, ts)
 	m.eng.At(startAt, func() { m.advance(ts) })
 }
 
-// AddInterrupts registers an interrupt source and schedules its first
-// arrival.
-func (m *Machine) AddInterrupts(src InterruptSource) {
-	m.scheduleInterrupt(src)
+// stateOf returns t's machine state, consulting the threads map only after
+// a cache miss.
+func (m *Machine) stateOf(t *sched.Thread) *tstate {
+	if v, ok := t.MachSlot.Get(m); ok {
+		return v.(*tstate)
+	}
+	if ts := m.threads[t]; ts != nil {
+		t.MachSlot.Set(m, ts)
+		return ts
+	}
+	return nil
 }
 
-func (m *Machine) scheduleInterrupt(src InterruptSource) {
-	at, service, ok := src.Next(m.eng.Now())
-	if !ok {
-		return
-	}
-	m.eng.At(at, func() {
+// AddInterrupts registers an interrupt source and schedules its first
+// arrival. The two closures below are reused for every arrival of this
+// source; the order (service first, then re-arm) matters, because it gives
+// the interrupt-end event an earlier sequence number than the next arrival
+// and same-instant events fire in scheduling order.
+func (m *Machine) AddInterrupts(src InterruptSource) {
+	var service sim.Time
+	var arm func()
+	fire := func() {
 		m.interrupt(service)
-		m.scheduleInterrupt(src)
-	})
+		arm()
+	}
+	arm = func() {
+		at, svc, ok := src.Next(m.eng.Now())
+		if !ok {
+			return
+		}
+		service = svc
+		m.eng.At(at, fire)
+	}
+	arm()
 }
 
 // Run executes the simulation until the given time.
@@ -254,11 +289,7 @@ func (m *Machine) block(ts *tstate, until sim.Time) {
 	now := m.eng.Now()
 	ts.t.State = sched.StateBlocked
 	m.notifyBlock(ts.t, now)
-	ts.wake = m.eng.At(until, func() {
-		ts.wake = nil
-		ts.t.WokeAt = m.eng.Now()
-		m.advance(ts)
-	})
+	ts.wake = m.eng.At(until, ts.wakeFn)
 }
 
 // makeRunnable enqueues the thread and resolves preemption/dispatch.
@@ -316,7 +347,7 @@ func (m *Machine) dispatch() {
 		m.idle = false
 		m.stats.Idle += now - m.idleFrom
 	}
-	ts := m.threads[t]
+	ts := m.stateOf(t)
 	if ts == nil {
 		panic(fmt.Sprintf("cpu: scheduler picked unknown thread %v", t))
 	}
@@ -339,8 +370,12 @@ func (m *Machine) dispatch() {
 		t.Waited += now - t.ReadyAt
 	}
 	t.State = sched.StateRunning
-	m.seg = &segment{ts: ts, left: grant, resumeAt: now + cost}
-	m.seg.end = m.eng.After(cost+m.rate.TimeFor(grant), m.segmentEnd)
+	// Reuse the machine's single segment buffer: dispatch requires the CPU
+	// to be free (m.seg == nil), so at most one segment is ever in flight
+	// and no reference to a previous segment outlives its charge.
+	m.segbuf = segment{ts: ts, left: grant, resumeAt: now + cost}
+	m.seg = &m.segbuf
+	m.seg.end = m.eng.After(cost+m.rate.TimeFor(grant), m.segEndFn)
 	m.stats.Dispatches++
 	m.notifyDispatch(t, now)
 }
@@ -512,7 +547,7 @@ func (m *Machine) Flush() {
 // pending timed wakeup, if any, is cancelled. Waking a thread that is not
 // blocked is a no-op and returns false.
 func (m *Machine) Wake(t *sched.Thread) bool {
-	ts := m.threads[t]
+	ts := m.stateOf(t)
 	if ts == nil {
 		panic(fmt.Sprintf("cpu: Wake of unknown thread %v", t))
 	}
@@ -552,7 +587,7 @@ func (m *Machine) interrupt(service sim.Time) {
 	if m.intrEnd != nil {
 		m.eng.Cancel(m.intrEnd)
 	}
-	m.intrEnd = m.eng.At(m.intrUntil, m.interruptDone)
+	m.intrEnd = m.eng.At(m.intrUntil, m.intrDoneFn)
 }
 
 func (m *Machine) interruptDone() {
@@ -564,7 +599,7 @@ func (m *Machine) interruptDone() {
 		s := m.seg
 		s.paused = false
 		s.resumeAt = m.eng.Now()
-		s.end = m.eng.After(m.rate.TimeFor(s.left), m.segmentEnd)
+		s.end = m.eng.After(m.rate.TimeFor(s.left), m.segEndFn)
 		return
 	}
 	// Wakeups or preemption charges may have arrived during the

@@ -16,7 +16,6 @@
 package fairqueue
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hsfq/internal/sched"
@@ -55,39 +54,76 @@ type Algorithm interface {
 	Backlogged() int
 }
 
-// packetHeap orders packets by a tag then FIFO.
+// packetHeap is an intrusive min-heap of packets ordered by a tag then
+// FIFO. The tag is selected by byFinish (start tags for SFQ/FQS, finish
+// tags for SCFQ/WFQ) so push and pop stay direct calls with no interface
+// boxing or per-comparison indirection.
 type packetHeap struct {
-	pkts []*Packet
-	key  func(*Packet) float64
+	pkts     []*Packet
+	byFinish bool // order by Finish tag instead of Start
 }
 
-func (h *packetHeap) Len() int { return len(h.pkts) }
-func (h *packetHeap) Less(i, j int) bool {
-	a, b := h.pkts[i], h.pkts[j]
-	ka, kb := h.key(a), h.key(b)
+func (h *packetHeap) less(a, b *Packet) bool {
+	ka, kb := a.Start, b.Start
+	if h.byFinish {
+		ka, kb = a.Finish, b.Finish
+	}
 	if ka != kb {
 		return ka < kb
 	}
 	return a.seq < b.seq
 }
-func (h *packetHeap) Swap(i, j int) {
+
+func (h *packetHeap) swap(i, j int) {
 	h.pkts[i], h.pkts[j] = h.pkts[j], h.pkts[i]
 	h.pkts[i].idx = i
 	h.pkts[j].idx = j
 }
-func (h *packetHeap) Push(x any) {
-	p := x.(*Packet)
+
+func (h *packetHeap) push(p *Packet) {
 	p.idx = len(h.pkts)
 	h.pkts = append(h.pkts, p)
+	h.up(p.idx)
 }
-func (h *packetHeap) Pop() any {
-	old := h.pkts
-	n := len(old)
-	p := old[n-1]
-	old[n-1] = nil
+
+func (h *packetHeap) pop() *Packet {
+	n := len(h.pkts) - 1
+	h.swap(0, n)
+	h.down(0, n)
+	p := h.pkts[n]
+	h.pkts[n] = nil
 	p.idx = -1
-	h.pkts = old[:n-1]
+	h.pkts = h.pkts[:n]
 	return p
+}
+
+func (h *packetHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(h.pkts[j], h.pkts[i]) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+func (h *packetHeap) down(i, n int) {
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			return
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(h.pkts[j2], h.pkts[j1]) {
+			j = j2
+		}
+		if !h.less(h.pkts[j], h.pkts[i]) {
+			return
+		}
+		h.swap(i, j)
+		i = j
+	}
 }
 
 func checkFlow(weights []float64, flow int) {
@@ -112,9 +148,7 @@ type SFQ struct {
 
 // NewSFQ returns a packet SFQ over flows with the given weights.
 func NewSFQ(weights []float64) *SFQ {
-	s := &SFQ{weights: weights, flowF: make([]float64, len(weights))}
-	s.heap.key = func(p *Packet) float64 { return p.Start }
-	return s
+	return &SFQ{weights: weights, flowF: make([]float64, len(weights))}
 }
 
 // Name implements Algorithm.
@@ -143,7 +177,7 @@ func (s *SFQ) Arrive(p *Packet, now sim.Time) {
 	s.flowF[p.Flow] = p.Finish
 	p.seq = s.seq
 	s.seq++
-	heap.Push(&s.heap, p)
+	s.heap.push(p)
 }
 
 // Dequeue implements Algorithm.
@@ -151,7 +185,7 @@ func (s *SFQ) Dequeue(now sim.Time) *Packet {
 	if len(s.heap.pkts) == 0 {
 		return nil
 	}
-	p := heap.Pop(&s.heap).(*Packet)
+	p := s.heap.pop()
 	s.inService = p
 	return p
 }
@@ -183,9 +217,11 @@ type SCFQ struct {
 
 // NewSCFQ returns a packet SCFQ over flows with the given weights.
 func NewSCFQ(weights []float64) *SCFQ {
-	s := &SCFQ{weights: weights, flowF: make([]float64, len(weights))}
-	s.heap.key = func(p *Packet) float64 { return p.Finish }
-	return s
+	return &SCFQ{
+		weights: weights,
+		flowF:   make([]float64, len(weights)),
+		heap:    packetHeap{byFinish: true},
+	}
 }
 
 // Name implements Algorithm.
@@ -206,7 +242,7 @@ func (s *SCFQ) Arrive(p *Packet, now sim.Time) {
 	s.flowF[p.Flow] = p.Finish
 	p.seq = s.seq
 	s.seq++
-	heap.Push(&s.heap, p)
+	s.heap.push(p)
 }
 
 // Dequeue implements Algorithm.
@@ -214,7 +250,7 @@ func (s *SCFQ) Dequeue(now sim.Time) *Packet {
 	if len(s.heap.pkts) == 0 {
 		return nil
 	}
-	p := heap.Pop(&s.heap).(*Packet)
+	p := s.heap.pop()
 	s.inService = p
 	return p
 }

@@ -1,7 +1,6 @@
 package fairqueue
 
 import (
-	"container/heap"
 	"math"
 
 	"hsfq/internal/sim"
@@ -93,9 +92,11 @@ type WFQ struct {
 // NewWFQ returns a packet WFQ over flows with the given weights, assuming
 // server capacity is the constant capacity (work/second).
 func NewWFQ(capacity float64, weights []float64) *WFQ {
-	w := &WFQ{weights: weights, ref: newGPS(capacity, weights)}
-	w.heap.key = func(p *Packet) float64 { return p.Finish }
-	return w
+	return &WFQ{
+		weights: weights,
+		ref:     newGPS(capacity, weights),
+		heap:    packetHeap{byFinish: true},
+	}
 }
 
 // Name implements Algorithm.
@@ -107,7 +108,7 @@ func (w *WFQ) Arrive(p *Packet, now sim.Time) {
 	p.Start, p.Finish = w.ref.arrive(p.Flow, float64(p.Size), now)
 	p.seq = w.seq
 	w.seq++
-	heap.Push(&w.heap, p)
+	w.heap.push(p)
 }
 
 // Dequeue implements Algorithm.
@@ -115,7 +116,7 @@ func (w *WFQ) Dequeue(now sim.Time) *Packet {
 	if len(w.heap.pkts) == 0 {
 		return nil
 	}
-	return heap.Pop(&w.heap).(*Packet)
+	return w.heap.pop()
 }
 
 // Complete implements Algorithm.
@@ -138,9 +139,7 @@ type FQS struct {
 
 // NewFQS returns a packet FQS over flows with the given weights.
 func NewFQS(capacity float64, weights []float64) *FQS {
-	f := &FQS{weights: weights, ref: newGPS(capacity, weights)}
-	f.heap.key = func(p *Packet) float64 { return p.Start }
-	return f
+	return &FQS{weights: weights, ref: newGPS(capacity, weights)}
 }
 
 // Name implements Algorithm.
@@ -152,7 +151,7 @@ func (f *FQS) Arrive(p *Packet, now sim.Time) {
 	p.Start, p.Finish = f.ref.arrive(p.Flow, float64(p.Size), now)
 	p.seq = f.seq
 	f.seq++
-	heap.Push(&f.heap, p)
+	f.heap.push(p)
 }
 
 // Dequeue implements Algorithm.
@@ -160,7 +159,7 @@ func (f *FQS) Dequeue(now sim.Time) *Packet {
 	if len(f.heap.pkts) == 0 {
 		return nil
 	}
-	return heap.Pop(&f.heap).(*Packet)
+	return f.heap.pop()
 }
 
 // Complete implements Algorithm.

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -20,7 +19,7 @@ import (
 type EDF struct {
 	quantum sim.Time
 	entries map[*Thread]*edfEntry
-	heap    edfHeap
+	heap    sim.Heap[*edfEntry]
 	seq     uint64
 }
 
@@ -31,34 +30,17 @@ type edfEntry struct {
 	idx      int
 }
 
-type edfHeap []*edfEntry
-
-func (h edfHeap) Len() int { return len(h) }
-func (h edfHeap) Less(i, j int) bool {
-	if h[i].deadline != h[j].deadline {
-		return h[i].deadline < h[j].deadline
+// HeapLess implements sim.HeapItem: earliest deadline first, FIFO among
+// equal deadlines.
+func (e *edfEntry) HeapLess(o *edfEntry) bool {
+	if e.deadline != o.deadline {
+		return e.deadline < o.deadline
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h edfHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *edfHeap) Push(x any) {
-	e := x.(*edfEntry)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *edfHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+
+// HeapIndex implements sim.HeapItem.
+func (e *edfEntry) HeapIndex() *int { return &e.idx }
 
 // NewEDF returns an EDF scheduler. quantum bounds how long a job may run
 // before the scheduler re-examines the queue; <= 0 means jobs run until
@@ -70,13 +52,39 @@ func NewEDF(quantum sim.Time) *EDF {
 	return &EDF{quantum: quantum, entries: make(map[*Thread]*edfEntry)}
 }
 
+// entryFor returns t's entry, creating and caching it on first contact.
+func (s *EDF) entryFor(t *Thread) *edfEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*edfEntry)
+	}
+	e := s.entries[t]
+	if e == nil {
+		e = &edfEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	t.leafSlot.Set(s, e)
+	return e
+}
+
+// entryOf returns t's entry, or nil if the thread has never been seen.
+func (s *EDF) entryOf(t *Thread) *edfEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*edfEntry)
+	}
+	if e := s.entries[t]; e != nil {
+		t.leafSlot.Set(s, e)
+		return e
+	}
+	return nil
+}
+
 // Name implements Scheduler.
 func (s *EDF) Name() string { return "edf" }
 
 // Deadline returns the absolute deadline of t's current job, or the maximum
 // time if t is background or not runnable.
 func (s *EDF) Deadline(t *Thread) sim.Time {
-	if e, ok := s.entries[t]; ok && e.idx != -1 {
+	if e := s.entryOf(t); e != nil && e.idx != -1 {
 		return e.deadline
 	}
 	return sim.Time(math.MaxInt64)
@@ -84,11 +92,7 @@ func (s *EDF) Deadline(t *Thread) sim.Time {
 
 // Enqueue implements Scheduler.
 func (s *EDF) Enqueue(t *Thread, now sim.Time) {
-	e := s.entries[t]
-	if e == nil {
-		e = &edfEntry{t: t, idx: -1}
-		s.entries[t] = e
-	}
+	e := s.entryFor(t)
 	if e.idx != -1 {
 		panic(fmt.Sprintf("edf: Enqueue of runnable thread %v", t))
 	}
@@ -99,24 +103,24 @@ func (s *EDF) Enqueue(t *Thread, now sim.Time) {
 	}
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.heap, e)
+	s.heap.Push(e)
 }
 
 // Remove implements Scheduler.
 func (s *EDF) Remove(t *Thread, now sim.Time) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("edf: Remove of non-runnable thread %v", t))
 	}
-	heap.Remove(&s.heap, e.idx)
+	s.heap.Remove(e.idx)
 }
 
 // Pick implements Scheduler: earliest absolute deadline first.
 func (s *EDF) Pick(now sim.Time) *Thread {
-	if len(s.heap) == 0 {
+	if s.heap.Len() == 0 {
 		return nil
 	}
-	return s.heap[0].t
+	return s.heap.Min().t
 }
 
 // Quantum implements Scheduler.
@@ -125,28 +129,28 @@ func (s *EDF) Quantum(t *Thread, now sim.Time) sim.Time { return s.quantum }
 // Charge implements Scheduler. EDF keeps the job's deadline across
 // preemptions; a blocked job gets a fresh deadline at its next release.
 func (s *EDF) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("edf: Charge of non-runnable thread %v", t))
 	}
 	if !runnable {
-		heap.Remove(&s.heap, e.idx)
+		s.heap.Remove(e.idx)
 	}
 }
 
 // Preempts implements Scheduler: a woken job with an earlier deadline
 // preempts immediately.
 func (s *EDF) Preempts(running, woken *Thread, now sim.Time) bool {
-	re, ok1 := s.entries[running]
-	we, ok2 := s.entries[woken]
-	if !ok1 || !ok2 || re.idx == -1 || we.idx == -1 {
+	re := s.entryOf(running)
+	we := s.entryOf(woken)
+	if re == nil || we == nil || re.idx == -1 || we.idx == -1 {
 		return false
 	}
 	return we.deadline < re.deadline
 }
 
 // Len implements Scheduler.
-func (s *EDF) Len() int { return len(s.heap) }
+func (s *EDF) Len() int { return s.heap.Len() }
 
 // SchedulableEDF reports whether a set of periodic demands (compute time
 // per period) is schedulable under EDF on a dedicated CPU: sum(C_i/T_i) <=

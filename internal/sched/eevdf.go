@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hsfq/internal/sim"
@@ -18,7 +17,7 @@ type EEVDF struct {
 	quantum sim.Time
 	reqWork Work
 	entries map[*Thread]*eevdfEntry
-	heap    eevdfHeap // ordered by (vd, seq); eligibility filtered at Pick
+	heap    sim.Heap[*eevdfEntry] // ordered by (vd, seq); eligibility filtered at Pick
 	vtime   float64
 	total   float64
 	seq     uint64
@@ -33,34 +32,17 @@ type eevdfEntry struct {
 	idx    int
 }
 
-type eevdfHeap []*eevdfEntry
-
-func (h eevdfHeap) Len() int { return len(h) }
-func (h eevdfHeap) Less(i, j int) bool {
-	if h[i].vd != h[j].vd {
-		return h[i].vd < h[j].vd
+// HeapLess implements sim.HeapItem: earliest virtual deadline first, FIFO
+// among equal deadlines.
+func (e *eevdfEntry) HeapLess(o *eevdfEntry) bool {
+	if e.vd != o.vd {
+		return e.vd < o.vd
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eevdfHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eevdfHeap) Push(x any) {
-	e := x.(*eevdfEntry)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eevdfHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+
+// HeapIndex implements sim.HeapItem.
+func (e *eevdfEntry) HeapIndex() *int { return &e.idx }
 
 // NewEEVDF returns an EEVDF scheduler. reqWork is the nominal request size
 // in work units (typically quantum x CPU rate); it must be positive.
@@ -74,6 +56,32 @@ func NewEEVDF(quantum sim.Time, reqWork Work) *EEVDF {
 	return &EEVDF{quantum: quantum, reqWork: reqWork, entries: make(map[*Thread]*eevdfEntry)}
 }
 
+// entryFor returns t's entry, creating and caching it on first contact.
+func (s *EEVDF) entryFor(t *Thread) *eevdfEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*eevdfEntry)
+	}
+	e := s.entries[t]
+	if e == nil {
+		e = &eevdfEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	t.leafSlot.Set(s, e)
+	return e
+}
+
+// entryOf returns t's entry, or nil if the thread has never been seen.
+func (s *EEVDF) entryOf(t *Thread) *eevdfEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*eevdfEntry)
+	}
+	if e := s.entries[t]; e != nil {
+		t.leafSlot.Set(s, e)
+		return e
+	}
+	return nil
+}
+
 // Name implements Scheduler.
 func (s *EEVDF) Name() string { return "eevdf" }
 
@@ -84,11 +92,7 @@ func (s *EEVDF) VirtualTime() float64 { return s.vtime }
 // eligible no earlier than the current virtual time, so sleeping banks no
 // credit.
 func (s *EEVDF) Enqueue(t *Thread, now sim.Time) {
-	e := s.entries[t]
-	if e == nil {
-		e = &eevdfEntry{t: t, idx: -1}
-		s.entries[t] = e
-	}
+	e := s.entryFor(t)
 	if e.idx != -1 {
 		panic(fmt.Sprintf("eevdf: Enqueue of runnable thread %v", t))
 	}
@@ -99,17 +103,17 @@ func (s *EEVDF) Enqueue(t *Thread, now sim.Time) {
 	e.served = 0
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.heap, e)
+	s.heap.Push(e)
 	s.total += t.Weight
 }
 
 // Remove implements Scheduler.
 func (s *EEVDF) Remove(t *Thread, now sim.Time) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("eevdf: Remove of non-runnable thread %v", t))
 	}
-	heap.Remove(&s.heap, e.idx)
+	s.heap.Remove(e.idx)
 	s.total -= t.Weight
 }
 
@@ -118,14 +122,15 @@ func (s *EEVDF) Remove(t *Thread, now sim.Time) {
 // virtual clock jumps forward to the earliest eligible time, keeping the
 // scheduler work-conserving.
 func (s *EEVDF) Pick(now sim.Time) *Thread {
-	if len(s.heap) == 0 {
+	if s.heap.Len() == 0 {
 		return nil
 	}
 	best := s.eligibleMinVD()
 	if best == nil {
 		// Jump virtual time to the earliest eligible request.
-		minVE := s.heap[0].ve
-		for _, e := range s.heap {
+		items := s.heap.Items()
+		minVE := items[0].ve
+		for _, e := range items {
 			if e.ve < minVE {
 				minVE = e.ve
 			}
@@ -142,7 +147,7 @@ func (s *EEVDF) eligibleMinVD() *eevdfEntry {
 	// scan is O(n) in the worst case but the heap order makes the common
 	// case (heap top eligible) O(1).
 	var best *eevdfEntry
-	for _, e := range s.heap {
+	for _, e := range s.heap.Items() {
 		if e.ve > s.vtime {
 			continue
 		}
@@ -158,7 +163,7 @@ func (s *EEVDF) Quantum(t *Thread, now sim.Time) sim.Time { return s.quantum }
 
 // Charge implements Scheduler.
 func (s *EEVDF) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 || s.picked != e {
 		panic(fmt.Sprintf("eevdf: Charge of thread %v that was not picked", t))
 	}
@@ -176,9 +181,9 @@ func (s *EEVDF) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
 	if runnable {
 		e.seq = s.seq
 		s.seq++
-		heap.Fix(&s.heap, e.idx)
+		s.heap.Fix(e.idx)
 	} else {
-		heap.Remove(&s.heap, e.idx)
+		s.heap.Remove(e.idx)
 		s.total -= t.Weight
 	}
 }
@@ -187,7 +192,7 @@ func (s *EEVDF) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
 func (s *EEVDF) Preempts(running, woken *Thread, now sim.Time) bool { return false }
 
 // Len implements Scheduler.
-func (s *EEVDF) Len() int { return len(s.heap) }
+func (s *EEVDF) Len() int { return s.heap.Len() }
 
 // TotalWeight implements WeightedLen.
 func (s *EEVDF) TotalWeight() float64 { return s.total }

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hsfq/internal/sim"
@@ -17,7 +16,7 @@ import (
 type Priority struct {
 	quantum sim.Time
 	entries map[*Thread]*prioEntry
-	heap    prioHeap
+	heap    sim.Heap[*prioEntry]
 	seq     uint64
 }
 
@@ -28,34 +27,17 @@ type prioEntry struct {
 	idx  int
 }
 
-type prioHeap []*prioEntry
-
-func (h prioHeap) Len() int { return len(h) }
-func (h prioHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio > h[j].prio
+// HeapLess implements sim.HeapItem: higher priority first, FIFO within a
+// level.
+func (e *prioEntry) HeapLess(o *prioEntry) bool {
+	if e.prio != o.prio {
+		return e.prio > o.prio
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h prioHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *prioHeap) Push(x any) {
-	e := x.(*prioEntry)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *prioHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+
+// HeapIndex implements sim.HeapItem.
+func (e *prioEntry) HeapIndex() *int { return &e.idx }
 
 // NewPriority returns a static-priority scheduler; quantum <= 0 selects
 // DefaultQuantum (the quantum only round-robins equal priorities).
@@ -66,41 +48,63 @@ func NewPriority(quantum sim.Time) *Priority {
 	return &Priority{quantum: quantum, entries: make(map[*Thread]*prioEntry)}
 }
 
+// entryFor returns t's entry, creating and caching it on first contact.
+func (s *Priority) entryFor(t *Thread) *prioEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*prioEntry)
+	}
+	e := s.entries[t]
+	if e == nil {
+		e = &prioEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	t.leafSlot.Set(s, e)
+	return e
+}
+
+// entryOf returns t's entry, or nil if the thread has never been seen.
+func (s *Priority) entryOf(t *Thread) *prioEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*prioEntry)
+	}
+	if e := s.entries[t]; e != nil {
+		t.leafSlot.Set(s, e)
+		return e
+	}
+	return nil
+}
+
 // Name implements Scheduler.
 func (s *Priority) Name() string { return "priority" }
 
 // Enqueue implements Scheduler. The thread's Priority field is read at
 // enqueue time.
 func (s *Priority) Enqueue(t *Thread, now sim.Time) {
-	e := s.entries[t]
-	if e == nil {
-		e = &prioEntry{t: t, idx: -1}
-		s.entries[t] = e
-	}
+	e := s.entryFor(t)
 	if e.idx != -1 {
 		panic(fmt.Sprintf("priority: Enqueue of runnable thread %v", t))
 	}
 	e.prio = t.Priority
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.heap, e)
+	s.heap.Push(e)
 }
 
 // Remove implements Scheduler.
 func (s *Priority) Remove(t *Thread, now sim.Time) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("priority: Remove of non-runnable thread %v", t))
 	}
-	heap.Remove(&s.heap, e.idx)
+	s.heap.Remove(e.idx)
 }
 
 // Pick implements Scheduler.
 func (s *Priority) Pick(now sim.Time) *Thread {
-	if len(s.heap) == 0 {
+	if s.heap.Len() == 0 {
 		return nil
 	}
-	return s.heap[0].t
+	return s.heap.Min().t
 }
 
 // Quantum implements Scheduler.
@@ -109,32 +113,32 @@ func (s *Priority) Quantum(t *Thread, now sim.Time) sim.Time { return s.quantum 
 // Charge implements Scheduler: equal priorities round-robin via the
 // refreshed sequence number; higher priorities simply keep running.
 func (s *Priority) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("priority: Charge of non-runnable thread %v", t))
 	}
 	if !runnable {
-		heap.Remove(&s.heap, e.idx)
+		s.heap.Remove(e.idx)
 		return
 	}
 	e.seq = s.seq
 	s.seq++
-	heap.Fix(&s.heap, e.idx)
+	s.heap.Fix(e.idx)
 }
 
 // Preempts implements Scheduler: a strictly higher-priority wakeup
 // preempts immediately.
 func (s *Priority) Preempts(running, woken *Thread, now sim.Time) bool {
-	re, ok1 := s.entries[running]
-	we, ok2 := s.entries[woken]
-	if !ok1 || !ok2 || re.idx == -1 || we.idx == -1 {
+	re := s.entryOf(running)
+	we := s.entryOf(woken)
+	if re == nil || we == nil || re.idx == -1 || we.idx == -1 {
 		return false
 	}
 	return we.prio > re.prio
 }
 
 // Len implements Scheduler.
-func (s *Priority) Len() int { return len(s.heap) }
+func (s *Priority) Len() int { return s.heap.Len() }
 
 // Forget drops state for an exited thread.
 func (s *Priority) Forget(t *Thread) {
@@ -143,5 +147,6 @@ func (s *Priority) Forget(t *Thread) {
 			panic(fmt.Sprintf("priority: Forget of runnable thread %v", t))
 		}
 		delete(s.entries, t)
+		t.leafSlot.Drop(s)
 	}
 }

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hsfq/internal/sim"
@@ -29,7 +28,7 @@ import (
 type Reserves struct {
 	quantum sim.Time
 	entries map[*Thread]*resEntry
-	heap    resHeap // runnable, with budget, by next replenishment
+	heap    sim.Heap[*resEntry] // runnable, with budget, by next replenishment
 	bg      []*resEntry
 	count   int
 	picked  *resEntry
@@ -47,34 +46,17 @@ type resEntry struct {
 	idx      int // heap index; -1 when not in the reserved band
 }
 
-type resHeap []*resEntry
-
-func (h resHeap) Len() int { return len(h) }
-func (h resHeap) Less(i, j int) bool {
-	if h[i].refillAt != h[j].refillAt {
-		return h[i].refillAt < h[j].refillAt
+// HeapLess implements sim.HeapItem: earliest replenishment first, ties by
+// thread ID.
+func (e *resEntry) HeapLess(o *resEntry) bool {
+	if e.refillAt != o.refillAt {
+		return e.refillAt < o.refillAt
 	}
-	return h[i].t.ID < h[j].t.ID
+	return e.t.ID < o.t.ID
 }
-func (h resHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *resHeap) Push(x any) {
-	e := x.(*resEntry)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *resHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+
+// HeapIndex implements sim.HeapItem.
+func (e *resEntry) HeapIndex() *int { return &e.idx }
 
 // NewReserves returns a reserve-based scheduler; quantum <= 0 selects
 // DefaultQuantum. Threads without a reserve run in the background band.
@@ -108,13 +90,30 @@ func (s *Reserves) SetReserve(t *Thread, capacity Work, period sim.Time) {
 // Budget returns t's remaining budget this period, for tests.
 func (s *Reserves) Budget(t *Thread) Work { return s.entry(t).budget }
 
+// entry returns t's entry, creating and caching it on first contact.
 func (s *Reserves) entry(t *Thread) *resEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*resEntry)
+	}
 	e := s.entries[t]
 	if e == nil {
 		e = &resEntry{t: t, idx: -1}
 		s.entries[t] = e
 	}
+	t.leafSlot.Set(s, e)
 	return e
+}
+
+// entryOf returns t's entry, or nil if the thread has never been seen.
+func (s *Reserves) entryOf(t *Thread) *resEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*resEntry)
+	}
+	if e := s.entries[t]; e != nil {
+		t.leafSlot.Set(s, e)
+		return e
+	}
+	return nil
 }
 
 // refresh applies any replenishments due by now.
@@ -148,7 +147,7 @@ func (s *Reserves) Enqueue(t *Thread, now sim.Time) {
 // according to its budget.
 func (s *Reserves) place(e *resEntry) {
 	if e.capacity > 0 && e.budget > 0 {
-		heap.Push(&s.heap, e)
+		s.heap.Push(e)
 	} else {
 		e.idx = -1
 		s.bg = append(s.bg, e)
@@ -158,7 +157,7 @@ func (s *Reserves) place(e *resEntry) {
 // unlink removes a runnable entry from whichever band holds it.
 func (s *Reserves) unlink(e *resEntry) {
 	if e.idx != -1 {
-		heap.Remove(&s.heap, e.idx)
+		s.heap.Remove(e.idx)
 		return
 	}
 	for i, x := range s.bg {
@@ -172,7 +171,7 @@ func (s *Reserves) unlink(e *resEntry) {
 
 // Remove implements Scheduler.
 func (s *Reserves) Remove(t *Thread, now sim.Time) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || !e.runnable {
 		panic(fmt.Sprintf("reserves: Remove of non-runnable thread %v", t))
 	}
@@ -191,14 +190,14 @@ func (s *Reserves) Pick(now sim.Time) *Thread {
 	for _, e := range s.bg {
 		e.refresh(now)
 		if e.capacity > 0 && e.budget > 0 {
-			heap.Push(&s.heap, e)
+			s.heap.Push(e)
 		} else {
 			kept = append(kept, e)
 		}
 	}
 	s.bg = kept
-	if len(s.heap) > 0 {
-		s.picked = s.heap[0]
+	if s.heap.Len() > 0 {
+		s.picked = s.heap.Min()
 		return s.picked.t
 	}
 	if len(s.bg) > 0 {
@@ -216,7 +215,7 @@ func (s *Reserves) Quantum(t *Thread, now sim.Time) sim.Time { return s.quantum 
 
 // Charge implements Scheduler.
 func (s *Reserves) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || !e.runnable || s.picked != e {
 		panic(fmt.Sprintf("reserves: Charge of thread %v that was not picked", t))
 	}
@@ -241,8 +240,8 @@ func (s *Reserves) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
 // thread (budgeted work is the priority band), but not another reserved
 // one.
 func (s *Reserves) Preempts(running, woken *Thread, now sim.Time) bool {
-	re := s.entries[running]
-	we := s.entries[woken]
+	re := s.entryOf(running)
+	we := s.entryOf(woken)
 	if re == nil || we == nil || !re.runnable || !we.runnable {
 		return false
 	}
@@ -261,5 +260,6 @@ func (s *Reserves) Forget(t *Thread) {
 			panic(fmt.Sprintf("reserves: Forget of runnable thread %v", t))
 		}
 		delete(s.entries, t)
+		t.leafSlot.Drop(s)
 	}
 }

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -16,7 +15,7 @@ import (
 type RM struct {
 	quantum sim.Time
 	entries map[*Thread]*rmEntry
-	heap    rmHeap
+	heap    sim.Heap[*rmEntry]
 	seq     uint64
 }
 
@@ -41,34 +40,17 @@ func (a rmKey) less(b rmKey) bool {
 	return a.prio > b.prio
 }
 
-type rmHeap []*rmEntry
-
-func (h rmHeap) Len() int { return len(h) }
-func (h rmHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key.less(h[j].key)
+// HeapLess implements sim.HeapItem: highest rate-monotonic priority first,
+// FIFO among equal keys.
+func (e *rmEntry) HeapLess(o *rmEntry) bool {
+	if e.key != o.key {
+		return e.key.less(o.key)
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h rmHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *rmHeap) Push(x any) {
-	e := x.(*rmEntry)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *rmHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+
+// HeapIndex implements sim.HeapItem.
+func (e *rmEntry) HeapIndex() *int { return &e.idx }
 
 // NewRM returns a Rate Monotonic scheduler. quantum <= 0 means
 // run-until-block (preemption still occurs on higher-priority wakeups);
@@ -78,6 +60,32 @@ func NewRM(quantum sim.Time) *RM {
 		quantum = sim.Time(1 << 62)
 	}
 	return &RM{quantum: quantum, entries: make(map[*Thread]*rmEntry)}
+}
+
+// entryFor returns t's entry, creating and caching it on first contact.
+func (s *RM) entryFor(t *Thread) *rmEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*rmEntry)
+	}
+	e := s.entries[t]
+	if e == nil {
+		e = &rmEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	t.leafSlot.Set(s, e)
+	return e
+}
+
+// entryOf returns t's entry, or nil if the thread has never been seen.
+func (s *RM) entryOf(t *Thread) *rmEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*rmEntry)
+	}
+	if e := s.entries[t]; e != nil {
+		t.leafSlot.Set(s, e)
+		return e
+	}
+	return nil
 }
 
 // Name implements Scheduler.
@@ -92,35 +100,31 @@ func rmKeyFor(t *Thread) rmKey {
 
 // Enqueue implements Scheduler.
 func (s *RM) Enqueue(t *Thread, now sim.Time) {
-	e := s.entries[t]
-	if e == nil {
-		e = &rmEntry{t: t, idx: -1}
-		s.entries[t] = e
-	}
+	e := s.entryFor(t)
 	if e.idx != -1 {
 		panic(fmt.Sprintf("rm: Enqueue of runnable thread %v", t))
 	}
 	e.key = rmKeyFor(t)
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.heap, e)
+	s.heap.Push(e)
 }
 
 // Remove implements Scheduler.
 func (s *RM) Remove(t *Thread, now sim.Time) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("rm: Remove of non-runnable thread %v", t))
 	}
-	heap.Remove(&s.heap, e.idx)
+	s.heap.Remove(e.idx)
 }
 
 // Pick implements Scheduler: highest rate-monotonic priority first.
 func (s *RM) Pick(now sim.Time) *Thread {
-	if len(s.heap) == 0 {
+	if s.heap.Len() == 0 {
 		return nil
 	}
-	return s.heap[0].t
+	return s.heap.Min().t
 }
 
 // Quantum implements Scheduler.
@@ -128,27 +132,27 @@ func (s *RM) Quantum(t *Thread, now sim.Time) sim.Time { return s.quantum }
 
 // Charge implements Scheduler.
 func (s *RM) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("rm: Charge of non-runnable thread %v", t))
 	}
 	if !runnable {
-		heap.Remove(&s.heap, e.idx)
+		s.heap.Remove(e.idx)
 	}
 }
 
 // Preempts implements Scheduler: a higher-priority wakeup preempts.
 func (s *RM) Preempts(running, woken *Thread, now sim.Time) bool {
-	re, ok1 := s.entries[running]
-	we, ok2 := s.entries[woken]
-	if !ok1 || !ok2 || re.idx == -1 || we.idx == -1 {
+	re := s.entryOf(running)
+	we := s.entryOf(woken)
+	if re == nil || we == nil || re.idx == -1 || we.idx == -1 {
 		return false
 	}
 	return we.key.less(re.key)
 }
 
 // Len implements Scheduler.
-func (s *RM) Len() int { return len(s.heap) }
+func (s *RM) Len() int { return s.heap.Len() }
 
 // SchedulableRM reports whether periodic demands are schedulable under Rate
 // Monotonic by the Liu & Layland sufficient bound:

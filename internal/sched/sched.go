@@ -83,6 +83,15 @@ type Thread struct {
 	ReadyAt  sim.Time // when the thread last became runnable
 	WokeAt   sim.Time // when the thread last transitioned blocked->runnable
 	Waited   sim.Time // total time spent runnable but not running
+
+	// Hot-path caches (see Slot): each layer of the scheduling spine pins
+	// its per-thread state here so that a steady-state Pick/Quantum/Charge
+	// cycle touches no map[*Thread]. The authoritative maps remain in the
+	// owners and are consulted (then re-cached) only after a miss, e.g.
+	// right after an hsfq_move.
+	leafSlot Slot // leaf scheduler entry (package-internal)
+	NodeSlot Slot // hierarchy attachment: internal/core caches the owning *Node
+	MachSlot Slot // machine per-thread state: internal/cpu caches its *tstate
 }
 
 // NewThread returns a thread with the given identity and weight. Weight

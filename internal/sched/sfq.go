@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hsfq/internal/sim"
@@ -17,54 +16,43 @@ import (
 // order. The virtual time v(t) is the start tag of the thread in service
 // while the scheduler is busy, and the maximum finish tag ever assigned
 // while it is idle.
+//
+// The hot path is allocation- and map-free: the per-thread entry is cached
+// on the Thread itself (Thread.leafSlot) and the runnable set is an
+// intrusive sim.Heap. The entries map persists tag state across sleeps and
+// hsfq_move round-trips, exactly as before, but is only consulted after a
+// cache miss.
 type SFQ struct {
 	quantum   sim.Time
 	entries   map[*Thread]*sfqEntry
-	heap      sfqHeap
+	heap      sim.Heap[*sfqEntry]
 	inService *sfqEntry
 	maxFinish float64
 	seq       uint64
 	total     float64             // total effective weight of runnable threads
 	donated   map[*Thread]float64 // priority-inversion weight transfers (§4)
-	quanta    map[*Thread]sim.Time
 }
 
 type sfqEntry struct {
-	t      *Thread
-	start  float64
-	finish float64
-	seq    uint64 // tie-break: FIFO among equal start tags
-	idx    int    // heap index; -1 while not runnable
+	t       *Thread
+	start   float64
+	finish  float64
+	quantum sim.Time // per-thread override; 0 selects the scheduler default
+	seq     uint64   // tie-break: FIFO among equal start tags
+	idx     int      // heap index; -1 while not runnable
 }
 
-type sfqHeap []*sfqEntry
-
-func (h sfqHeap) Len() int { return len(h) }
-func (h sfqHeap) Less(i, j int) bool {
-	if h[i].start != h[j].start {
-		return h[i].start < h[j].start
+// HeapLess implements sim.HeapItem: minimum start tag first, FIFO among
+// equal start tags.
+func (e *sfqEntry) HeapLess(o *sfqEntry) bool {
+	if e.start != o.start {
+		return e.start < o.start
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h sfqHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *sfqHeap) Push(x any) {
-	e := x.(*sfqEntry)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *sfqHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+
+// HeapIndex implements sim.HeapItem.
+func (e *sfqEntry) HeapIndex() *int { return &e.idx }
 
 // NewSFQ returns an SFQ scheduler granting the given quantum per
 // scheduling decision; quantum <= 0 selects DefaultQuantum.
@@ -74,10 +62,35 @@ func NewSFQ(quantum sim.Time) *SFQ {
 	}
 	return &SFQ{
 		quantum: quantum,
-		quanta:  make(map[*Thread]sim.Time),
 		entries: make(map[*Thread]*sfqEntry),
 		donated: make(map[*Thread]float64),
 	}
+}
+
+// entryFor returns t's entry, creating and caching it on first contact.
+func (s *SFQ) entryFor(t *Thread) *sfqEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*sfqEntry)
+	}
+	e := s.entries[t]
+	if e == nil {
+		e = &sfqEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	t.leafSlot.Set(s, e)
+	return e
+}
+
+// entryOf returns t's entry, or nil if the thread has never been seen.
+func (s *SFQ) entryOf(t *Thread) *sfqEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*sfqEntry)
+	}
+	if e := s.entries[t]; e != nil {
+		t.leafSlot.Set(s, e)
+		return e
+	}
+	return nil
 }
 
 // SetThreadQuantum overrides the quantum for one thread. SFQ's fairness
@@ -89,11 +102,7 @@ func (s *SFQ) SetThreadQuantum(t *Thread, q sim.Time) {
 	if q < 0 {
 		panic(fmt.Sprintf("sfq: negative quantum for %v", t))
 	}
-	if q == 0 {
-		delete(s.quanta, t)
-		return
-	}
-	s.quanta[t] = q
+	s.entryFor(t).quantum = q
 }
 
 // Name implements Scheduler.
@@ -106,8 +115,8 @@ func (s *SFQ) VirtualTime() float64 {
 	if s.inService != nil {
 		return s.inService.start
 	}
-	if len(s.heap) > 0 {
-		return s.heap[0].start
+	if s.heap.Len() > 0 {
+		return s.heap.Min().start
 	}
 	return s.maxFinish
 }
@@ -115,7 +124,7 @@ func (s *SFQ) VirtualTime() float64 {
 // Tags returns the current start and finish tags of t. Threads that have
 // never been enqueued report zero tags.
 func (s *SFQ) Tags(t *Thread) (start, finish float64) {
-	if e, ok := s.entries[t]; ok {
+	if e := s.entryOf(t); e != nil {
 		return e.start, e.finish
 	}
 	return 0, 0
@@ -125,48 +134,44 @@ func (s *SFQ) Tags(t *Thread) (start, finish float64) {
 // S = max(v(now), F), so a thread returning from sleep cannot claim service
 // for the time it was absent.
 func (s *SFQ) Enqueue(t *Thread, now sim.Time) {
-	e := s.entries[t]
-	if e == nil {
-		e = &sfqEntry{t: t, idx: -1}
-		s.entries[t] = e
-	}
+	e := s.entryFor(t)
 	if e.idx != -1 {
 		panic(fmt.Sprintf("sfq: Enqueue of runnable thread %v", t))
 	}
-	e.start = maxf(s.VirtualTime(), e.finish)
+	e.start = sim.Maxf(s.VirtualTime(), e.finish)
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.heap, e)
+	s.heap.Push(e)
 	s.total += s.EffectiveWeight(t)
 }
 
 // Remove implements Scheduler.
 func (s *SFQ) Remove(t *Thread, now sim.Time) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("sfq: Remove of non-runnable thread %v", t))
 	}
 	if s.inService == e {
 		panic(fmt.Sprintf("sfq: Remove of in-service thread %v", t))
 	}
-	heap.Remove(&s.heap, e.idx)
+	s.heap.Remove(e.idx)
 	s.total -= s.EffectiveWeight(t)
 }
 
 // Pick implements Scheduler: the runnable thread with the minimum start
 // tag, ties broken in arrival order.
 func (s *SFQ) Pick(now sim.Time) *Thread {
-	if len(s.heap) == 0 {
+	if s.heap.Len() == 0 {
 		return nil
 	}
-	s.inService = s.heap[0]
+	s.inService = s.heap.Min()
 	return s.inService.t
 }
 
 // Quantum implements Scheduler.
 func (s *SFQ) Quantum(t *Thread, now sim.Time) sim.Time {
-	if q, ok := s.quanta[t]; ok {
-		return q
+	if e := s.entryOf(t); e != nil && e.quantum != 0 {
+		return e.quantum
 	}
 	return s.quantum
 }
@@ -178,7 +183,7 @@ func (s *SFQ) Quantum(t *Thread, now sim.Time) sim.Time {
 // reduces to S = F for a continuing thread, exactly as in the paper's
 // worked example.
 func (s *SFQ) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("sfq: Charge of non-runnable thread %v", t))
 	}
@@ -191,9 +196,9 @@ func (s *SFQ) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
 		e.start = e.finish
 		e.seq = s.seq
 		s.seq++
-		heap.Fix(&s.heap, e.idx)
+		s.heap.Fix(e.idx)
 	} else {
-		heap.Remove(&s.heap, e.idx)
+		s.heap.Remove(e.idx)
 		s.total -= s.EffectiveWeight(t)
 	}
 }
@@ -204,7 +209,7 @@ func (s *SFQ) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
 func (s *SFQ) Preempts(running, woken *Thread, now sim.Time) bool { return false }
 
 // Len implements Scheduler.
-func (s *SFQ) Len() int { return len(s.heap) }
+func (s *SFQ) Len() int { return s.heap.Len() }
 
 // TotalWeight implements WeightedLen.
 func (s *SFQ) TotalWeight() float64 { return s.total }
@@ -217,13 +222,6 @@ func (s *SFQ) Forget(t *Thread) {
 			panic(fmt.Sprintf("sfq: Forget of runnable thread %v", t))
 		}
 		delete(s.entries, t)
-		delete(s.quanta, t)
+		t.leafSlot.Drop(s)
 	}
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,38 @@
+package sched
+
+// Slot is an owner-validated cache cell: one (owner, value) pair that lets
+// a scheduler, hierarchy, or machine pin its per-thread state directly on
+// the Thread and skip a map[*Thread] lookup on every scheduling decision.
+//
+// The owner token makes the cell safe under movement: when a thread is
+// handed to a different scheduler (hsfq_move), the new owner's first
+// lookup misses, falls back to its own authoritative map, and re-installs
+// the cell. The maps therefore remain the source of truth for cold-path
+// ownership checks and validation; the Slot is purely a hot-path cache.
+//
+// Owners and values must be pointers (they are stored in interfaces, and
+// pointers neither allocate on conversion nor fail comparison).
+type Slot struct {
+	owner any
+	value any
+}
+
+// Get returns the cached value if it was installed by owner.
+func (s *Slot) Get(owner any) (any, bool) {
+	if s.owner == owner {
+		return s.value, true
+	}
+	return nil, false
+}
+
+// Set installs value for owner, displacing any other owner's cache.
+func (s *Slot) Set(owner, value any) {
+	s.owner, s.value = owner, value
+}
+
+// Drop clears the cell if it is held by owner.
+func (s *Slot) Drop(owner any) {
+	if s.owner == owner {
+		s.owner, s.value = nil, nil
+	}
+}

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hsfq/internal/sim"
@@ -16,7 +15,7 @@ import (
 type Stride struct {
 	quantum sim.Time
 	entries map[*Thread]*strideEntry
-	heap    strideHeap
+	heap    sim.Heap[*strideEntry]
 	global  float64 // pass of the most recently dispatched thread
 	seq     uint64
 	total   float64
@@ -29,34 +28,17 @@ type strideEntry struct {
 	idx  int
 }
 
-type strideHeap []*strideEntry
-
-func (h strideHeap) Len() int { return len(h) }
-func (h strideHeap) Less(i, j int) bool {
-	if h[i].pass != h[j].pass {
-		return h[i].pass < h[j].pass
+// HeapLess implements sim.HeapItem: minimum pass first, FIFO among equal
+// passes.
+func (e *strideEntry) HeapLess(o *strideEntry) bool {
+	if e.pass != o.pass {
+		return e.pass < o.pass
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h strideHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *strideHeap) Push(x any) {
-	e := x.(*strideEntry)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *strideHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+
+// HeapIndex implements sim.HeapItem.
+func (e *strideEntry) HeapIndex() *int { return &e.idx }
 
 // NewStride returns a stride scheduler; quantum <= 0 selects
 // DefaultQuantum.
@@ -67,12 +49,38 @@ func NewStride(quantum sim.Time) *Stride {
 	return &Stride{quantum: quantum, entries: make(map[*Thread]*strideEntry)}
 }
 
+// entryFor returns t's entry, creating and caching it on first contact.
+func (s *Stride) entryFor(t *Thread) *strideEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*strideEntry)
+	}
+	e := s.entries[t]
+	if e == nil {
+		e = &strideEntry{t: t, idx: -1}
+		s.entries[t] = e
+	}
+	t.leafSlot.Set(s, e)
+	return e
+}
+
+// entryOf returns t's entry, or nil if the thread has never been seen.
+func (s *Stride) entryOf(t *Thread) *strideEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*strideEntry)
+	}
+	if e := s.entries[t]; e != nil {
+		t.leafSlot.Set(s, e)
+		return e
+	}
+	return nil
+}
+
 // Name implements Scheduler.
 func (s *Stride) Name() string { return "stride" }
 
 // Pass returns t's current pass value, for tests.
 func (s *Stride) Pass(t *Thread) float64 {
-	if e, ok := s.entries[t]; ok {
+	if e := s.entryOf(t); e != nil {
 		return e.pass
 	}
 	return 0
@@ -80,11 +88,7 @@ func (s *Stride) Pass(t *Thread) float64 {
 
 // Enqueue implements Scheduler.
 func (s *Stride) Enqueue(t *Thread, now sim.Time) {
-	e := s.entries[t]
-	if e == nil {
-		e = &strideEntry{t: t, idx: -1}
-		s.entries[t] = e
-	}
+	e := s.entryFor(t)
 	if e.idx != -1 {
 		panic(fmt.Sprintf("stride: Enqueue of runnable thread %v", t))
 	}
@@ -93,27 +97,28 @@ func (s *Stride) Enqueue(t *Thread, now sim.Time) {
 	}
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.heap, e)
+	s.heap.Push(e)
 	s.total += t.Weight
 }
 
 // Remove implements Scheduler.
 func (s *Stride) Remove(t *Thread, now sim.Time) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("stride: Remove of non-runnable thread %v", t))
 	}
-	heap.Remove(&s.heap, e.idx)
+	s.heap.Remove(e.idx)
 	s.total -= t.Weight
 }
 
 // Pick implements Scheduler: minimum pass first.
 func (s *Stride) Pick(now sim.Time) *Thread {
-	if len(s.heap) == 0 {
+	if s.heap.Len() == 0 {
 		return nil
 	}
-	s.global = s.heap[0].pass
-	return s.heap[0].t
+	e := s.heap.Min()
+	s.global = e.pass
+	return e.t
 }
 
 // Quantum implements Scheduler.
@@ -123,7 +128,7 @@ func (s *Stride) Quantum(t *Thread, now sim.Time) sim.Time { return s.quantum }
 // actually consumed, the natural generalization of "pass += stride" to
 // variable-length quanta.
 func (s *Stride) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || e.idx == -1 {
 		panic(fmt.Sprintf("stride: Charge of non-runnable thread %v", t))
 	}
@@ -131,9 +136,9 @@ func (s *Stride) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
 	if runnable {
 		e.seq = s.seq
 		s.seq++
-		heap.Fix(&s.heap, e.idx)
+		s.heap.Fix(e.idx)
 	} else {
-		heap.Remove(&s.heap, e.idx)
+		s.heap.Remove(e.idx)
 		s.total -= t.Weight
 	}
 }
@@ -142,7 +147,7 @@ func (s *Stride) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
 func (s *Stride) Preempts(running, woken *Thread, now sim.Time) bool { return false }
 
 // Len implements Scheduler.
-func (s *Stride) Len() int { return len(s.heap) }
+func (s *Stride) Len() int { return s.heap.Len() }
 
 // TotalWeight implements WeightedLen.
 func (s *Stride) TotalWeight() float64 { return s.total }

@@ -82,10 +82,10 @@ func DefaultDispatchTable() []DispatchEntry {
 		q := 200 - 36*(p/10) // 200,164,128,92,56,20 ms per decade
 		table[p] = DispatchEntry{
 			Quantum: sim.Time(q) * sim.Millisecond,
-			TQExp:   maxi(0, p-10),
-			SlpRet:  mini(TSLevels-1, p+25),
+			TQExp:   max(0, p-10),
+			SlpRet:  min(TSLevels-1, p+25),
 			MaxWait: sim.Second,
-			LWait:   mini(TSLevels-1, p+10),
+			LWait:   min(TSLevels-1, p+10),
 		}
 	}
 	return table
@@ -141,13 +141,30 @@ func (s *SVR4) Level(t *Thread) (class, level int) {
 	return e.class, e.level
 }
 
+// entry returns t's entry, creating and caching it on first contact.
 func (s *SVR4) entry(t *Thread) *svr4Entry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*svr4Entry)
+	}
 	e := s.entries[t]
 	if e == nil {
 		e = &svr4Entry{t: t, class: classTS, level: TSInitial}
 		s.entries[t] = e
 	}
+	t.leafSlot.Set(s, e)
 	return e
+}
+
+// entryOf returns t's entry, or nil if the thread has never been seen.
+func (s *SVR4) entryOf(t *Thread) *svr4Entry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*svr4Entry)
+	}
+	if e := s.entries[t]; e != nil {
+		t.leafSlot.Set(s, e)
+		return e
+	}
+	return nil
 }
 
 // Enqueue implements Scheduler. A TS thread waking from sleep returns at
@@ -167,7 +184,10 @@ func (s *SVR4) Enqueue(t *Thread, now sim.Time) {
 func (s *SVR4) insert(e *svr4Entry, now sim.Time, front bool) {
 	p := e.globalPrio()
 	if front {
-		s.queues[p] = append([]*svr4Entry{e}, s.queues[p]...)
+		q := append(s.queues[p], nil)
+		copy(q[1:], q)
+		q[0] = e
+		s.queues[p] = q
 	} else {
 		s.queues[p] = append(s.queues[p], e)
 	}
@@ -195,7 +215,7 @@ func (s *SVR4) unlink(e *svr4Entry) {
 
 // Remove implements Scheduler.
 func (s *SVR4) Remove(t *Thread, now sim.Time) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || !e.runnable {
 		panic(fmt.Sprintf("svr4: Remove of non-runnable thread %v", t))
 	}
@@ -263,7 +283,7 @@ func (s *SVR4) Quantum(t *Thread, now sim.Time) sim.Time {
 // thread to tqexp and requeues it at the tail; a preempted thread keeps
 // its level and returns to the head of its queue.
 func (s *SVR4) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
-	e := s.entries[t]
+	e := s.entryOf(t)
 	if e == nil || !e.runnable || s.picked != e {
 		panic(fmt.Sprintf("svr4: Charge of thread %v that was not picked", t))
 	}
@@ -293,8 +313,8 @@ func (s *SVR4) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
 // Preempts implements Scheduler: SVR4 sets the dispatcher's "runrun" flag
 // whenever a higher-priority thread becomes runnable.
 func (s *SVR4) Preempts(running, woken *Thread, now sim.Time) bool {
-	re := s.entries[running]
-	we := s.entries[woken]
+	re := s.entryOf(running)
+	we := s.entryOf(woken)
 	if re == nil || we == nil || !re.runnable || !we.runnable {
 		return false
 	}
@@ -303,17 +323,3 @@ func (s *SVR4) Preempts(running, woken *Thread, now sim.Time) bool {
 
 // Len implements Scheduler.
 func (s *SVR4) Len() int { return s.count }
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func mini(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -103,7 +103,12 @@ func (s *SFQ) Revoke(d Donation) {
 }
 
 // EffectiveWeight returns the weight SFQ charges t at: its own weight plus
-// any donations it currently holds.
+// any donations it currently holds. Donations exist only while a priority
+// inversion is being resolved, so the common case skips the map read
+// entirely and the hot path stays map-free.
 func (s *SFQ) EffectiveWeight(t *Thread) float64 {
+	if len(s.donated) == 0 {
+		return t.Weight
+	}
 	return t.Weight + s.donated[t]
 }

@@ -1,13 +1,17 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
 // Event is a scheduled callback. Events fire in increasing time order;
 // events at the same instant fire in the order they were scheduled, which
 // keeps the simulation deterministic.
+//
+// Event handles are pooled: once an event has fired or been cancelled the
+// engine may recycle the Event value for a later At/After, so holders must
+// drop their reference at that point. Cancelled is meaningful only until
+// the handle's event is recycled.
 type Event struct {
 	At  Time
 	Fn  func()
@@ -19,40 +23,24 @@ type Event struct {
 // (either by firing or by Engine.Cancel).
 func (e *Event) Cancelled() bool { return e.idx == -1 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// HeapLess implements sim.HeapItem: earlier time first, FIFO at the same
+// instant.
+func (e *Event) HeapLess(o *Event) bool {
+	if e.At != o.At {
+		return e.At < o.At
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+
+// HeapIndex implements sim.HeapItem.
+func (e *Event) HeapIndex() *int { return &e.idx }
 
 // Engine is the discrete-event simulation loop. The zero value is not
 // usable; create one with NewEngine.
 type Engine struct {
 	now    Time
-	queue  eventHeap
+	queue  Heap[*Event]
+	free   []*Event // fired/cancelled events awaiting reuse
 	seq    uint64
 	fired  uint64
 	halted bool
@@ -71,17 +59,27 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.Len() }
 
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // panics: it is always a simulation bug, never recoverable input error.
+// The returned handle is valid until the event fires or is cancelled,
+// after which the engine recycles it.
 func (e *Engine) At(at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", at, e.now))
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.At, ev.Fn, ev.seq = at, fn, e.seq
+	} else {
+		ev = &Event{At: at, Fn: fn, seq: e.seq, idx: -1}
+	}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.Push(ev)
 	return ev
 }
 
@@ -91,24 +89,36 @@ func (e *Engine) After(delta Time, fn func()) *Event {
 }
 
 // Cancel removes ev from the queue if it has not fired. It is safe to call
-// on an already-fired or already-cancelled event.
+// on an already-fired or already-cancelled event only while the holder has
+// not released the handle to a new At/After (see Event).
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.idx == -1 {
 		return
 	}
-	heap.Remove(&e.queue, ev.idx)
+	e.queue.Remove(ev.idx)
+	e.release(ev)
+}
+
+// release returns a detached event to the pool.
+func (e *Engine) release(ev *Event) {
+	ev.Fn = nil // free the closure for collection while pooled
+	e.free = append(e.free, ev)
 }
 
 // Step fires the earliest pending event and returns true, or returns false
 // if the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.queue.Len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.queue.Pop()
 	e.now = ev.At
 	e.fired++
-	ev.Fn()
+	fn := ev.Fn
+	fn()
+	// Recycle only after the callback: the handle stays stable while its
+	// own callback runs, so holders can clear their reference inside it.
+	e.release(ev)
 	return true
 }
 
@@ -124,7 +134,7 @@ func (e *Engine) Run() {
 // the deadline do fire.
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
-	for !e.halted && len(e.queue) > 0 && e.queue[0].At <= deadline {
+	for !e.halted && e.queue.Len() > 0 && e.queue.Min().At <= deadline {
 		e.Step()
 	}
 	if !e.halted && e.now < deadline {

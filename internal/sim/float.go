@@ -1,0 +1,13 @@
+package sim
+
+// Maxf returns the larger of a and b: a if a > b, else b. This is the one
+// float helper the tag arithmetic of SFQ needs (S = max(v, F)); it lives
+// here so internal/sched and internal/core share a single definition. It
+// deliberately does not use the built-in max, whose signed-zero and NaN
+// normalization could perturb bit-for-bit golden schedules.
+func Maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -6,9 +6,16 @@ BENCH ?= BenchmarkSchedule|BenchmarkLeafSchedulers|BenchmarkMachineSimulation|Be
 BENCH_COUNT ?= 5
 BENCH_TIME ?= 200ms
 
-.PHONY: all build test race vet bench fmt
+# Parallelism of the sweep-bench parallel leg and repetitions per leg
+# (benchjson aggregates repeated lines by median).
+SWEEP_BENCH_WORKERS ?= 8
+SWEEP_BENCH_COUNT ?= 3
+
+.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench
 
 all: build test
+
+check: build test vet sweep-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +23,7 @@ build:
 test:
 	$(GO) test ./...
 
+# Includes the sweep engine's determinism-under-concurrency tests.
 race:
 	$(GO) test -race ./...
 
@@ -27,3 +35,22 @@ fmt:
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) .
+
+# 16-job grid (2 quanta x 2 leaf kinds x 2 weights x 2 seeds), every job
+# run twice (-verify) across 4 workers: exercises the sweep engine's
+# determinism guarantee end to end on a real scenario.
+sweep-smoke:
+	$(GO) run ./cmd/hsfqsweep -spec examples/sweeps/smoke.json -workers 4 -verify -o "" -metrics share:dec,frames:dec
+
+# Serial vs parallel wall clock of the full figure suite, recorded as
+# BENCH_PR2.json (before = -workers 1, after = -workers $(SWEEP_BENCH_WORKERS)).
+sweep-bench:
+	$(GO) build -o /tmp/hsfq-experiments ./cmd/experiments
+	rm -f /tmp/hsfq-bench-serial.txt /tmp/hsfq-bench-parallel.txt
+	for i in $$(seq $(SWEEP_BENCH_COUNT)); do \
+		/tmp/hsfq-experiments -all -workers 1 -benchout /tmp/hsfq-bench-serial.txt >/dev/null && \
+		/tmp/hsfq-experiments -all -workers $(SWEEP_BENCH_WORKERS) -benchout /tmp/hsfq-bench-parallel.txt >/dev/null \
+		|| exit 1; \
+	done
+	$(GO) run ./cmd/benchjson -before /tmp/hsfq-bench-serial.txt -after /tmp/hsfq-bench-parallel.txt -o BENCH_PR2.json
+	cat BENCH_PR2.json

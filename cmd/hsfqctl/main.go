@@ -2,9 +2,9 @@
 // interpreting a small script whose commands mirror the paper's system
 // calls (hsfq_mknod, hsfq_parse, hsfq_rmnod, hsfq_admin):
 //
-//	mknod PATH WEIGHT [LEAF [QUANTUM]]   create a node (LEAF: sfq, rr,
-//	                                     fifo, edf, rm, svr4, lottery,
-//	                                     stride, eevdf)
+//	mknod PATH WEIGHT [LEAF [QUANTUM]]   create a node (LEAF: any
+//	                                     registered leaf scheduler; run
+//	                                     hsfqctl -h for the current list)
 //	parse PATH                           resolve a path to a node id
 //	rmnod PATH                           remove an empty node
 //	weight PATH W                        change a node's weight
@@ -36,6 +36,11 @@ import (
 
 func main() {
 	file := flag.String("f", "", "script file (default: stdin)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hsfqctl [-f script]\n\nleaf kinds (mknod LEAF argument): %s\n\nflags:\n",
+			strings.Join(sched.Names(), " "))
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	in := io.Reader(os.Stdin)
 	if *file != "" {
@@ -195,34 +200,5 @@ func exec(s *core.Structure, line string, out io.Writer) error {
 }
 
 func makeLeaf(kind string, quantum sim.Time) (sched.Scheduler, error) {
-	switch kind {
-	case "sfq":
-		return sched.NewSFQ(quantum), nil
-	case "rr":
-		return sched.NewRoundRobin(quantum), nil
-	case "fifo":
-		return sched.NewFIFO(), nil
-	case "priority":
-		return sched.NewPriority(quantum), nil
-	case "reserves":
-		return sched.NewReserves(quantum), nil
-	case "edf":
-		return sched.NewEDF(quantum), nil
-	case "rm":
-		return sched.NewRM(quantum), nil
-	case "svr4":
-		return sched.NewSVR4(nil, int64(cpu.DefaultRate), quantum), nil
-	case "lottery":
-		return sched.NewLottery(quantum, sim.NewRand(1)), nil
-	case "stride":
-		return sched.NewStride(quantum), nil
-	case "eevdf":
-		q := quantum
-		if q <= 0 {
-			q = sched.DefaultQuantum
-		}
-		return sched.NewEEVDF(q, cpu.DefaultRate.WorkFor(q)), nil
-	default:
-		return nil, fmt.Errorf("unknown leaf scheduler %q", kind)
-	}
+	return sched.New(kind, sched.LeafConfig{Quantum: quantum, IPS: int64(cpu.DefaultRate)})
 }

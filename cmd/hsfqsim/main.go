@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"hsfq/internal/metrics"
+	"hsfq/internal/sched"
 	"hsfq/internal/sim"
 	"hsfq/internal/simconfig"
 	"hsfq/internal/trace"
@@ -63,6 +64,11 @@ func main() {
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hsfqsim [flags]\n\nleaf kinds (config \"leaf\" field): %s\n\nflags:\n",
+			strings.Join(sched.Names(), " "))
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -123,11 +129,8 @@ func run(configPath, tracePath, dotPath string, seed uint64, gantt bool) error {
 	if err != nil {
 		return err
 	}
-	if seed != 0 {
-		cfg.Seed = seed
-	}
 
-	s, err := simconfig.Build(cfg)
+	s, err := simconfig.Build(cfg, simconfig.BuildOptions{Seed: seed})
 	if err != nil {
 		return err
 	}
@@ -162,7 +165,7 @@ func run(configPath, tracePath, dotPath string, seed uint64, gantt bool) error {
 			name, len(p.Slack), p.MissedDeadlines(), p.MinSlack())
 	}
 	for name, d := range s.Decoders {
-		fmt.Printf("decoder %q: %d frames decoded\n", name, d.FramesDecoded(cfg.Horizon.Time()))
+		fmt.Printf("decoder %q: %d frames decoded\n", name, d.FramesDecoded(s.Config.Horizon.Time()))
 	}
 
 	if gantt {

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSpec = `{
+  "name": "smoke",
+  "seeds": 2,
+  "base": {
+    "horizon": "200ms",
+    "seed": 42,
+    "nodes": [
+      {"path": "/a", "weight": 3, "leaf": "sfq", "quantum": "10ms"},
+      {"path": "/b", "weight": 1, "leaf": "rr"}
+    ],
+    "threads": [
+      {"name": "x", "leaf": "/a", "program": {"kind": "loop"}},
+      {"name": "y", "leaf": "/b", "program": {"kind": "loop"}}
+    ]
+  },
+  "axes": [
+    {"param": "weight", "target": "/a", "values": [1, 3]}
+  ]
+}`
+
+func TestRunSweep(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.jsonl")
+
+	var stdout strings.Builder
+	if err := run(specPath, 4, true, outPath, true, "work_total,share:x", &stdout); err != nil {
+		t.Fatal(err)
+	}
+	jsonl, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(jsonl)), "\n")
+	if len(lines) != 4 { // 2 weights x 2 seeds
+		t.Fatalf("got %d JSONL lines, want 4:\n%s", len(lines), jsonl)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, `"digest":"`) {
+			t.Errorf("line without digest: %s", line)
+		}
+	}
+	out := stdout.String()
+	for _, want := range []string{"4 job(s)", "2 grid point(s)", "work_total", "share:x", "weight@/a=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// A second run with a different worker count streams identical bytes.
+	outPath2 := filepath.Join(dir, "out2.jsonl")
+	if err := run(specPath, 1, false, outPath2, false, "work_total", &stdout); err != nil {
+		t.Fatal(err)
+	}
+	jsonl2, err := os.ReadFile(outPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(jsonl) != string(jsonl2) {
+		t.Error("JSONL output differs between -workers 4 and -workers 1")
+	}
+}
+
+func TestRunSweepBadSpec(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(`{"name":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout strings.Builder
+	if err := run(specPath, 1, false, "", false, "", &stdout); err == nil {
+		t.Error("empty base accepted")
+	}
+}

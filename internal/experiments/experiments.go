@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,9 +34,9 @@ func DefaultOptions() Options { return Options{Seed: 42} }
 
 // Check is one shape assertion of an experiment.
 type Check struct {
-	Name   string
-	Pass   bool
-	Detail string
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
 }
 
 // Result is the outcome of an experiment run.
@@ -66,6 +68,14 @@ func (r *Result) Passed() bool {
 		}
 	}
 	return true
+}
+
+// Digest returns the hex SHA-256 of the experiment's rendered output and
+// check table — the unit of determinism for CI and sweep comparisons: two
+// runs at the same seed must digest identically.
+func (r *Result) Digest() string {
+	sum := sha256.Sum256([]byte(r.Output() + r.Summary()))
+	return hex.EncodeToString(sum[:])
 }
 
 // Summary renders the checks as a table footer.

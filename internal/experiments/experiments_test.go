@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -97,5 +98,66 @@ func TestPlotOption(t *testing.T) {
 	}
 	if !strings.Contains(res.Output(), "│") {
 		t.Error("plot output missing")
+	}
+}
+
+// TestParallelRunsMatchSerial runs a batch of experiments concurrently
+// (as `experiments -all -workers N` does) and requires every digest to
+// match a serial run of the same seed: experiments share no mutable state,
+// so parallelism outside the simulation cannot change any figure.
+func TestParallelRunsMatchSerial(t *testing.T) {
+	ids := []string{"fig3", "fig5", "fig8a", "fig9", "ablation-lottery"}
+	serial := make([]string, len(ids))
+	for i, id := range ids {
+		res, err := Run(id, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res.Digest()
+	}
+	parallel := make([]string, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			res, err := Run(id, DefaultOptions())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			parallel[i] = res.Digest()
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if parallel[i] != serial[i] {
+			t.Errorf("%s: parallel digest %s != serial %s", id, parallel[i], serial[i])
+		}
+	}
+}
+
+// TestDigest pins the digest to the rendered output + checks.
+func TestDigest(t *testing.T) {
+	a, err := Run("fig3", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig3", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Error("same run, different digests")
+	}
+	if len(a.Digest()) != 64 {
+		t.Errorf("digest %q is not hex sha256", a.Digest())
+	}
+	c, err := Run("fig1", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Error("different experiments share a digest")
 	}
 }

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"hsfq/internal/sim"
+)
+
+// LeafConfig carries the parameters a leaf-scheduler constructor may need.
+// Every field has a sensible zero value, so callers set only what they
+// know: a quantum from a config file, the machine speed, a seeded stream.
+type LeafConfig struct {
+	// Quantum is the scheduling quantum; <= 0 selects the algorithm's
+	// default (DefaultQuantum for most, 25 ms for the SVR4 class).
+	Quantum sim.Time
+
+	// IPS is the speed of the machine the scheduler will run on, in
+	// instructions per second. Algorithms that convert between time and
+	// work (svr4's dispatch table, eevdf's lag unit) need it; 0 selects
+	// 100 MIPS, the paper's machine class.
+	IPS int64
+
+	// RNG feeds randomized schedulers (lottery). Constructors fork the
+	// stream they are handed, so the caller's stream advances exactly one
+	// draw per randomized leaf and leaves built from the same stream stay
+	// independent. nil selects a fixed private stream.
+	RNG *sim.Rand
+}
+
+func (c LeafConfig) ips() int64 {
+	if c.IPS <= 0 {
+		return 100_000_000
+	}
+	return c.IPS
+}
+
+// Ctor builds one leaf scheduler from a LeafConfig.
+type Ctor func(LeafConfig) Scheduler
+
+var leafCtors = map[string]Ctor{}
+
+// Register adds a leaf-scheduler constructor under a unique name, making
+// it available to every surface that names schedulers by string —
+// simconfig files, hsfqctl scripts, sweep specs. It panics on an empty
+// name or a duplicate, like http.Handle or sql.Register.
+func Register(name string, ctor Ctor) {
+	if name == "" {
+		panic("sched: Register with empty name")
+	}
+	if ctor == nil {
+		panic("sched: Register with nil constructor for " + name)
+	}
+	if _, dup := leafCtors[name]; dup {
+		panic("sched: duplicate leaf scheduler " + name)
+	}
+	leafCtors[name] = ctor
+}
+
+// New constructs the named leaf scheduler.
+func New(name string, cfg LeafConfig) (Scheduler, error) {
+	ctor, ok := leafCtors[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown leaf scheduler %q (have %v)", name, Names())
+	}
+	return ctor(cfg), nil
+}
+
+// Known reports whether name is a registered leaf scheduler.
+func Known(name string) bool {
+	_, ok := leafCtors[name]
+	return ok
+}
+
+// Names returns the registered leaf-scheduler names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(leafCtors))
+	for name := range leafCtors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// workFor returns the instructions executed in duration d at ips
+// instructions per second, rounded down — the same arithmetic as
+// cpu.Rate.WorkFor, reimplemented here because cpu imports sched.
+func workFor(ips int64, d sim.Time) Work {
+	hi, lo := bits.Mul64(uint64(d), uint64(ips))
+	if hi >= uint64(sim.Second) {
+		panic("sched: workFor overflow")
+	}
+	q, _ := bits.Div64(hi, lo, uint64(sim.Second))
+	return Work(q)
+}
+
+func init() {
+	Register("sfq", func(c LeafConfig) Scheduler { return NewSFQ(c.Quantum) })
+	Register("rr", func(c LeafConfig) Scheduler { return NewRoundRobin(c.Quantum) })
+	Register("fifo", func(c LeafConfig) Scheduler { return NewFIFO() })
+	Register("priority", func(c LeafConfig) Scheduler { return NewPriority(c.Quantum) })
+	Register("reserves", func(c LeafConfig) Scheduler { return NewReserves(c.Quantum) })
+	Register("edf", func(c LeafConfig) Scheduler { return NewEDF(c.Quantum) })
+	Register("rm", func(c LeafConfig) Scheduler { return NewRM(c.Quantum) })
+	Register("svr4", func(c LeafConfig) Scheduler {
+		q := c.Quantum
+		if q <= 0 {
+			q = 25 * sim.Millisecond
+		}
+		return NewSVR4(nil, c.ips(), q)
+	})
+	Register("lottery", func(c LeafConfig) Scheduler {
+		rng := c.RNG
+		if rng == nil {
+			rng = sim.NewRand(1)
+		}
+		return NewLottery(c.Quantum, rng.Fork())
+	})
+	Register("stride", func(c LeafConfig) Scheduler { return NewStride(c.Quantum) })
+	Register("eevdf", func(c LeafConfig) Scheduler {
+		q := c.Quantum
+		if q <= 0 {
+			q = DefaultQuantum
+		}
+		return NewEEVDF(q, workFor(c.ips(), q))
+	})
+}

@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"testing"
+
+	"hsfq/internal/sim"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	want := []string{"edf", "eevdf", "fifo", "lottery", "priority", "reserves", "rm", "rr", "sfq", "stride", "svr4"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	for _, n := range want {
+		if !Known(n) {
+			t.Errorf("Known(%q) = false", n)
+		}
+	}
+	if Known("nope") {
+		t.Error(`Known("nope") = true`)
+	}
+}
+
+func TestRegistryNew(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name, LeafConfig{Quantum: 10 * sim.Millisecond, IPS: 100_000_000, RNG: sim.NewRand(7)})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("New(%q) = nil", name)
+		}
+		if s.Len() != 0 {
+			t.Errorf("New(%q).Len() = %d", name, s.Len())
+		}
+	}
+	if _, err := New("nope", LeafConfig{}); err == nil {
+		t.Error(`New("nope") did not fail`)
+	}
+}
+
+// TestRegistryZeroConfig checks every constructor tolerates the zero
+// LeafConfig: defaults for quantum, rate, and RNG must kick in.
+func TestRegistryZeroConfig(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name, LeafConfig{})
+		if err != nil || s == nil {
+			t.Fatalf("New(%q, zero): %v, %v", name, s, err)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("sfq", func(LeafConfig) Scheduler { return NewFIFO() })
+}
+
+// TestWorkFor pins the registry's time->work conversion to the cpu
+// package's (floor semantics), which eevdf's lag unit depends on.
+func TestWorkFor(t *testing.T) {
+	if got := workFor(100_000_000, 10*sim.Millisecond); got != 1_000_000 {
+		t.Errorf("workFor(100 MIPS, 10ms) = %d, want 1000000", got)
+	}
+	if got := workFor(3, sim.Second/2); got != 1 { // floor(1.5)
+		t.Errorf("workFor(3 ips, 500ms) = %d, want 1", got)
+	}
+}

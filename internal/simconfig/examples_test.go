@@ -36,7 +36,7 @@ func TestShippedExampleConfigs(t *testing.T) {
 			if cfg.Horizon.Time() > 5_000_000_000 {
 				cfg.Horizon = Duration(5_000_000_000)
 			}
-			s, err := Build(cfg)
+			s, err := Build(cfg, BuildOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -72,7 +72,7 @@ func TestTraceProgramKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Build(cfg)
+	s, err := Build(cfg, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestTraceProgramKind(t *testing.T) {
 	}
 	// Missing file is a build error.
 	cfg2, _ := Parse(strings.NewReader(`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"x","leaf":"/a","program":{"kind":"trace","file":"/no/such"}}]}`))
-	if _, err := Build(cfg2); err == nil {
+	if _, err := Build(cfg2, BuildOptions{}); err == nil {
 		t.Error("missing trace file accepted")
 	}
 }
@@ -102,7 +102,7 @@ func TestReserveLeafConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Build(cfg)
+	s, err := Build(cfg, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestReserveLeafConfig(t *testing.T) {
 	}
 	// Reserve on a non-reserves leaf refused.
 	bad, _ := Parse(strings.NewReader(`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"x","leaf":"/a","reserve_cost":"1ms","reserve_period":"10ms"}]}`))
-	if _, err := Build(bad); err == nil {
+	if _, err := Build(bad, BuildOptions{}); err == nil {
 		t.Error("reserve on sfq leaf accepted")
 	}
 }

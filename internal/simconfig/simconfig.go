@@ -81,9 +81,9 @@ type Config struct {
 type NodeConfig struct {
 	Path   string  `json:"path"`
 	Weight float64 `json:"weight"`
-	// Leaf selects a scheduler ("sfq", "rr", "fifo", "priority", "edf",
-	// "rm", "svr4", "lottery", "stride", "eevdf"); empty means
-	// intermediate node.
+	// Leaf selects a scheduler by registry name (any of sched.Names():
+	// "sfq", "rr", "fifo", "priority", "reserves", "edf", "rm", "svr4",
+	// "lottery", "stride", "eevdf"); empty means intermediate node.
 	Leaf    string   `json:"leaf"`
 	Quantum Duration `json:"quantum"`
 }
@@ -165,16 +165,83 @@ func Parse(r io.Reader) (Config, error) {
 	return c, nil
 }
 
-// Build constructs the simulation described by c.
-func Build(c Config) (*Simulation, error) {
+// programKinds and interruptKinds mirror the switches in buildProgram and
+// buildInterrupt; Validate checks against them so a bad kind is reported
+// before any simulation state is built.
+var programKinds = map[string]bool{
+	"": true, "loop": true, "dhrystone": true, "mpeg": true,
+	"trace": true, "periodic": true, "interactive": true, "onoff": true,
+}
+
+var interruptKinds = map[string]bool{
+	"periodic": true, "poisson": true, "burst": true,
+}
+
+// Validate checks the config's structural consistency — at least one
+// node, registered leaf/program/interrupt kinds, thread names present and
+// unique, every thread attached to a declared leaf — without building
+// anything. Build calls it; sweep engines call it once per grid point
+// before instantiating the point at many seeds.
+func (c Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("simconfig: no nodes")
+	}
+	leaves := map[string]bool{}
+	for _, nc := range c.Nodes {
+		if nc.Path == "" {
+			return fmt.Errorf("simconfig: node with empty path")
+		}
+		if nc.Leaf != "" {
+			if !sched.Known(nc.Leaf) {
+				return fmt.Errorf("simconfig: node %q: unknown leaf scheduler %q (have %v)", nc.Path, nc.Leaf, sched.Names())
+			}
+			leaves[nc.Path] = true
+		}
+	}
+	names := map[string]bool{}
+	for i, tc := range c.Threads {
+		if tc.Name == "" {
+			return fmt.Errorf("simconfig: thread %d has no name", i)
+		}
+		if names[tc.Name] {
+			return fmt.Errorf("simconfig: duplicate thread name %q", tc.Name)
+		}
+		names[tc.Name] = true
+		if !leaves[tc.Leaf] {
+			return fmt.Errorf("simconfig: thread %q: no leaf %q", tc.Name, tc.Leaf)
+		}
+		if !programKinds[tc.Program.Kind] {
+			return fmt.Errorf("simconfig: thread %q: unknown program %q", tc.Name, tc.Program.Kind)
+		}
+	}
+	for _, ic := range c.Interrupts {
+		if !interruptKinds[ic.Kind] {
+			return fmt.Errorf("simconfig: unknown interrupt kind %q", ic.Kind)
+		}
+	}
+	return nil
+}
+
+// BuildOptions parameterize one instantiation of a parsed Config.
+type BuildOptions struct {
+	// Seed, when non-zero, overrides the config's seed, so one parsed
+	// Config can be instantiated at many seeds without re-reading JSON.
+	Seed uint64
+}
+
+// Build constructs the simulation described by c at the options' seed.
+func Build(c Config, opt BuildOptions) (*Simulation, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Seed != 0 {
+		c.Seed = opt.Seed
+	}
 	if c.RateMIPS == 0 {
 		c.RateMIPS = 100
 	}
 	if c.Horizon == 0 {
 		c.Horizon = Duration(30 * sim.Second)
-	}
-	if len(c.Nodes) == 0 {
-		return nil, fmt.Errorf("simconfig: no nodes")
 	}
 	rate := cpu.MIPS(c.RateMIPS)
 	eng := sim.NewEngine()
@@ -192,9 +259,13 @@ func Build(c Config) (*Simulation, error) {
 		var leaf sched.Scheduler
 		if nc.Leaf != "" {
 			var err error
-			leaf, err = buildLeaf(nc.Leaf, nc.Quantum.Time(), rate, rng)
+			leaf, err = sched.New(nc.Leaf, sched.LeafConfig{
+				Quantum: nc.Quantum.Time(),
+				IPS:     int64(rate),
+				RNG:     rng,
+			})
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("simconfig: node %q: %w", nc.Path, err)
 			}
 		}
 		id, err := s.MknodPath(nc.Path, w, leaf)
@@ -223,9 +294,6 @@ func Build(c Config) (*Simulation, error) {
 	}
 
 	for i, tc := range c.Threads {
-		if tc.Name == "" {
-			return nil, fmt.Errorf("simconfig: thread %d has no name", i)
-		}
 		id, ok := leaves[tc.Leaf]
 		if !ok {
 			return nil, fmt.Errorf("simconfig: thread %q: no leaf %q", tc.Name, tc.Leaf)
@@ -279,42 +347,11 @@ func (s *Simulation) Run() {
 	s.Machine.Flush()
 }
 
-func buildLeaf(kind string, quantum sim.Time, rate cpu.Rate, rng *sim.Rand) (sched.Scheduler, error) {
-	switch kind {
-	case "sfq":
-		return sched.NewSFQ(quantum), nil
-	case "rr":
-		return sched.NewRoundRobin(quantum), nil
-	case "fifo":
-		return sched.NewFIFO(), nil
-	case "priority":
-		return sched.NewPriority(quantum), nil
-	case "reserves":
-		return sched.NewReserves(quantum), nil
-	case "edf":
-		return sched.NewEDF(quantum), nil
-	case "rm":
-		return sched.NewRM(quantum), nil
-	case "svr4":
-		q := quantum
-		if q <= 0 {
-			q = 25 * sim.Millisecond
-		}
-		return sched.NewSVR4(nil, int64(rate), q), nil
-	case "lottery":
-		return sched.NewLottery(quantum, rng.Fork()), nil
-	case "stride":
-		return sched.NewStride(quantum), nil
-	case "eevdf":
-		q := quantum
-		if q <= 0 {
-			q = sched.DefaultQuantum
-		}
-		return sched.NewEEVDF(q, rate.WorkFor(q)), nil
-	default:
-		return nil, fmt.Errorf("simconfig: unknown leaf scheduler %q", kind)
-	}
-}
+// BuildConfig builds the simulation with the config's own seed.
+//
+// Deprecated: use Build with a BuildOptions, which makes the seed of the
+// instantiation explicit.
+func BuildConfig(c Config) (*Simulation, error) { return Build(c, BuildOptions{}) }
 
 func buildProgram(s *Simulation, tc ThreadConfig, rate cpu.Rate, rng *sim.Rand) (cpu.Program, error) {
 	pc := tc.Program

@@ -44,7 +44,7 @@ func TestParseAndBuildFullConfig(t *testing.T) {
 	if cfg.Horizon.Time() != 5*sim.Second || cfg.Seed != 7 {
 		t.Errorf("parsed %+v", cfg)
 	}
-	s, err := Build(cfg)
+	s, err := Build(cfg, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestBuildDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := Build(cfg)
+		s, err := Build(cfg, BuildOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +128,7 @@ func TestBuildErrors(t *testing.T) {
 		if err != nil {
 			continue // parse-level rejection is fine too
 		}
-		if _, err := Build(cfg); err == nil {
+		if _, err := Build(cfg, BuildOptions{}); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
@@ -152,7 +152,7 @@ func TestRTPriorityPlacement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Build(cfg)
+	s, err := Build(cfg, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Build(cfg)
+	s, err := Build(cfg, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,5 +184,58 @@ func TestDefaults(t *testing.T) {
 	}
 	if got := int64(s.Threads[0].Done); got < 2_999_000_000 {
 		t.Errorf("default loop did %d work", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := `{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a"}]}`
+	cfg, err := Parse(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := map[string]string{
+		"no nodes":       `{"threads":[]}`,
+		"empty path":     `{"nodes":[{"path":"","leaf":"sfq"}]}`,
+		"unknown leaf":   `{"nodes":[{"path":"/a","leaf":"bogus"}]}`,
+		"dup thread":     `{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a"},{"name":"t","leaf":"/a"}]}`,
+		"no such leaf":   `{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/b"}]}`,
+		"thread to node": `{"nodes":[{"path":"/a"}],"threads":[{"name":"t","leaf":"/a"}]}`,
+		"bad program":    `{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","program":{"kind":"bogus"}}]}`,
+		"bad interrupt":  `{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"bogus"}]}`,
+	}
+	for name, js := range bad {
+		cfg, err := Parse(strings.NewReader(js))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestBuildSeedOverride checks a BuildOptions seed overrides the config's
+// and that BuildConfig (the deprecated wrapper) keeps the config's own.
+func TestBuildSeedOverride(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(`{"seed":7,"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(cfg, BuildOptions{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config.Seed != 99 {
+		t.Errorf("override seed = %d, want 99", s.Config.Seed)
+	}
+	s, err = BuildConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config.Seed != 7 {
+		t.Errorf("config seed = %d, want 7", s.Config.Seed)
 	}
 }

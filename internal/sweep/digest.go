@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hsfq/internal/simconfig"
+)
+
+// Canonical renders the observable outcome of a completed simulation in a
+// stable text form: machine counters, per-thread accounting in attach
+// order, and per-program metrics in name order. Two runs of the same
+// config at the same seed must produce identical canonical forms; that is
+// the determinism contract Digest checks.
+func Canonical(s *simconfig.Simulation) string {
+	var b strings.Builder
+	st := s.Machine.Stats()
+	fmt.Fprintf(&b, "machine work=%d dispatches=%d preemptions=%d interrupts=%d stolen=%d idle=%d\n",
+		int64(st.Work), st.Dispatches, st.Preemptions, st.Interrupts, int64(st.Stolen), int64(st.Idle))
+	for _, th := range s.Threads {
+		fmt.Fprintf(&b, "thread %s done=%d segments=%d waited=%d state=%s\n",
+			th.Name, int64(th.Done), th.Segments, int64(th.Waited), th.State)
+	}
+	horizon := s.Config.Horizon.Time()
+	for _, name := range sortedKeys(s.Periodics) {
+		p := s.Periodics[name]
+		fmt.Fprintf(&b, "periodic %s rounds=%d missed=%d minslack=%d\n", name, len(p.Slack), p.MissedDeadlines(), int64(p.MinSlack()))
+	}
+	for _, name := range sortedKeys(s.Decoders) {
+		fmt.Fprintf(&b, "decoder %s frames=%d\n", name, s.Decoders[name].FramesDecoded(horizon))
+	}
+	return b.String()
+}
+
+// Digest returns the hex SHA-256 of the simulation's canonical outcome.
+func Digest(s *simconfig.Simulation) string {
+	sum := sha256.Sum256([]byte(Canonical(s)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Metrics extracts the per-job scalar metrics that Run aggregates across
+// seed replications.
+func Metrics(s *simconfig.Simulation) map[string]float64 {
+	m := map[string]float64{}
+	st := s.Machine.Stats()
+	m["work_total"] = float64(st.Work)
+	m["dispatches"] = float64(st.Dispatches)
+	m["preemptions"] = float64(st.Preemptions)
+	m["idle_ns"] = float64(st.Idle)
+	m["stolen_ns"] = float64(st.Stolen)
+	total := float64(st.Work)
+	for _, th := range s.Threads {
+		m["work:"+th.Name] = float64(th.Done)
+		if total > 0 {
+			m["share:"+th.Name] = float64(th.Done) / total
+		}
+	}
+	horizon := s.Config.Horizon.Time()
+	for name, p := range s.Periodics {
+		m["missed:"+name] = float64(p.MissedDeadlines())
+	}
+	for name, d := range s.Decoders {
+		m["frames:"+name] = float64(d.FramesDecoded(horizon))
+	}
+	return m
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

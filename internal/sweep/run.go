@@ -1,0 +1,225 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"hsfq/internal/metrics"
+	"hsfq/internal/simconfig"
+)
+
+// Options parameterize a sweep run.
+type Options struct {
+	// Workers bounds the pool of goroutines executing jobs; <= 0 means 1.
+	Workers int
+	// Verify runs every job twice and reports a job error on any digest
+	// mismatch, turning determinism into a checked property.
+	Verify bool
+	// Stream, when non-nil, receives one JSON line per job result, in job
+	// order, as results become available. The bytes are identical for any
+	// worker count.
+	Stream io.Writer
+}
+
+// JobResult is the outcome of one job.
+type JobResult struct {
+	ID      int                `json:"id"`
+	Point   map[string]string  `json:"point"`
+	Rep     int                `json:"rep"`
+	Seed    uint64             `json:"seed"`
+	Digest  string             `json:"digest,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// Aggregate summarizes one grid point's metrics across its seed
+// replications.
+type Aggregate struct {
+	Point   map[string]string          `json:"point"`
+	Seeds   int                        `json:"seeds"`
+	Metrics map[string]metrics.Summary `json:"metrics"`
+}
+
+// Report is the outcome of a whole sweep.
+type Report struct {
+	Name       string      `json:"name"`
+	Jobs       int         `json:"jobs"`
+	Workers    int         `json:"workers"`
+	Failed     int         `json:"failed"`
+	Results    []JobResult `json:"results"`
+	Aggregates []Aggregate `json:"aggregates"`
+}
+
+// Run expands the spec and executes every job across the worker pool.
+// The returned report lists results in job order; the error is non-nil if
+// any job failed to build, run, or verify.
+func Run(spec Spec, opt Options) (*Report, error) {
+	jobs, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]JobResult, len(jobs))
+	idxCh := make(chan int)
+	doneCh := make(chan int, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = runJob(jobs[i], opt.Verify)
+				doneCh <- i
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+		close(doneCh)
+	}()
+
+	// Emit results in job order as they complete: result i is held until
+	// every result below i has been written.
+	var streamErr error
+	next := 0
+	ready := make([]bool, len(jobs))
+	for i := range doneCh {
+		ready[i] = true
+		for next < len(jobs) && ready[next] {
+			if opt.Stream != nil && streamErr == nil {
+				streamErr = writeJSONLine(opt.Stream, results[next])
+			}
+			next++
+		}
+	}
+	if streamErr != nil {
+		return nil, fmt.Errorf("sweep: streaming results: %w", streamErr)
+	}
+
+	rep := &Report{Name: spec.Name, Jobs: len(jobs), Workers: workers, Results: results}
+	for _, r := range results {
+		if r.Error != "" {
+			rep.Failed++
+		}
+	}
+	rep.Aggregates = aggregate(results)
+	if rep.Failed > 0 {
+		return rep, fmt.Errorf("sweep: %d of %d job(s) failed (first: %s)", rep.Failed, len(jobs), firstError(results))
+	}
+	return rep, nil
+}
+
+func firstError(results []JobResult) string {
+	for _, r := range results {
+		if r.Error != "" {
+			return r.Error
+		}
+	}
+	return ""
+}
+
+func writeJSONLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v) // maps marshal with sorted keys: deterministic
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// runJob executes one job (twice under verify) with nothing shared: the
+// build constructs private engine, machine, structure, and thread state.
+func runJob(job Job, verify bool) JobResult {
+	res := JobResult{ID: job.ID, Point: job.Point, Rep: job.Rep, Seed: job.Seed}
+	digest, m, err := execute(job)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Digest, res.Metrics = digest, m
+	if verify {
+		again, _, err := execute(job)
+		if err != nil {
+			res.Error = fmt.Sprintf("verify rerun: %v", err)
+		} else if again != digest {
+			res.Error = fmt.Sprintf("nondeterministic: digest %s then %s", digest, again)
+		}
+	}
+	return res
+}
+
+func execute(job Job) (string, map[string]float64, error) {
+	s, err := simconfig.Build(job.Config, simconfig.BuildOptions{Seed: job.Seed})
+	if err != nil {
+		return "", nil, err
+	}
+	s.Run()
+	return Digest(s), Metrics(s), nil
+}
+
+// aggregate groups successful results by grid point (in first-seen job
+// order) and summarizes every metric across the point's replications.
+func aggregate(results []JobResult) []Aggregate {
+	type group struct {
+		point  map[string]string
+		series map[string][]float64
+		seeds  int
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, r := range results {
+		if r.Error != "" {
+			continue
+		}
+		key := pointKey(r.Point)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{point: r.Point, series: map[string][]float64{}}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.seeds++
+		for name, v := range r.Metrics {
+			g.series[name] = append(g.series[name], v)
+		}
+	}
+	aggs := make([]Aggregate, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		m := make(map[string]metrics.Summary, len(g.series))
+		for name, vs := range g.series {
+			m[name] = metrics.Summarize(vs)
+		}
+		aggs = append(aggs, Aggregate{Point: g.point, Seeds: g.seeds, Metrics: m})
+	}
+	return aggs
+}
+
+func pointKey(point map[string]string) string {
+	keys := make([]string, 0, len(point))
+	for k := range point {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, point[k])
+	}
+	return b.String()
+}

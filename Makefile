@@ -11,7 +11,15 @@ BENCH_TIME ?= 200ms
 SWEEP_BENCH_WORKERS ?= 8
 SWEEP_BENCH_COUNT ?= 3
 
-.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench
+# Load test shape: LOADTEST_N requests from LOADTEST_C goroutines against
+# a daemon with queue depth LOADTEST_QUEUE — concurrency 4x the queue so
+# shedding (429) actually happens and the retry path is exercised.
+LOADTEST_N ?= 64
+LOADTEST_C ?= 64
+LOADTEST_QUEUE ?= 16
+LOADTEST_WORKERS ?= 4
+
+.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest
 
 all: build test
 
@@ -41,6 +49,13 @@ bench:
 # determinism guarantee end to end on a real scenario.
 sweep-smoke:
 	$(GO) run ./cmd/hsfqsweep -spec examples/sweeps/smoke.json -workers 4 -verify -o "" -metrics share:dec,frames:dec
+
+# Build hsfqd and fire concurrent mixed hit/miss traffic at it: zero 5xx,
+# 429 only as shedding, byte-identical cached bodies, clean SIGTERM drain.
+loadtest:
+	$(GO) build -o /tmp/hsfqd ./cmd/hsfqd
+	$(GO) run ./cmd/hsfqload -hsfqd /tmp/hsfqd -n $(LOADTEST_N) -c $(LOADTEST_C) \
+		-queue $(LOADTEST_QUEUE) -workers $(LOADTEST_WORKERS)
 
 # Serial vs parallel wall clock of the full figure suite, recorded as
 # BENCH_PR2.json (before = -workers 1, after = -workers $(SWEEP_BENCH_WORKERS)).

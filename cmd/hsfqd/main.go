@@ -1,0 +1,110 @@
+// Command hsfqd is the simulation-serving daemon: a long-running HTTP
+// service that validates scenario and sweep specs through the simconfig
+// pipeline, executes them on a bounded worker pool with queue-depth
+// admission control (429 + Retry-After when full) and per-request
+// deadlines, and serves repeated requests byte-identically from a
+// content-addressed cache keyed by canonical job digests.
+//
+// Usage:
+//
+//	hsfqd -addr :8377
+//	curl -s localhost:8377/v1/simulate -d @scenario.json   # run (or hit the cache)
+//	curl -s localhost:8377/v1/jobs/<key>                   # retrieve by content address
+//	curl -s localhost:8377/metrics                         # queue, cache, latency
+//
+// SIGTERM/SIGINT drain gracefully: /readyz flips to 503, the listener
+// stops accepting, in-flight requests (and their jobs) finish, then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hsfq/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8377", "listen address")
+		workers      = flag.Int("workers", 0, "execution pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue depth; beyond it requests are shed with 429")
+		sweepWorkers = flag.Int("sweep-workers", 0, "parallelism inside one sweep request (0 = workers)")
+		cacheEntries = flag.Int("cache-entries", 1024, "result cache entry cap")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache byte cap")
+		cacheDir     = flag.String("cache-dir", "", "disk spill directory for evicted results (empty = memory only)")
+		verifyCache  = flag.Float64("verify-cache", 0, "fraction of cache hits to re-execute and byte-compare (0..1)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		SweepWorkers:   *sweepWorkers,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		CacheDir:       *cacheDir,
+		VerifyFraction: *verifyCache,
+		RequestTimeout: *timeout,
+	})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	if err := serve(&http.Server{Addr: *addr, Handler: srv}, srv, sigCh, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "hsfqd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs hs until a signal arrives, then drains gracefully: readiness
+// flips first (load balancers stop routing), the listener closes and
+// in-flight requests finish (bounded by drainTimeout), and finally the
+// worker pool runs dry.
+func serve(hs *http.Server, srv *server.Server, sigCh <-chan os.Signal, drainTimeout time.Duration) error {
+	return serveListener(hs, srv, sigCh, drainTimeout, nil)
+}
+
+// serveListener is serve with an injectable listener so tests can bind
+// port 0; l == nil listens on hs.Addr.
+func serveListener(hs *http.Server, srv *server.Server, sigCh <-chan os.Signal, drainTimeout time.Duration, l net.Listener) error {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigCh
+		log.Printf("hsfqd: %v: draining (readyz now 503, finishing in-flight jobs)", sig)
+		srv.SetReady(false)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("hsfqd: shutdown: %v", err)
+		}
+		srv.Drain()
+		m := srv.Snapshot()
+		log.Printf("hsfqd: drained: %d job(s) served, %d shed, cache %d/%d hit/miss",
+			m.TasksDone, m.Shed, m.Cache.Hits, m.Cache.Misses)
+	}()
+
+	m := srv.Snapshot()
+	log.Printf("hsfqd: listening on %s (workers=%d queue=%d)", hs.Addr, m.Workers, m.QueueCapacity)
+	var err error
+	if l != nil {
+		err = hs.Serve(l)
+	} else {
+		err = hs.ListenAndServe()
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-done
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hsfq/internal/server"
+)
+
+// TestServeAndDrain runs the daemon's real lifecycle in-process: serve a
+// request, deliver SIGTERM, and require readyz to flip, the listener to
+// close, in-flight work to finish, and serve to return nil.
+func TestServeAndDrain(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := "http://" + l.Addr().String()
+
+	srv := server.New(server.Config{Workers: 2, QueueDepth: 4})
+	hs := &http.Server{Addr: l.Addr().String(), Handler: srv}
+	sigCh := make(chan os.Signal, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serveListener(hs, srv, sigCh, 10*time.Second, l) }()
+
+	waitOK(t, addr+"/readyz")
+	resp, err := http.Post(addr+"/v1/simulate", "application/json", strings.NewReader(
+		`{"horizon":"50ms","nodes":[{"path":"/a","leaf":"sfq","quantum":"5ms"}],"threads":[{"name":"t","leaf":"/a"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("simulate: %d %s", resp.StatusCode, body)
+	}
+
+	sigCh <- syscall.SIGTERM
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not drain within 10s of SIGTERM")
+	}
+	m := srv.Snapshot()
+	if m.Ready || m.InFlight != 0 || m.TasksDone != 1 {
+		t.Errorf("after drain: ready=%v inflight=%d done=%d", m.Ready, m.InFlight, m.TasksDone)
+	}
+	// The listener is really closed: new connections are refused.
+	if _, err := http.Get(addr + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+func waitOK(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", url)
+}

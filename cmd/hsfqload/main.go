@@ -1,0 +1,221 @@
+// Command hsfqload fires concurrent mixed hit/miss traffic at an hsfqd
+// and asserts its serving invariants: zero 5xx responses, 429 only as
+// load shedding (every request eventually succeeds on retry), and
+// byte-identical bodies for every repeat of the same scenario. With
+// -hsfqd it spawns the daemon itself on a free port, and finishes by
+// sending SIGTERM and requiring a clean drain (exit 0).
+//
+// Usage:
+//
+//	hsfqload -hsfqd /tmp/hsfqd -n 64 -c 64 -queue 16 -workers 4
+//	hsfqload -addr http://localhost:8377 -n 128
+//
+// Exit status 0 on success, 1 on any violated invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "target daemon base URL (used when -hsfqd is empty)")
+		hsfqd     = flag.String("hsfqd", "", "path to an hsfqd binary to spawn (and SIGTERM at the end)")
+		n         = flag.Int("n", 64, "total requests")
+		c         = flag.Int("c", 64, "concurrent client goroutines")
+		scenarios = flag.Int("scenarios", 8, "distinct scenarios (the hit/miss mix: n/scenarios repeats each)")
+		queue     = flag.Int("queue", 16, "spawned daemon's -queue")
+		workers   = flag.Int("workers", 4, "spawned daemon's -workers")
+	)
+	flag.Parse()
+	if err := run(*addr, *hsfqd, *n, *c, *scenarios, *queue, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "hsfqload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, hsfqd string, n, c, scenarios, queue, workers int) error {
+	var daemon *exec.Cmd
+	if hsfqd != "" {
+		port, err := freePort()
+		if err != nil {
+			return err
+		}
+		addr = fmt.Sprintf("http://127.0.0.1:%d", port)
+		daemon = exec.Command(hsfqd,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-queue", fmt.Sprint(queue),
+			"-workers", fmt.Sprint(workers),
+			"-verify-cache", "0.1")
+		daemon.Stderr = os.Stderr
+		if err := daemon.Start(); err != nil {
+			return fmt.Errorf("spawning %s: %w", hsfqd, err)
+		}
+		if err := waitReady(addr, 5*time.Second); err != nil {
+			daemon.Process.Kill()
+			return err
+		}
+	} else if addr == "" {
+		return fmt.Errorf("need -addr or -hsfqd")
+	}
+
+	stats, err := fire(addr, n, c, scenarios)
+	if err != nil {
+		if daemon != nil {
+			daemon.Process.Kill()
+		}
+		return err
+	}
+	fmt.Printf("hsfqload: %d requests over %d scenario(s): %d ok, %d shed-then-retried, 0 server errors, bodies byte-identical\n",
+		n, scenarios, n, stats.shed)
+
+	if daemon != nil {
+		// Graceful drain: SIGTERM must flip readyz and exit 0.
+		if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- daemon.Wait() }()
+		select {
+		case err := <-exited:
+			if err != nil {
+				return fmt.Errorf("daemon did not drain cleanly: %w", err)
+			}
+		case <-time.After(10 * time.Second):
+			daemon.Process.Kill()
+			return fmt.Errorf("daemon did not exit within 10s of SIGTERM")
+		}
+		fmt.Println("hsfqload: SIGTERM drain clean (exit 0)")
+	}
+	return nil
+}
+
+// scenario is a small mixed workload; the seed makes each index a
+// distinct job (distinct content address) with an identical structure.
+func scenario(i int) string {
+	return fmt.Sprintf(`{
+	  "rate_mips": 100,
+	  "horizon": "100ms",
+	  "seed": %d,
+	  "nodes": [
+	    {"path": "/soft", "weight": 3, "leaf": "sfq", "quantum": "5ms"},
+	    {"path": "/be", "weight": 1, "leaf": "rr"}
+	  ],
+	  "threads": [
+	    {"name": "dec", "leaf": "/soft", "weight": 2, "program": {"kind": "mpeg", "loop": true}},
+	    {"name": "hog", "leaf": "/be", "program": {"kind": "loop"}}
+	  ]
+	}`, i+1)
+}
+
+type loadStats struct {
+	shed int
+}
+
+// fire issues n POSTs (round-robin over the scenarios) from c goroutines,
+// retrying shed (429) requests, and checks the invariants.
+func fire(addr string, n, c, scenarios int) (*loadStats, error) {
+	var (
+		mu     sync.Mutex
+		bodies = map[int][]byte{}
+		stats  loadStats
+		errs   []error
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sc := i % scenarios
+				body, shed, err := request(addr, scenario(sc))
+				mu.Lock()
+				stats.shed += shed
+				if err != nil {
+					errs = append(errs, fmt.Errorf("request %d: %w", i, err))
+				} else if prev, ok := bodies[sc]; !ok {
+					bodies[sc] = body
+				} else if string(prev) != string(body) {
+					errs = append(errs, fmt.Errorf("scenario %d: response bytes differ across requests", sc))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	if len(bodies) != scenarios {
+		return nil, fmt.Errorf("saw %d scenarios, want %d", len(bodies), scenarios)
+	}
+	return &stats, nil
+}
+
+// request POSTs one scenario, retrying 429s; any 5xx is an immediate
+// failure.
+func request(addr, body string) ([]byte, int, error) {
+	shed := 0
+	for attempt := 0; attempt < 400; attempt++ {
+		resp, err := http.Post(addr+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, shed, err
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, shed, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return b, shed, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			shed++
+			time.Sleep(5 * time.Millisecond)
+		case resp.StatusCode >= 500:
+			return nil, shed, fmt.Errorf("server error %d: %s", resp.StatusCode, b)
+		default:
+			return nil, shed, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+		}
+	}
+	return nil, shed, fmt.Errorf("starved: still shed after 400 attempts")
+}
+
+func waitReady(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon at %s not ready within %v", addr, timeout)
+}
+
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}

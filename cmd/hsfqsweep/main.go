@@ -57,21 +57,54 @@ flags:
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*specPath, *workers, *verify, *outPath, *summary, *metricNames, os.Stdout); err != nil {
+	rep, err := run(*specPath, *workers, *verify, *outPath, *summary, *metricNames, os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hsfqsweep:", err)
-		os.Exit(1)
+		if line := mismatchSummary(rep); line != "" {
+			fmt.Fprintln(os.Stderr, "hsfqsweep:", line)
+		}
+		os.Exit(exitCode(rep))
 	}
 }
 
-func run(specPath string, workers int, verify bool, outPath string, summary bool, metricNames string, stdout io.Writer) error {
+// exitMismatch distinguishes -verify digest mismatches (the simulator
+// broke its determinism contract) from ordinary failures (exit 1), so CI
+// can tell "scenario is wrong" from "reproduction is wrong".
+const exitMismatch = 3
+
+// exitCode maps a failed run's report to its exit status.
+func exitCode(rep *sweep.Report) int {
+	if rep != nil && rep.Mismatched > 0 {
+		return exitMismatch
+	}
+	return 1
+}
+
+// mismatchSummary is the one-line stderr summary of -verify digest
+// mismatches; empty when there are none.
+func mismatchSummary(rep *sweep.Report) string {
+	if rep == nil || rep.Mismatched == 0 {
+		return ""
+	}
+	first := ""
+	for _, r := range rep.Results {
+		if r.Mismatch {
+			first = fmt.Sprintf(" (first: job %d, %s)", r.ID, r.Error)
+			break
+		}
+	}
+	return fmt.Sprintf("verify: %d of %d job(s) nondeterministic%s", rep.Mismatched, rep.Jobs, first)
+}
+
+func run(specPath string, workers int, verify bool, outPath string, summary bool, metricNames string, stdout io.Writer) (*sweep.Report, error) {
 	f, err := os.Open(specPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	spec, err := sweep.ParseSpec(f)
 	f.Close()
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	var stream io.Writer
@@ -82,7 +115,7 @@ func run(specPath string, workers int, verify bool, outPath string, summary bool
 	default:
 		out, err := os.Create(outPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer out.Close()
 		stream = out
@@ -90,12 +123,12 @@ func run(specPath string, workers int, verify bool, outPath string, summary bool
 
 	rep, err := sweep.Run(spec, sweep.Options{Workers: workers, Verify: verify, Stream: stream})
 	if err != nil {
-		return err
+		return rep, err
 	}
 	if summary {
 		printSummary(stdout, rep, strings.Split(metricNames, ","))
 	}
-	return nil
+	return rep, nil
 }
 
 func printSummary(w io.Writer, rep *sweep.Report, names []string) {

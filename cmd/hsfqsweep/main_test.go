@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hsfq/internal/sweep"
 )
 
 const testSpec = `{
@@ -36,8 +38,12 @@ func TestRunSweep(t *testing.T) {
 	outPath := filepath.Join(dir, "out.jsonl")
 
 	var stdout strings.Builder
-	if err := run(specPath, 4, true, outPath, true, "work_total,share:x", &stdout); err != nil {
+	rep, err := run(specPath, 4, true, outPath, true, "work_total,share:x", &stdout)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if rep == nil || rep.Mismatched != 0 {
+		t.Fatalf("report: %+v", rep)
 	}
 	jsonl, err := os.ReadFile(outPath)
 	if err != nil {
@@ -61,7 +67,7 @@ func TestRunSweep(t *testing.T) {
 
 	// A second run with a different worker count streams identical bytes.
 	outPath2 := filepath.Join(dir, "out2.jsonl")
-	if err := run(specPath, 1, false, outPath2, false, "work_total", &stdout); err != nil {
+	if _, err := run(specPath, 1, false, outPath2, false, "work_total", &stdout); err != nil {
 		t.Fatal(err)
 	}
 	jsonl2, err := os.ReadFile(outPath2)
@@ -80,7 +86,46 @@ func TestRunSweepBadSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout strings.Builder
-	if err := run(specPath, 1, false, "", false, "", &stdout); err == nil {
+	if _, err := run(specPath, 1, false, "", false, "", &stdout); err == nil {
 		t.Error("empty base accepted")
+	}
+}
+
+// TestVerifyMismatchExit covers the -verify failure path: a report with
+// digest mismatches must select the distinct exit code and produce the
+// one-line stderr summary naming the first offender.
+func TestVerifyMismatchExit(t *testing.T) {
+	rep := &sweep.Report{
+		Jobs:       4,
+		Failed:     2,
+		Mismatched: 2,
+		Results: []sweep.JobResult{
+			{ID: 0},
+			{ID: 1, Error: "nondeterministic: digest aaa then bbb", Mismatch: true},
+			{ID: 2, Error: "nondeterministic: digest ccc then ddd", Mismatch: true},
+			{ID: 3},
+		},
+	}
+	if got := exitCode(rep); got != exitMismatch {
+		t.Errorf("exit code %d, want %d", got, exitMismatch)
+	}
+	line := mismatchSummary(rep)
+	if !strings.Contains(line, "2 of 4 job(s) nondeterministic") || !strings.Contains(line, "job 1") {
+		t.Errorf("summary %q", line)
+	}
+	if strings.Contains(line, "\n") {
+		t.Errorf("summary is not one line: %q", line)
+	}
+
+	// Ordinary failures (or no report at all) stay exit 1, no summary.
+	plain := &sweep.Report{Jobs: 2, Failed: 1, Results: []sweep.JobResult{{ID: 0, Error: "boom"}, {ID: 1}}}
+	if got := exitCode(plain); got != 1 {
+		t.Errorf("plain failure exit %d", got)
+	}
+	if mismatchSummary(plain) != "" || mismatchSummary(nil) != "" {
+		t.Error("summary printed without mismatches")
+	}
+	if exitCode(nil) != 1 {
+		t.Error("nil report exit code")
 	}
 }

@@ -95,6 +95,43 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.Hi
 }
 
+// HistogramSnapshot is an exportable point-in-time view of a Histogram,
+// safe to marshal as JSON: the quantiles of an empty histogram are 0
+// rather than the NaN Quantile reports (NaN has no JSON encoding).
+type HistogramSnapshot struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Under  int     `json:"under"`
+	Over   int     `json:"over"`
+	Counts []int   `json:"counts"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
+// Snapshot copies the histogram's current state for export (hsfqd's
+// /metrics endpoint). The bucket counts are copied, so the snapshot stays
+// valid while the histogram keeps accumulating.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		N:      h.n,
+		Mean:   h.Mean(),
+		Lo:     h.Lo,
+		Hi:     h.Hi,
+		Under:  h.under,
+		Over:   h.over,
+		Counts: append([]int(nil), h.buckets...),
+	}
+	if h.n > 0 {
+		s.P50 = h.Quantile(0.50)
+		s.P90 = h.Quantile(0.90)
+		s.P99 = h.Quantile(0.99)
+	}
+	return s
+}
+
 // WriteTo renders the histogram as rows of "lo-hi count bar".
 func (h *Histogram) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -60,6 +61,79 @@ func TestHistogramMeanAndRender(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestHistogramEmpty: every accessor must behave on a histogram that never
+// saw a value — hsfqd snapshots endpoint latency histograms that may not
+// have served a request yet.
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if h.N() != 0 || h.Mean() != 0 {
+		t.Errorf("n=%d mean=%v", h.N(), h.Mean())
+	}
+	if !math.IsNaN(h.Quantile(0.99)) {
+		t.Error("empty quantile not NaN")
+	}
+	var b strings.Builder
+	if _, err := h.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	snap := h.Snapshot()
+	if snap.N != 0 || snap.P50 != 0 || snap.P99 != 0 {
+		t.Errorf("empty snapshot %+v", snap)
+	}
+	if len(snap.Counts) != 5 {
+		t.Errorf("snapshot counts %v", snap.Counts)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("empty snapshot does not marshal: %v", err)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(3)
+	if h.N() != 1 || h.Mean() != 3 {
+		t.Errorf("n=%d mean=%v", h.N(), h.Mean())
+	}
+	// Every quantile lands inside the sample's bucket [2, 4).
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if v := h.Quantile(q); v < 2 || v > 4 {
+			t.Errorf("Quantile(%v) = %v outside [2,4]", q, v)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Counts[1] != 1 || snap.P50 < 2 || snap.P50 > 4 {
+		t.Errorf("snapshot %+v", snap)
+	}
+}
+
+// TestHistogramOverflowOnly: values entirely above the range must land in
+// the overflow counter, clamp quantiles to Hi, and survive a snapshot.
+func TestHistogramOverflowOnly(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{10, 50, 1e9})
+	if under, over := h.Outliers(); under != 0 || over != 3 {
+		t.Errorf("outliers %d %d", under, over)
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("overflow quantile %v, want clamp to Hi", q)
+	}
+	snap := h.Snapshot()
+	if snap.Over != 3 || snap.P99 != 10 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	for _, c := range snap.Counts {
+		if c != 0 {
+			t.Errorf("in-range bucket counted an overflow value: %v", snap.Counts)
+		}
+	}
+	// Underflow-only clamps to Lo symmetrically.
+	h2 := NewHistogram(5, 10, 5)
+	h2.Add(-1)
+	if q := h2.Quantile(0.5); q != 5 {
+		t.Errorf("underflow quantile %v, want clamp to Lo", q)
 	}
 }
 

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is a content-addressed response store: an in-memory LRU bounded
+// by entry count and total body bytes, with an optional disk spill
+// directory that receives evicted entries and is consulted on memory
+// misses (a disk hit is re-admitted to memory).
+//
+// Keys are canonical job digests (sweep.JobKey/SweepKey) of deterministic
+// simulations, so a hit is byte-identical to re-execution by
+// construction; the server's VerifyFraction turns that argument into a
+// runtime check.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	dir        string
+	lru        *list.List // front = most recently used
+	index      map[string]*list.Element
+	bytes      int64
+
+	hits, misses, evictions, diskHits int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newCache creates a cache bounded by maxEntries entries and maxBytes
+// body bytes; dir, when non-empty, enables disk spill (it must exist).
+func newCache(maxEntries int, maxBytes int64, dir string) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		dir:        dir,
+		lru:        list.New(),
+		index:      map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached body for key. Callers must not mutate the
+// returned slice: it is shared with the cache.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).body, true
+	}
+	if c.dir != "" {
+		if b, err := os.ReadFile(c.path(key)); err == nil {
+			c.hits++
+			c.diskHits++
+			c.admit(key, b)
+			return b, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores body under key. A key already present is left untouched:
+// content addressing means the bodies are identical anyway.
+func (c *Cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.index[key]; ok {
+		return
+	}
+	c.admit(key, body)
+}
+
+// admit inserts at the LRU front and evicts from the back until both caps
+// hold again; the entry just admitted is never evicted, even if it alone
+// exceeds the byte cap.
+func (c *Cache) admit(key string, body []byte) {
+	el := c.lru.PushFront(&cacheEntry{key: key, body: body})
+	c.index[key] = el
+	c.bytes += int64(len(body))
+	for c.lru.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		last := c.lru.Back()
+		if last == nil || last == el {
+			break
+		}
+		c.evict(last)
+	}
+}
+
+// evict removes the entry, spilling its body to disk when a spill
+// directory is configured (best-effort: a failed write just loses the
+// spill copy, never the correctness of the cache).
+func (c *Cache) evict(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.index, e.key)
+	c.bytes -= int64(len(e.body))
+	c.evictions++
+	if c.dir != "" {
+		_ = os.WriteFile(c.path(e.key), e.body, 0o644)
+	}
+}
+
+// path maps a key (hex digest, so filename-safe) to its spill file.
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// CacheStats is a point-in-time view of the cache's counters for the
+// /metrics endpoint.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	DiskHits  int64 `json:"disk_hits"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.lru.Len(),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		DiskHits:  c.diskHits,
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2, 0, "")
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Put("c", []byte("C")) // evicts a (least recently used)
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived eviction")
+	}
+	if b, ok := c.Get("b"); !ok || string(b) != "B" {
+		t.Errorf("b: %q %v", b, ok)
+	}
+	// b is now most recent; inserting d evicts c.
+	c.Put("d", []byte("D"))
+	if _, ok := c.Get("c"); ok {
+		t.Error("c survived eviction despite b being fresher")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestCacheByteCap(t *testing.T) {
+	c := newCache(100, 10, "")
+	c.Put("a", make([]byte, 6))
+	c.Put("b", make([]byte, 6)) // 12 bytes > 10: evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Error("byte cap not enforced")
+	}
+	if st := c.Stats(); st.Bytes != 6 {
+		t.Errorf("bytes %d", st.Bytes)
+	}
+	// A single entry above the cap is admitted anyway (never evict the
+	// entry just inserted).
+	c.Put("huge", make([]byte, 64))
+	if _, ok := c.Get("huge"); !ok {
+		t.Error("oversized entry not admitted")
+	}
+}
+
+func TestCacheDiskSpill(t *testing.T) {
+	dir := t.TempDir()
+	c := newCache(1, 0, dir)
+	c.Put("a", []byte("body-a"))
+	c.Put("b", []byte("body-b")) // evicts a to disk
+	if _, err := os.Stat(filepath.Join(dir, "a.json")); err != nil {
+		t.Fatalf("spill file: %v", err)
+	}
+	// A miss in memory falls through to disk and re-admits.
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("body-a")) {
+		t.Fatalf("disk hit: %q %v", got, ok)
+	}
+	st := c.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	// Re-admitting a evicted b; b must also come back from disk.
+	if got, ok := c.Get("b"); !ok || !bytes.Equal(got, []byte("body-b")) {
+		t.Errorf("b after spill: %q %v", got, ok)
+	}
+}
+
+func TestCacheStatsCounters(t *testing.T) {
+	c := newCache(8, 0, "")
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", []byte("v"))
+	c.Put("k", []byte("other")) // duplicate Put is a no-op
+	if b, _ := c.Get("k"); string(b) != "v" {
+		t.Errorf("duplicate Put replaced body: %q", b)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := newCache(1024, 0, "")
+	body := make([]byte, 1024)
+	for i := 0; i < 256; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), body)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(fmt.Sprintf("key-%d", i%256))
+	}
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull rejects a submission when the admission queue is at
+// capacity. Handlers translate it to 429 + Retry-After: shedding the
+// excess request outright keeps queueing delay bounded for everyone
+// already admitted, instead of degrading all requests together.
+var ErrQueueFull = errors.New("server: queue full")
+
+// ErrDraining rejects submissions once Close has begun.
+var ErrDraining = errors.New("server: draining")
+
+// pool is a fixed set of worker goroutines behind a bounded admission
+// queue. Submit never blocks: a request is either admitted (queued or
+// picked up immediately) or refused with ErrQueueFull/ErrDraining, so
+// admission control happens at the door rather than by silent queueing.
+type pool struct {
+	queue   chan func()
+	workers int
+
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+
+	inFlight atomic.Int64
+	done     atomic.Int64
+}
+
+// newPool starts workers goroutines consuming a queue of the given depth.
+func newPool(workers, depth int) *pool {
+	p := &pool{queue: make(chan func(), depth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.queue {
+				p.inFlight.Add(1)
+				f()
+				p.inFlight.Add(-1)
+				p.done.Add(1)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues f without blocking.
+func (p *pool) Submit(f func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrDraining
+	}
+	select {
+	case p.queue <- f:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Depth is the number of admitted tasks not yet picked up by a worker.
+func (p *pool) Depth() int { return len(p.queue) }
+
+// Capacity is the admission queue's size.
+func (p *pool) Capacity() int { return cap(p.queue) }
+
+// InFlight is the number of tasks currently executing.
+func (p *pool) InFlight() int64 { return p.inFlight.Load() }
+
+// Done is the number of tasks completed since the pool started.
+func (p *pool) Done() int64 { return p.done.Load() }
+
+// Workers is the pool size.
+func (p *pool) Workers() int { return p.workers }
+
+// Close stops admission, runs everything already queued, and waits for
+// the workers to finish — the drain step of graceful shutdown. Safe to
+// call more than once.
+func (p *pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolAdmission: with 1 worker and a queue of 1, the third concurrent
+// submission must be refused with ErrQueueFull, and admitted work must
+// still complete.
+func TestPoolAdmission(t *testing.T) {
+	p := newPool(1, 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var ran atomic.Int64
+
+	// First task occupies the worker...
+	if err := p.Submit(func() { close(started); <-release; ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...second fills the queue...
+	if err := p.Submit(func() { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() != 1 || p.Capacity() != 1 {
+		t.Errorf("depth=%d cap=%d", p.Depth(), p.Capacity())
+	}
+	// ...third is shed.
+	if err := p.Submit(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+	if got := p.InFlight(); got != 1 {
+		t.Errorf("in-flight %d", got)
+	}
+	close(release)
+	p.Close() // drains the queued task
+	if got := ran.Load(); got != 2 {
+		t.Errorf("ran %d tasks, want 2", got)
+	}
+	if p.Done() != 2 {
+		t.Errorf("done %d", p.Done())
+	}
+}
+
+// TestPoolDrain: Close must wait for queued work, refuse new work, and be
+// idempotent.
+func TestPoolDrain(t *testing.T) {
+	p := newPool(2, 8)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(func() { time.Sleep(time.Millisecond); ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 8 {
+		t.Errorf("drained %d of 8 tasks", got)
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-close submit: %v, want ErrDraining", err)
+	}
+	p.Close() // second close is a no-op
+}

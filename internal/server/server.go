@@ -1,0 +1,431 @@
+// Package server implements hsfqd's serving layer: HTTP handlers that
+// validate scenario and sweep requests through the simconfig
+// Parse/Validate/Build pipeline, execute them on a shared bounded worker
+// pool with queue-depth admission control and per-request deadlines, and
+// serve repeated requests byte-identically from a content-addressed
+// response cache.
+//
+// The cache is sound because the simulator is deterministic: a request's
+// key is the SHA-256 of its canonical config and seed (sweep.JobKey), so
+// two requests with the same key denote the same computation and must
+// produce the same bytes. Config.VerifyFraction turns that argument into
+// a runtime check by re-executing a sampled fraction of cache hits and
+// comparing bytes.
+//
+// Admission control is load shedding, not backpressure: when the queue is
+// full, new work is refused with 429 + Retry-After while admitted work
+// keeps its latency, rather than every request degrading together.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsfq/internal/simconfig"
+	"hsfq/internal/sweep"
+)
+
+// maxRequestBytes bounds request bodies; a scenario or sweep spec is KBs.
+const maxRequestBytes = 1 << 20
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the execution pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth is the admission queue capacity; <= 0 means 64.
+	QueueDepth int
+	// SweepWorkers bounds parallelism inside one sweep request (a sweep
+	// occupies one pool slot and fans out internally); <= 0 means Workers.
+	SweepWorkers int
+	// CacheEntries caps the in-memory result cache; <= 0 means 1024.
+	CacheEntries int
+	// CacheBytes caps the cache's total body bytes; <= 0 means 64 MiB.
+	CacheBytes int64
+	// CacheDir, when non-empty, spills evicted entries to disk and serves
+	// them back on memory misses. Created if missing.
+	CacheDir string
+	// VerifyFraction in (0,1] re-executes that fraction of cache hits and
+	// compares bytes, checking the determinism the cache relies on.
+	VerifyFraction float64
+	// RequestTimeout is the per-request deadline covering queue wait and
+	// execution; <= 0 means 30 s.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the hsfqd HTTP service. It implements http.Handler; wire it
+// into an http.Server to serve.
+type Server struct {
+	cfg   Config
+	pool  *pool
+	cache *Cache
+	mux   *http.ServeMux
+	ready atomic.Bool
+
+	simulateStats *endpointStats
+	sweepStats    *endpointStats
+	jobsStats     *endpointStats
+
+	shed           atomic.Int64
+	verifyRuns     atomic.Int64
+	verifyFailures atomic.Int64
+	verifyMu       sync.Mutex
+	verifyRng      *rand.Rand
+
+	// Seams for tests: the default paths run real simulations.
+	execute  func(cfg simconfig.Config, seed uint64) (string, map[string]float64, error)
+	runSweep func(spec sweep.Spec, opt sweep.Options) (*sweep.Report, error)
+}
+
+// New builds a ready Server from cfg (zero values take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.CacheDir != "" {
+		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+			log.Printf("server: cache dir %s: %v (disk spill disabled)", cfg.CacheDir, err)
+			cfg.CacheDir = ""
+		}
+	}
+	s := &Server{
+		cfg:           cfg,
+		pool:          newPool(cfg.Workers, cfg.QueueDepth),
+		cache:         newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheDir),
+		simulateStats: newEndpointStats(),
+		sweepStats:    newEndpointStats(),
+		jobsStats:     newEndpointStats(),
+		verifyRng:     rand.New(rand.NewSource(1)),
+		execute:       sweep.ExecuteConfig,
+		runSweep:      sweep.Run,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.instrument(s.simulateStats, s.serveSimulate))
+	mux.HandleFunc("POST /v1/sweep", s.instrument(s.sweepStats, s.serveSweep))
+	mux.HandleFunc("GET /v1/jobs/{key}", s.instrument(s.jobsStats, s.serveJob))
+	mux.HandleFunc("GET /healthz", s.serveHealthz)
+	mux.HandleFunc("GET /readyz", s.serveReadyz)
+	mux.HandleFunc("GET /metrics", s.serveMetrics)
+	s.mux = mux
+	s.ready.Store(true)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetReady flips the /readyz signal; shutdown flips it false first so
+// load balancers stop routing before the listener closes.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// Drain marks the server not ready, stops pool admission, and waits for
+// every queued and in-flight job. Call after the HTTP listener has
+// stopped accepting requests; submissions racing the drain get 503.
+func (s *Server) Drain() {
+	s.ready.Store(false)
+	s.pool.Close()
+}
+
+// instrument wraps a handler that reports the status it wrote, recording
+// count, errors, and wall latency per endpoint.
+func (s *Server) instrument(st *endpointStats, fn func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := fn(w, r)
+		st.observe(float64(time.Since(start))/float64(time.Millisecond), status >= 400)
+	}
+}
+
+// simulateResponse is the body of POST /v1/simulate and GET /v1/jobs/{key}
+// for scenario jobs. Marshaling is deterministic (struct field order;
+// map keys sort), which is what makes the bodies cacheable byte-for-byte.
+type simulateResponse struct {
+	// Key is the request's content address, usable with GET /v1/jobs/{key}.
+	Key string `json:"key"`
+	// Digest is the SHA-256 of the simulation's canonical outcome.
+	Digest string `json:"digest"`
+	// Seed the simulation was instantiated at.
+	Seed uint64 `json:"seed"`
+	// Metrics are the per-job scalars (work totals, shares, frames, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// sweepResponse is the body of POST /v1/sweep.
+type sweepResponse struct {
+	Key    string        `json:"key"`
+	Report *sweep.Report `json:"report"`
+}
+
+// errorResponse is every non-200 body. Field carries the JSON path of the
+// offending config value when the error is a simconfig.FieldError.
+type errorResponse struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request) int {
+	cfg, err := simconfig.Parse(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	key := sweep.JobKey(cfg, cfg.Seed)
+	recompute := func() ([]byte, bool, error) {
+		digest, m, err := s.execute(cfg, cfg.Seed)
+		if err != nil {
+			return nil, false, err
+		}
+		b, err := json.Marshal(simulateResponse{Key: key, Digest: digest, Seed: cfg.Seed, Metrics: m})
+		return b, err == nil, err
+	}
+	return s.serveComputed(w, r, key, recompute)
+}
+
+func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request) int {
+	spec, err := sweep.ParseSpec(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	// Expand validates the whole grid up front, so a bad axis is a 400
+	// here rather than a failed job later.
+	if _, err := sweep.Expand(spec); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	key := sweep.SweepKey(spec)
+	recompute := func() ([]byte, bool, error) {
+		rep, err := s.runSweep(spec, sweep.Options{Workers: s.cfg.SweepWorkers})
+		if rep == nil {
+			return nil, false, err
+		}
+		// Job-level failures ride inside the report (the client sees
+		// per-job errors); only a fully clean report is cached.
+		b, merr := json.Marshal(sweepResponse{Key: key, Report: rep})
+		if merr != nil {
+			return nil, false, merr
+		}
+		return b, rep.Failed == 0, nil
+	}
+	return s.serveComputed(w, r, key, recompute)
+}
+
+// serveComputed is the shared hit-or-execute path: serve from cache
+// (optionally verifying), or run recompute on the pool under the request
+// deadline and cache the result when recompute says it may.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, recompute func() ([]byte, bool, error)) int {
+	if body, ok := s.cache.Get(key); ok {
+		s.maybeVerify(key, body, recompute)
+		return writeResult(w, body, "hit")
+	}
+	body, cacheable, status, err := s.compute(r, recompute)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		return writeError(w, status, err)
+	}
+	if cacheable {
+		s.cache.Put(key, body)
+	}
+	return writeResult(w, body, "miss")
+}
+
+// compute runs fn on the worker pool, bounded by the per-request
+// deadline. The returned status is meaningful only when err is non-nil.
+func (s *Server) compute(r *http.Request, fn func() ([]byte, bool, error)) (body []byte, cacheable bool, status int, err error) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	type out struct {
+		body      []byte
+		cacheable bool
+		err       error
+	}
+	ch := make(chan out, 1) // buffered: a worker never blocks on an abandoned request
+	submitErr := s.pool.Submit(func() {
+		if err := ctx.Err(); err != nil {
+			ch <- out{err: err} // request gave up while queued; skip the work
+			return
+		}
+		b, c, err := fn()
+		ch <- out{b, c, err}
+	})
+	switch {
+	case errors.Is(submitErr, ErrQueueFull):
+		s.shed.Add(1)
+		return nil, false, http.StatusTooManyRequests, submitErr
+	case errors.Is(submitErr, ErrDraining):
+		return nil, false, http.StatusServiceUnavailable, submitErr
+	case submitErr != nil:
+		return nil, false, http.StatusInternalServerError, submitErr
+	}
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			if ctx.Err() != nil {
+				return nil, false, http.StatusGatewayTimeout, o.err
+			}
+			// The config parsed and validated but failed to build or
+			// marshal — a request-level problem, not a server fault.
+			return nil, false, http.StatusBadRequest, o.err
+		}
+		return o.body, o.cacheable, http.StatusOK, nil
+	case <-ctx.Done():
+		return nil, false, http.StatusGatewayTimeout, ctx.Err()
+	}
+}
+
+// maybeVerify re-executes a sampled fraction of cache hits and compares
+// bytes, counting any divergence. It runs inline on the handler goroutine,
+// deliberately outside pool admission: a full queue must not be able to
+// starve the determinism check.
+func (s *Server) maybeVerify(key string, cached []byte, recompute func() ([]byte, bool, error)) {
+	f := s.cfg.VerifyFraction
+	if f <= 0 {
+		return
+	}
+	if f < 1 {
+		s.verifyMu.Lock()
+		p := s.verifyRng.Float64()
+		s.verifyMu.Unlock()
+		if p >= f {
+			return
+		}
+	}
+	s.verifyRuns.Add(1)
+	b, _, err := recompute()
+	if err != nil || !bytes.Equal(b, cached) {
+		s.verifyFailures.Add(1)
+		log.Printf("server: cache verification FAILED for %s (err=%v): cached bytes differ from re-execution", key, err)
+	}
+}
+
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request) int {
+	key := r.PathValue("key")
+	if body, ok := s.cache.Get(key); ok {
+		return writeResult(w, body, "hit")
+	}
+	return writeError(w, http.StatusNotFound, errors.New("server: unknown job (never submitted, or evicted without a spill directory)"))
+}
+
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) serveReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// Metrics is the /metrics document: queue and pool state, shed and
+// verification counters, cache counters, and per-endpoint latency
+// histograms.
+type Metrics struct {
+	Workers           int                      `json:"workers"`
+	QueueDepth        int                      `json:"queue_depth"`
+	QueueCapacity     int                      `json:"queue_capacity"`
+	InFlight          int64                    `json:"in_flight"`
+	WorkerUtilization float64                  `json:"worker_utilization"`
+	TasksDone         int64                    `json:"tasks_done"`
+	Shed              int64                    `json:"shed"`
+	Ready             bool                     `json:"ready"`
+	VerifyRuns        int64                    `json:"verify_runs"`
+	VerifyFailures    int64                    `json:"verify_failures"`
+	Cache             CacheStats               `json:"cache"`
+	Endpoints         map[string]EndpointStats `json:"endpoints"`
+}
+
+// Snapshot collects the current Metrics.
+func (s *Server) Snapshot() Metrics {
+	inFlight := s.pool.InFlight()
+	return Metrics{
+		Workers:           s.pool.Workers(),
+		QueueDepth:        s.pool.Depth(),
+		QueueCapacity:     s.pool.Capacity(),
+		InFlight:          inFlight,
+		WorkerUtilization: float64(inFlight) / float64(s.pool.Workers()),
+		TasksDone:         s.pool.Done(),
+		Shed:              s.shed.Load(),
+		Ready:             s.ready.Load(),
+		VerifyRuns:        s.verifyRuns.Load(),
+		VerifyFailures:    s.verifyFailures.Load(),
+		Cache:             s.cache.Stats(),
+		Endpoints: map[string]EndpointStats{
+			"simulate": s.simulateStats.snapshot(),
+			"sweep":    s.sweepStats.snapshot(),
+			"jobs":     s.jobsStats.snapshot(),
+		},
+	}
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	b, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(b, '\n'))
+}
+
+// writeResult serves a computed or cached body; hitOrMiss lands in the
+// X-Cache header so clients and load tests can see cache behaviour.
+func writeResult(w http.ResponseWriter, body []byte, hitOrMiss string) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", hitOrMiss)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	return http.StatusOK
+}
+
+func writeError(w http.ResponseWriter, status int, err error) int {
+	resp := errorResponse{Error: err.Error()}
+	var fe *simconfig.FieldError
+	if errors.As(err, &fe) {
+		resp.Field = fe.Field
+	}
+	b, merr := json.Marshal(resp)
+	if merr != nil {
+		b = []byte(`{"error":"internal"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+	return status
+}

@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hsfq/internal/simconfig"
+)
+
+// scenarioJSON is a small real scenario; seed variations make distinct
+// jobs (distinct content addresses) from the same structure.
+func scenarioJSON(seed int) string {
+	return fmt.Sprintf(`{
+	  "rate_mips": 100,
+	  "horizon": "50ms",
+	  "seed": %d,
+	  "nodes": [
+	    {"path": "/soft", "weight": 3, "leaf": "sfq", "quantum": "5ms"},
+	    {"path": "/be", "weight": 1, "leaf": "rr"}
+	  ],
+	  "threads": [
+	    {"name": "dec", "leaf": "/soft", "weight": 2, "program": {"kind": "mpeg", "loop": true}},
+	    {"name": "hog", "leaf": "/be", "program": {"kind": "loop"}}
+	  ]
+	}`, seed)
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestSimulateCacheByteIdentical is the core serving contract: the same
+// scenario submitted twice runs once, the second response is a recorded
+// cache hit, and the bytes are identical. VerifyFraction 1 re-executes the
+// hit and must find nothing wrong.
+func TestSimulateCacheByteIdentical(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8, VerifyFraction: 1})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp1, body1 := post(t, ts, "/v1/simulate", scenarioJSON(7))
+	if resp1.StatusCode != 200 || resp1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first: %d %q %s", resp1.StatusCode, resp1.Header.Get("X-Cache"), body1)
+	}
+	resp2, body2 := post(t, ts, "/v1/simulate", scenarioJSON(7))
+	if resp2.StatusCode != 200 || resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second: %d %q", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cached response differs:\n%s\nvs\n%s", body1, body2)
+	}
+
+	var r simulateResponse
+	if err := json.Unmarshal(body1, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Key == "" || r.Digest == "" || r.Seed != 7 || r.Metrics["work_total"] <= 0 {
+		t.Fatalf("response: %+v", r)
+	}
+
+	// The job is retrievable by its content address, byte-identically.
+	resp3, body3 := get(t, ts, "/v1/jobs/"+r.Key)
+	if resp3.StatusCode != 200 || !bytes.Equal(body3, body1) {
+		t.Fatalf("jobs retrieval: %d", resp3.StatusCode)
+	}
+	if resp4, _ := get(t, ts, "/v1/jobs/deadbeef"); resp4.StatusCode != 404 {
+		t.Errorf("unknown job: %d", resp4.StatusCode)
+	}
+
+	m := srv.Snapshot()
+	if m.Cache.Hits < 2 || m.Cache.Misses < 1 {
+		t.Errorf("cache counters %+v", m.Cache)
+	}
+	if m.VerifyRuns != 1 || m.VerifyFailures != 0 {
+		t.Errorf("verify runs=%d failures=%d", m.VerifyRuns, m.VerifyFailures)
+	}
+	if m.Endpoints["simulate"].Count != 2 {
+		t.Errorf("simulate endpoint count %d", m.Endpoints["simulate"].Count)
+	}
+}
+
+func TestSimulateValidationErrors(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 2})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Malformed JSON.
+	resp, _ := post(t, ts, "/v1/simulate", `{"nodes": [`)
+	if resp.StatusCode != 400 {
+		t.Errorf("malformed: %d", resp.StatusCode)
+	}
+	// Unknown field (DisallowUnknownFields via simconfig.Parse).
+	resp, _ = post(t, ts, "/v1/simulate", `{"bogus": 1}`)
+	if resp.StatusCode != 400 {
+		t.Errorf("unknown field: %d", resp.StatusCode)
+	}
+	// Validation failure carries the JSON field path.
+	resp, body := post(t, ts, "/v1/simulate",
+		`{"nodes":[{"path":"/a","leaf":"bogus"}]}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad leaf: %d", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Field != "nodes[0].leaf" || !strings.Contains(e.Error, "unknown leaf scheduler") {
+		t.Errorf("error response: %+v", e)
+	}
+	// Build-time failure (validates, but the trace file is missing) is
+	// also the client's problem: 400, not 500.
+	resp, _ = post(t, ts, "/v1/simulate",
+		`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","program":{"kind":"trace","file":"/nonexistent"}}]}`)
+	if resp.StatusCode != 400 {
+		t.Errorf("build failure: %d", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8, SweepWorkers: 2})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	spec := fmt.Sprintf(`{
+	  "name": "api",
+	  "seeds": 2,
+	  "base": %s,
+	  "axes": [{"param": "weight", "target": "/be", "values": [1, 3]}]
+	}`, scenarioJSON(42))
+	resp1, body1 := post(t, ts, "/v1/sweep", spec)
+	if resp1.StatusCode != 200 || resp1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("sweep: %d %s", resp1.StatusCode, body1)
+	}
+	var r sweepResponse
+	if err := json.Unmarshal(body1, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Report.Jobs != 4 || r.Report.Failed != 0 || len(r.Report.Aggregates) != 2 {
+		t.Fatalf("report: jobs=%d failed=%d aggs=%d", r.Report.Jobs, r.Report.Failed, len(r.Report.Aggregates))
+	}
+	// Same spec again: cache hit, identical bytes, retrievable by key.
+	resp2, body2 := post(t, ts, "/v1/sweep", spec)
+	if resp2.Header.Get("X-Cache") != "hit" || !bytes.Equal(body1, body2) {
+		t.Fatalf("sweep rerun: %q identical=%v", resp2.Header.Get("X-Cache"), bytes.Equal(body1, body2))
+	}
+	if resp3, body3 := get(t, ts, "/v1/jobs/"+r.Key); resp3.StatusCode != 200 || !bytes.Equal(body3, body1) {
+		t.Errorf("sweep by key: %d", resp3.StatusCode)
+	}
+	// A bad axis is rejected up front with 400.
+	resp4, _ := post(t, ts, "/v1/sweep", fmt.Sprintf(`{"base": %s, "axes": [{"param": "bogus", "values": [1]}]}`, scenarioJSON(1)))
+	if resp4.StatusCode != 400 {
+		t.Errorf("bad axis: %d", resp4.StatusCode)
+	}
+}
+
+// TestAdmissionControl stubs execution with a blocking job: with 1 worker
+// and a queue of 1, a third concurrent request must be shed with 429 and
+// a Retry-After header, while admitted requests complete with 200.
+func TestAdmissionControl(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	srv.execute = func(cfg simconfig.Config, seed uint64) (string, map[string]float64, error) {
+		started <- struct{}{}
+		<-release
+		return fmt.Sprintf("digest-%d", seed), map[string]float64{"x": 1}, nil
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	results := make(chan int, 2)
+	fire := func(seed int) {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(scenarioJSON(seed)))
+			if err != nil {
+				results <- -1
+				return
+			}
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+	}
+	fire(1)
+	<-started // worker now busy and the queue empty...
+	fire(2)   // ...so this one is admitted to the queue
+	waitFor(t, func() bool { return srv.pool.Depth() == 1 })
+
+	// Queue full: this one is shed.
+	resp, _ := post(t, ts, "/v1/simulate", scenarioJSON(3))
+	if resp.StatusCode != 429 || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("shed request: %d Retry-After=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if status := <-results; status != 200 {
+			t.Errorf("admitted request got %d", status)
+		}
+	}
+	if shed := srv.Snapshot().Shed; shed != 1 {
+		t.Errorf("shed counter %d", shed)
+	}
+	srv.Drain()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRequestDeadline: a job slower than the request timeout yields 504
+// without wedging the worker pool.
+func TestRequestDeadline(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 2, RequestTimeout: 20 * time.Millisecond})
+	release := make(chan struct{})
+	srv.execute = func(cfg simconfig.Config, seed uint64) (string, map[string]float64, error) {
+		<-release
+		return "d", nil, nil
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, _ := post(t, ts, "/v1/simulate", scenarioJSON(1))
+	if resp.StatusCode != 504 {
+		t.Fatalf("slow job: %d", resp.StatusCode)
+	}
+	close(release)
+	srv.Drain()
+	if got := srv.Snapshot().InFlight; got != 0 {
+		t.Errorf("in-flight after drain: %d", got)
+	}
+}
+
+// TestVerifyCacheDetectsDivergence: if execution stops matching the
+// cached bytes (injected nondeterminism), the sampled verification on the
+// next hit must count a failure.
+func TestVerifyCacheDetectsDivergence(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 2, VerifyFraction: 1})
+	defer srv.Drain()
+	calls := 0
+	var mu sync.Mutex
+	srv.execute = func(cfg simconfig.Config, seed uint64) (string, map[string]float64, error) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		return fmt.Sprintf("digest-%d", n), map[string]float64{"x": 1}, nil
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post(t, ts, "/v1/simulate", scenarioJSON(1)) // miss: digest-1 cached
+	post(t, ts, "/v1/simulate", scenarioJSON(1)) // hit: verify recomputes digest-2
+	m := srv.Snapshot()
+	if m.VerifyRuns != 1 || m.VerifyFailures != 1 {
+		t.Errorf("verify runs=%d failures=%d, want 1/1", m.VerifyRuns, m.VerifyFailures)
+	}
+}
+
+func TestReadyzAndDrain(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != 200 {
+		t.Errorf("healthz %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/readyz"); resp.StatusCode != 200 {
+		t.Errorf("readyz %d", resp.StatusCode)
+	}
+	srv.SetReady(false)
+	if resp, _ := get(t, ts, "/readyz"); resp.StatusCode != 503 {
+		t.Errorf("readyz while draining: %d", resp.StatusCode)
+	}
+	srv.Drain()
+	// Work arriving after the drain is refused as unavailable, not queued.
+	resp, _ := post(t, ts, "/v1/simulate", scenarioJSON(1))
+	if resp.StatusCode != 503 {
+		t.Errorf("post-drain request: %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(Config{Workers: 3, QueueDepth: 5})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post(t, ts, "/v1/simulate", scenarioJSON(1))
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if m.Workers != 3 || m.QueueCapacity != 5 || !m.Ready {
+		t.Errorf("metrics %+v", m)
+	}
+	if m.Endpoints["simulate"].Count != 1 || m.Endpoints["simulate"].LatencyMS.N != 1 {
+		t.Errorf("endpoint stats %+v", m.Endpoints["simulate"])
+	}
+	if m.TasksDone != 1 || m.Cache.Misses != 1 {
+		t.Errorf("tasks=%d cache=%+v", m.TasksDone, m.Cache)
+	}
+}
+
+// TestConcurrentLoad is the acceptance scenario: 64 concurrent requests
+// over 8 distinct scenarios against a queue of 16 — no 5xx ever, shed
+// requests get 429 and succeed on retry, every scenario's responses are
+// byte-identical, and the final drain leaves nothing in flight. Run under
+// -race this also proves the serving layer shares no simulation state.
+func TestConcurrentLoad(t *testing.T) {
+	srv := New(Config{Workers: 4, QueueDepth: 16})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const (
+		requests  = 64
+		scenarios = 8
+	)
+	var (
+		mu     sync.Mutex
+		bodies = map[int][][]byte{}
+		shed   int
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		scenario := i % scenarios
+		go func() {
+			defer wg.Done()
+			for attempt := 0; attempt < 400; attempt++ {
+				resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+					strings.NewReader(scenarioJSON(scenario+1)))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				switch {
+				case resp.StatusCode == 200:
+					mu.Lock()
+					bodies[scenario] = append(bodies[scenario], body)
+					mu.Unlock()
+					return
+				case resp.StatusCode == 429:
+					mu.Lock()
+					shed++
+					mu.Unlock()
+					time.Sleep(5 * time.Millisecond)
+				case resp.StatusCode >= 500:
+					errCh <- fmt.Errorf("server error %d: %s", resp.StatusCode, body)
+					return
+				default:
+					errCh <- fmt.Errorf("unexpected status %d: %s", resp.StatusCode, body)
+					return
+				}
+			}
+			errCh <- fmt.Errorf("scenario %d starved by shedding", scenario)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	for sc, bs := range bodies {
+		if len(bs) != requests/scenarios {
+			t.Errorf("scenario %d: %d responses", sc, len(bs))
+		}
+		for _, b := range bs {
+			if !bytes.Equal(b, bs[0]) {
+				t.Fatalf("scenario %d responses differ:\n%s\nvs\n%s", sc, b, bs[0])
+			}
+		}
+	}
+
+	m := srv.Snapshot()
+	if int(m.Shed) != shed {
+		t.Errorf("shed counter %d, observed %d 429s", m.Shed, shed)
+	}
+	// Each scenario simulated at least once; the rest were cache hits.
+	if m.Cache.Misses < scenarios || m.Cache.Hits == 0 {
+		t.Errorf("cache %+v", m.Cache)
+	}
+
+	// Graceful drain: nothing left queued or running afterwards.
+	srv.Drain()
+	m = srv.Snapshot()
+	if m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Errorf("after drain: in-flight=%d queued=%d", m.InFlight, m.QueueDepth)
+	}
+}

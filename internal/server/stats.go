@@ -1,0 +1,47 @@
+package server
+
+import (
+	"sync"
+
+	"hsfq/internal/metrics"
+)
+
+// endpointStats aggregates request count, error count, and a latency
+// histogram for one endpoint. The histogram spans 0–10 s in 50 buckets
+// (200 ms wide); sub-millisecond cache hits land in bucket 0 and anything
+// pathological lands in the overflow counter, both visible in /metrics.
+type endpointStats struct {
+	mu     sync.Mutex
+	count  int64
+	errors int64
+	hist   *metrics.Histogram
+}
+
+func newEndpointStats() *endpointStats {
+	return &endpointStats{hist: metrics.NewHistogram(0, 10_000, 50)}
+}
+
+// observe records one request: its wall latency in milliseconds and
+// whether it ended in an error status (>= 400).
+func (e *endpointStats) observe(ms float64, isErr bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.count++
+	if isErr {
+		e.errors++
+	}
+	e.hist.Add(ms)
+}
+
+// EndpointStats is the exported per-endpoint view in /metrics.
+type EndpointStats struct {
+	Count     int64                     `json:"count"`
+	Errors    int64                     `json:"errors"`
+	LatencyMS metrics.HistogramSnapshot `json:"latency_ms"`
+}
+
+func (e *endpointStats) snapshot() EndpointStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EndpointStats{Count: e.count, Errors: e.errors, LatencyMS: e.hist.Snapshot()}
+}

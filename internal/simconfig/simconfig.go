@@ -177,23 +177,42 @@ var interruptKinds = map[string]bool{
 	"periodic": true, "poisson": true, "burst": true,
 }
 
+// FieldError is a validation failure located by the JSON field path of
+// the offending value ("threads[2].leaf"), so request-scoped callers —
+// the hsfqd daemon's 400 responses in particular — can point clients at
+// the exact field without parsing the message. Error() keeps the
+// human-readable form CLI tools print.
+type FieldError struct {
+	// Field is the JSON path of the bad value, e.g. "nodes[0].leaf".
+	Field string
+	// Msg is the human-readable description, without the package prefix.
+	Msg string
+}
+
+func (e *FieldError) Error() string { return "simconfig: " + e.Msg }
+
+func fieldErr(field, format string, args ...any) *FieldError {
+	return &FieldError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
 // Validate checks the config's structural consistency — at least one
 // node, registered leaf/program/interrupt kinds, thread names present and
 // unique, every thread attached to a declared leaf — without building
 // anything. Build calls it; sweep engines call it once per grid point
-// before instantiating the point at many seeds.
+// before instantiating the point at many seeds. Failures are *FieldError
+// values carrying the JSON path of the offending field.
 func (c Config) Validate() error {
 	if len(c.Nodes) == 0 {
-		return fmt.Errorf("simconfig: no nodes")
+		return fieldErr("nodes", "no nodes")
 	}
 	leaves := map[string]bool{}
-	for _, nc := range c.Nodes {
+	for i, nc := range c.Nodes {
 		if nc.Path == "" {
-			return fmt.Errorf("simconfig: node with empty path")
+			return fieldErr(fmt.Sprintf("nodes[%d].path", i), "node with empty path")
 		}
 		if nc.Leaf != "" {
 			if !sched.Known(nc.Leaf) {
-				return fmt.Errorf("simconfig: node %q: unknown leaf scheduler %q (have %v)", nc.Path, nc.Leaf, sched.Names())
+				return fieldErr(fmt.Sprintf("nodes[%d].leaf", i), "node %q: unknown leaf scheduler %q (have %v)", nc.Path, nc.Leaf, sched.Names())
 			}
 			leaves[nc.Path] = true
 		}
@@ -201,22 +220,22 @@ func (c Config) Validate() error {
 	names := map[string]bool{}
 	for i, tc := range c.Threads {
 		if tc.Name == "" {
-			return fmt.Errorf("simconfig: thread %d has no name", i)
+			return fieldErr(fmt.Sprintf("threads[%d].name", i), "thread %d has no name", i)
 		}
 		if names[tc.Name] {
-			return fmt.Errorf("simconfig: duplicate thread name %q", tc.Name)
+			return fieldErr(fmt.Sprintf("threads[%d].name", i), "duplicate thread name %q", tc.Name)
 		}
 		names[tc.Name] = true
 		if !leaves[tc.Leaf] {
-			return fmt.Errorf("simconfig: thread %q: no leaf %q", tc.Name, tc.Leaf)
+			return fieldErr(fmt.Sprintf("threads[%d].leaf", i), "thread %q: no leaf %q", tc.Name, tc.Leaf)
 		}
 		if !programKinds[tc.Program.Kind] {
-			return fmt.Errorf("simconfig: thread %q: unknown program %q", tc.Name, tc.Program.Kind)
+			return fieldErr(fmt.Sprintf("threads[%d].program.kind", i), "thread %q: unknown program %q", tc.Name, tc.Program.Kind)
 		}
 	}
-	for _, ic := range c.Interrupts {
+	for i, ic := range c.Interrupts {
 		if !interruptKinds[ic.Kind] {
-			return fmt.Errorf("simconfig: unknown interrupt kind %q", ic.Kind)
+			return fieldErr(fmt.Sprintf("interrupts[%d].kind", i), "unknown interrupt kind %q", ic.Kind)
 		}
 	}
 	return nil
@@ -350,7 +369,8 @@ func (s *Simulation) Run() {
 // BuildConfig builds the simulation with the config's own seed.
 //
 // Deprecated: use Build with a BuildOptions, which makes the seed of the
-// instantiation explicit.
+// instantiation explicit. All in-tree callers have been migrated; the
+// wrapper will be removed in the next PR.
 func BuildConfig(c Config) (*Simulation, error) { return Build(c, BuildOptions{}) }
 
 func buildProgram(s *Simulation, tc ThreadConfig, rate cpu.Rate, rng *sim.Rand) (cpu.Program, error) {

@@ -1,6 +1,7 @@
 package simconfig
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -218,7 +219,8 @@ func TestValidate(t *testing.T) {
 }
 
 // TestBuildSeedOverride checks a BuildOptions seed overrides the config's
-// and that BuildConfig (the deprecated wrapper) keeps the config's own.
+// and that the zero options value keeps the config's own (the behaviour
+// the deprecated BuildConfig wrapper — removed next PR — delegated to).
 func TestBuildSeedOverride(t *testing.T) {
 	cfg, err := Parse(strings.NewReader(`{"seed":7,"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a"}]}`))
 	if err != nil {
@@ -231,11 +233,45 @@ func TestBuildSeedOverride(t *testing.T) {
 	if s.Config.Seed != 99 {
 		t.Errorf("override seed = %d, want 99", s.Config.Seed)
 	}
-	s, err = BuildConfig(cfg)
+	s, err = Build(cfg, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Config.Seed != 7 {
 		t.Errorf("config seed = %d, want 7", s.Config.Seed)
+	}
+}
+
+// TestValidateFieldPaths checks every Validate failure is a *FieldError
+// locating the offending JSON field, the contract hsfqd's 400 responses
+// are built on.
+func TestValidateFieldPaths(t *testing.T) {
+	cases := []struct{ js, field string }{
+		{`{"threads":[]}`, "nodes"},
+		{`{"nodes":[{"path":""}]}`, "nodes[0].path"},
+		{`{"nodes":[{"path":"/a","leaf":"bogus"}]}`, "nodes[0].leaf"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"leaf":"/a"}]}`, "threads[0].name"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a"},{"name":"t","leaf":"/a"}]}`, "threads[1].name"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/b"}]}`, "threads[0].leaf"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","program":{"kind":"bogus"}}]}`, "threads[0].program.kind"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"periodic"},{"kind":"bogus"}]}`, "interrupts[1].kind"},
+	}
+	for _, tc := range cases {
+		cfg, err := Parse(strings.NewReader(tc.js))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.js, err)
+		}
+		err = cfg.Validate()
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v is not a *FieldError", tc.js, err)
+			continue
+		}
+		if fe.Field != tc.field {
+			t.Errorf("%s: field %q, want %q", tc.js, fe.Field, tc.field)
+		}
+		if !strings.HasPrefix(fe.Error(), "simconfig: ") {
+			t.Errorf("%s: error %q lost the package prefix", tc.js, fe.Error())
+		}
 	}
 }

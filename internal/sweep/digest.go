@@ -3,6 +3,7 @@ package sweep
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,6 +40,37 @@ func Canonical(s *simconfig.Simulation) string {
 func Digest(s *simconfig.Simulation) string {
 	sum := sha256.Sum256([]byte(Canonical(s)))
 	return hex.EncodeToString(sum[:])
+}
+
+// JobKey returns the content address of a simulation request: the hex
+// SHA-256 of the config's canonical JSON (struct marshaling fixes field
+// order; Config holds no maps) plus the instantiation seed. Two requests
+// with equal keys describe the same deterministic computation, so a
+// response computed for one can be served for the other byte-identically —
+// the soundness argument behind hsfqd's digest-keyed cache.
+func JobKey(c simconfig.Config, seed uint64) string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: marshaling config: %v", err)) // plain data; cannot fail
+	}
+	h := sha256.New()
+	h.Write(b)
+	fmt.Fprintf(h, "#seed=%d", seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SweepKey is JobKey for a whole sweep spec: the content address of the
+// spec's canonical JSON. Axis values are json.RawMessage, so the bytes the
+// client sent participate verbatim.
+func SweepKey(spec Spec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: marshaling spec: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte("sweep#"))
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Metrics extracts the per-job scalar metrics that Run aggregates across

@@ -34,6 +34,10 @@ type JobResult struct {
 	Digest  string             `json:"digest,omitempty"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 	Error   string             `json:"error,omitempty"`
+	// Mismatch marks a Verify failure: the job ran twice and produced two
+	// different digests, a determinism violation (as opposed to an
+	// execution error).
+	Mismatch bool `json:"mismatch,omitempty"`
 }
 
 // Aggregate summarizes one grid point's metrics across its seed
@@ -46,10 +50,14 @@ type Aggregate struct {
 
 // Report is the outcome of a whole sweep.
 type Report struct {
-	Name       string      `json:"name"`
-	Jobs       int         `json:"jobs"`
-	Workers    int         `json:"workers"`
-	Failed     int         `json:"failed"`
+	Name    string `json:"name"`
+	Jobs    int    `json:"jobs"`
+	Workers int    `json:"workers"`
+	Failed  int    `json:"failed"`
+	// Mismatched counts the failures that were Verify digest mismatches;
+	// callers (hsfqsweep) report these distinctly, because they impeach
+	// the simulator rather than the scenario.
+	Mismatched int         `json:"mismatched,omitempty"`
 	Results    []JobResult `json:"results"`
 	Aggregates []Aggregate `json:"aggregates"`
 }
@@ -116,6 +124,9 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		if r.Error != "" {
 			rep.Failed++
 		}
+		if r.Mismatch {
+			rep.Mismatched++
+		}
 	}
 	rep.Aggregates = aggregate(results)
 	if rep.Failed > 0 {
@@ -147,25 +158,37 @@ func writeJSONLine(w io.Writer, v any) error {
 // build constructs private engine, machine, structure, and thread state.
 func runJob(job Job, verify bool) JobResult {
 	res := JobResult{ID: job.ID, Point: job.Point, Rep: job.Rep, Seed: job.Seed}
-	digest, m, err := execute(job)
+	digest, m, err := executeJob(job)
 	if err != nil {
 		res.Error = err.Error()
 		return res
 	}
 	res.Digest, res.Metrics = digest, m
 	if verify {
-		again, _, err := execute(job)
+		again, _, err := executeJob(job)
 		if err != nil {
 			res.Error = fmt.Sprintf("verify rerun: %v", err)
 		} else if again != digest {
 			res.Error = fmt.Sprintf("nondeterministic: digest %s then %s", digest, again)
+			res.Mismatch = true
 		}
 	}
 	return res
 }
 
-func execute(job Job) (string, map[string]float64, error) {
-	s, err := simconfig.Build(job.Config, simconfig.BuildOptions{Seed: job.Seed})
+// executeJob is a seam over ExecuteConfig so tests can inject
+// nondeterminism and execution failures.
+var executeJob = func(job Job) (string, map[string]float64, error) {
+	return ExecuteConfig(job.Config, job.Seed)
+}
+
+// ExecuteConfig builds the config at the given seed (0 keeps the config's
+// own), runs it to its horizon, and returns the outcome digest plus the
+// scalar metrics. It is the in-process execution path shared by the sweep
+// engine and the hsfqd serving daemon: everything it constructs is private
+// to the call, so concurrent executions cannot perturb each other.
+func ExecuteConfig(c simconfig.Config, seed uint64) (string, map[string]float64, error) {
+	s, err := simconfig.Build(c, simconfig.BuildOptions{Seed: seed})
 	if err != nil {
 		return "", nil, err
 	}

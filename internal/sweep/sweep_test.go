@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -199,6 +200,70 @@ func TestRunVerify(t *testing.T) {
 	}
 	if rep.Failed != 0 {
 		t.Fatalf("%d job(s) failed verify", rep.Failed)
+	}
+}
+
+// TestRunVerifyMismatch injects a flaky execution through the executeJob
+// seam and checks a digest change between the two Verify runs surfaces as
+// a Mismatch-flagged result and a Report.Mismatched count — the signal
+// hsfqsweep turns into its distinct exit code.
+func TestRunVerifyMismatch(t *testing.T) {
+	orig := executeJob
+	defer func() { executeJob = orig }()
+	var mu sync.Mutex
+	calls := map[int]int{}
+	executeJob = func(job Job) (string, map[string]float64, error) {
+		mu.Lock()
+		calls[job.ID]++
+		n := calls[job.ID]
+		mu.Unlock()
+		if job.ID == 0 {
+			return fmt.Sprintf("digest-%d", n), map[string]float64{"x": 1}, nil
+		}
+		return "stable", map[string]float64{"x": 1}, nil
+	}
+
+	spec := parseTestSpec(t, testSpec)
+	spec.Seeds = 1
+	rep, err := Run(spec, Options{Workers: 2, Verify: true})
+	if err == nil {
+		t.Fatal("mismatch did not fail the run")
+	}
+	if rep.Mismatched != 1 || rep.Failed != 1 {
+		t.Fatalf("mismatched=%d failed=%d, want 1/1", rep.Mismatched, rep.Failed)
+	}
+	r := rep.Results[0]
+	if !r.Mismatch || !strings.Contains(r.Error, "nondeterministic") {
+		t.Errorf("result 0: %+v", r)
+	}
+	for _, r := range rep.Results[1:] {
+		if r.Mismatch || r.Error != "" {
+			t.Errorf("stable job flagged: %+v", r)
+		}
+	}
+}
+
+// TestJobKey checks the request content address: stable across calls,
+// sensitive to both config and seed, and distinct from sweep keys.
+func TestJobKey(t *testing.T) {
+	spec := parseTestSpec(t, testSpec)
+	k1 := JobKey(spec.Base, 1)
+	if k1 != JobKey(spec.Base, 1) {
+		t.Error("JobKey not stable")
+	}
+	if len(k1) != 64 {
+		t.Errorf("JobKey %q is not hex SHA-256", k1)
+	}
+	if JobKey(spec.Base, 2) == k1 {
+		t.Error("seed does not reach the key")
+	}
+	changed := spec.Base
+	changed.RateMIPS = 999
+	if JobKey(changed, 1) == k1 {
+		t.Error("config change does not reach the key")
+	}
+	if SweepKey(spec) == SweepKey(Spec{Name: "other", Base: spec.Base}) {
+		t.Error("SweepKey insensitive to the spec")
 	}
 }
 

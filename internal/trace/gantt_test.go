@@ -53,6 +53,32 @@ func TestGanttPartialOccupancy(t *testing.T) {
 	}
 }
 
+// TestGanttZeroLengthSpans: a span with Start == End carries no occupancy
+// but still claims a row; rendering must neither loop nor mark a cell.
+func TestGanttZeroLengthSpans(t *testing.T) {
+	spans := []RunSpan{
+		{Thread: "z", Start: 500 * sim.Millisecond, End: 500 * sim.Millisecond},
+		{Thread: "z", Start: 0, End: 0},
+		{Thread: "a", Start: 0, End: sim.Second},
+	}
+	var buf strings.Builder
+	if err := Gantt(&buf, spans, 0, sim.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // rows a, z + axis + labels
+		t.Fatalf("lines:\n%s", buf.String())
+	}
+	aRow := lines[0][strings.Index(lines[0], "|")+1:]
+	zRow := lines[1][strings.Index(lines[1], "|")+1:]
+	if aRow != "##########" {
+		t.Errorf("full-occupancy row %q", aRow)
+	}
+	if strings.TrimSpace(zRow) != "" {
+		t.Errorf("zero-length spans rendered cells: %q", zRow)
+	}
+}
+
 func TestGanttEdgeCases(t *testing.T) {
 	var buf strings.Builder
 	if err := Gantt(&buf, nil, 0, sim.Second, 10); err != nil {

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -49,66 +50,105 @@ func newCache(maxEntries int, maxBytes int64, dir string) *Cache {
 // returned slice: it is shared with the cache.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.index[key]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
-		return el.Value.(*cacheEntry).body, true
+		body := el.Value.(*cacheEntry).body
+		c.mu.Unlock()
+		return body, true
 	}
-	if c.dir != "" {
-		if b, err := os.ReadFile(c.path(key)); err == nil {
-			c.hits++
-			c.diskHits++
-			c.admit(key, b)
-			return b, true
-		}
+	if c.dir == "" || !diskSafe(key) {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
 	}
-	c.misses++
-	return nil, false
+	// The disk read happens without the lock: a spill-directory miss must
+	// not stall unrelated in-memory hits behind disk latency.
+	c.mu.Unlock()
+	b, err := os.ReadFile(c.path(key))
+	c.mu.Lock()
+	if err != nil {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.hits++
+	c.diskHits++
+	var evicted []*cacheEntry
+	if el, ok := c.index[key]; ok {
+		// Admitted concurrently while we were at the disk; either copy is
+		// fine (content addressing makes the bodies identical), keep the
+		// one already in memory.
+		c.lru.MoveToFront(el)
+		b = el.Value.(*cacheEntry).body
+	} else {
+		evicted = c.admit(key, b)
+	}
+	c.mu.Unlock()
+	c.spill(evicted)
+	return b, true
 }
 
 // Put stores body under key. A key already present is left untouched:
 // content addressing means the bodies are identical anyway.
 func (c *Cache) Put(key string, body []byte) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.index[key]; ok {
+		c.mu.Unlock()
 		return
 	}
-	c.admit(key, body)
+	evicted := c.admit(key, body)
+	c.mu.Unlock()
+	c.spill(evicted)
 }
 
 // admit inserts at the LRU front and evicts from the back until both caps
-// hold again; the entry just admitted is never evicted, even if it alone
-// exceeds the byte cap.
-func (c *Cache) admit(key string, body []byte) {
+// hold again, returning the evicted entries for the caller to spill once
+// the lock is released; the entry just admitted is never evicted, even if
+// it alone exceeds the byte cap. Caller holds c.mu.
+func (c *Cache) admit(key string, body []byte) []*cacheEntry {
 	el := c.lru.PushFront(&cacheEntry{key: key, body: body})
 	c.index[key] = el
 	c.bytes += int64(len(body))
+	var evicted []*cacheEntry
 	for c.lru.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		last := c.lru.Back()
 		if last == nil || last == el {
 			break
 		}
-		c.evict(last)
+		e := last.Value.(*cacheEntry)
+		c.lru.Remove(last)
+		delete(c.index, e.key)
+		c.bytes -= int64(len(e.body))
+		c.evictions++
+		evicted = append(evicted, e)
+	}
+	return evicted
+}
+
+// spill writes evicted bodies to the spill directory. Best-effort (a
+// failed write just loses the spill copy, never cache correctness) and
+// called without c.mu held, so disk latency never serializes the cache.
+func (c *Cache) spill(evicted []*cacheEntry) {
+	if c.dir == "" {
+		return
+	}
+	for _, e := range evicted {
+		if diskSafe(e.key) {
+			_ = os.WriteFile(c.path(e.key), e.body, 0o644)
+		}
 	}
 }
 
-// evict removes the entry, spilling its body to disk when a spill
-// directory is configured (best-effort: a failed write just loses the
-// spill copy, never the correctness of the cache).
-func (c *Cache) evict(el *list.Element) {
-	e := el.Value.(*cacheEntry)
-	c.lru.Remove(el)
-	delete(c.index, e.key)
-	c.bytes -= int64(len(e.body))
-	c.evictions++
-	if c.dir != "" {
-		_ = os.WriteFile(c.path(e.key), e.body, 0o644)
-	}
+// diskSafe rejects keys that could name anything outside the spill
+// directory. The server only issues hex digests and validates client-
+// supplied keys before lookup; this is defense in depth for any future
+// caller.
+func diskSafe(key string) bool {
+	return key != "" && key != "." && key != ".." && !strings.ContainsAny(key, `/\`)
 }
 
-// path maps a key (hex digest, so filename-safe) to its spill file.
+// path maps a disk-safe key to its spill file.
 func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
 
 // CacheStats is a point-in-time view of the cache's counters for the

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"regexp"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -97,15 +98,34 @@ type Server struct {
 	sweepStats    *endpointStats
 	jobsStats     *endpointStats
 
-	shed           atomic.Int64
+	shed      atomic.Int64
+	coalesced atomic.Int64
+
 	verifyRuns     atomic.Int64
 	verifyFailures atomic.Int64
+	verifySkipped  atomic.Int64
 	verifyMu       sync.Mutex
 	verifyRng      *rand.Rand
+	verifySem      chan struct{}
+	verifyWG       sync.WaitGroup
+
+	// flights tracks in-progress computations by job key so concurrent
+	// misses for the same key coalesce onto one execution.
+	flightMu sync.Mutex
+	flights  map[string]*flight
 
 	// Seams for tests: the default paths run real simulations.
 	execute  func(cfg simconfig.Config, seed uint64) (string, map[string]float64, error)
 	runSweep func(spec sweep.Spec, opt sweep.Options) (*sweep.Report, error)
+}
+
+// flight is one in-progress computation. Followers wait on done, then read
+// the result fields (written exactly once, before done is closed).
+type flight struct {
+	done   chan struct{}
+	body   []byte
+	status int
+	err    error
 }
 
 // New builds a ready Server from cfg (zero values take defaults).
@@ -125,6 +145,8 @@ func New(cfg Config) *Server {
 		sweepStats:    newEndpointStats(),
 		jobsStats:     newEndpointStats(),
 		verifyRng:     rand.New(rand.NewSource(1)),
+		verifySem:     make(chan struct{}, 1),
+		flights:       map[string]*flight{},
 		execute:       sweep.ExecuteConfig,
 		runSweep:      sweep.Run,
 	}
@@ -148,11 +170,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
 
 // Drain marks the server not ready, stops pool admission, and waits for
-// every queued and in-flight job. Call after the HTTP listener has
-// stopped accepting requests; submissions racing the drain get 503.
+// every queued and in-flight job, including background cache
+// verifications. Call after the HTTP listener has stopped accepting
+// requests; submissions racing the drain get 503.
 func (s *Server) Drain() {
 	s.ready.Store(false)
 	s.pool.Close()
+	s.verifyWG.Wait()
 }
 
 // instrument wraps a handler that reports the status it wrote, recording
@@ -192,6 +216,13 @@ type errorResponse struct {
 	Field string `json:"field,omitempty"`
 }
 
+// internalError marks a server-side fault (marshal failure, simulator
+// crash) so compute answers 500 instead of blaming the request with 400.
+type internalError struct{ err error }
+
+func (e *internalError) Error() string { return e.err.Error() }
+func (e *internalError) Unwrap() error { return e.err }
+
 func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request) int {
 	cfg, err := simconfig.Parse(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
@@ -207,7 +238,10 @@ func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request) int {
 			return nil, false, err
 		}
 		b, err := json.Marshal(simulateResponse{Key: key, Digest: digest, Seed: cfg.Seed, Metrics: m})
-		return b, err == nil, err
+		if err != nil {
+			return nil, false, &internalError{err}
+		}
+		return b, true, nil
 	}
 	return s.serveComputed(w, r, key, recompute)
 }
@@ -226,13 +260,18 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request) int {
 	recompute := func() ([]byte, bool, error) {
 		rep, err := s.runSweep(spec, sweep.Options{Workers: s.cfg.SweepWorkers})
 		if rep == nil {
-			return nil, false, err
+			// The spec already expanded cleanly, so a reportless failure
+			// is a server fault, not a request problem.
+			if err == nil {
+				err = errors.New("server: sweep returned no report")
+			}
+			return nil, false, &internalError{err}
 		}
 		// Job-level failures ride inside the report (the client sees
 		// per-job errors); only a fully clean report is cached.
 		b, merr := json.Marshal(sweepResponse{Key: key, Report: rep})
 		if merr != nil {
-			return nil, false, merr
+			return nil, false, &internalError{merr}
 		}
 		return b, rep.Failed == 0, nil
 	}
@@ -240,24 +279,69 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request) int {
 }
 
 // serveComputed is the shared hit-or-execute path: serve from cache
-// (optionally verifying), or run recompute on the pool under the request
-// deadline and cache the result when recompute says it may.
+// (optionally verifying in the background), or run recompute on the pool
+// under the request deadline and cache the result when recompute says it
+// may. Concurrent misses for the same key coalesce: the first request
+// (the leader) executes, later ones wait for its outcome instead of
+// burning pool slots on identical work.
 func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, recompute func() ([]byte, bool, error)) int {
 	if body, ok := s.cache.Get(key); ok {
 		s.maybeVerify(key, body, recompute)
 		return writeResult(w, body, "hit")
 	}
-	body, cacheable, status, err := s.compute(r, recompute)
-	if err != nil {
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-		}
-		return writeError(w, status, err)
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.flightMu.Unlock()
+		return s.serveFollower(w, r, f)
 	}
-	if cacheable {
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	body, cacheable, status, err := s.compute(r, recompute)
+	if err == nil && cacheable {
 		s.cache.Put(key, body)
 	}
+	// Publish before removing from the map, so a request either finds the
+	// flight (and waits) or finds the cache already populated.
+	f.body, f.status, f.err = body, status, err
+	close(f.done)
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+
+	if err != nil {
+		return writeComputeError(w, status, err)
+	}
 	return writeResult(w, body, "miss")
+}
+
+// serveFollower waits for a coalesced leader's outcome, bounded by this
+// request's own deadline, and serves whatever the leader got.
+func (s *Server) serveFollower(w http.ResponseWriter, r *http.Request, f *flight) int {
+	s.coalesced.Add(1)
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		return writeError(w, http.StatusGatewayTimeout, r.Context().Err())
+	case <-timer.C:
+		return writeError(w, http.StatusGatewayTimeout, context.DeadlineExceeded)
+	}
+	if f.err != nil {
+		return writeComputeError(w, f.status, f.err)
+	}
+	return writeResult(w, f.body, "coalesced")
+}
+
+// writeComputeError writes a failed computation's status, adding
+// Retry-After when the failure was load shedding.
+func writeComputeError(w http.ResponseWriter, status int, err error) int {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	return writeError(w, status, err)
 }
 
 // compute runs fn on the worker pool, bounded by the per-request
@@ -291,12 +375,17 @@ func (s *Server) compute(r *http.Request, fn func() ([]byte, bool, error)) (body
 	select {
 	case o := <-ch:
 		if o.err != nil {
-			if ctx.Err() != nil {
+			var ie *internalError
+			switch {
+			case errors.As(o.err, &ie):
+				return nil, false, http.StatusInternalServerError, o.err
+			case ctx.Err() != nil:
 				return nil, false, http.StatusGatewayTimeout, o.err
+			default:
+				// The config parsed and validated but failed to build —
+				// a request-level problem, not a server fault.
+				return nil, false, http.StatusBadRequest, o.err
 			}
-			// The config parsed and validated but failed to build or
-			// marshal — a request-level problem, not a server fault.
-			return nil, false, http.StatusBadRequest, o.err
 		}
 		return o.body, o.cacheable, http.StatusOK, nil
 	case <-ctx.Done():
@@ -305,9 +394,12 @@ func (s *Server) compute(r *http.Request, fn func() ([]byte, bool, error)) (body
 }
 
 // maybeVerify re-executes a sampled fraction of cache hits and compares
-// bytes, counting any divergence. It runs inline on the handler goroutine,
-// deliberately outside pool admission: a full queue must not be able to
-// starve the determinism check.
+// bytes, counting any divergence. Verification runs in the background so
+// the hit keeps its latency, outside pool admission so a full queue
+// cannot starve the determinism check, and behind a one-slot semaphore so
+// sampled hits can never pile up unbounded re-executions: when a
+// verification is already running the sample is skipped and counted
+// (verify_skipped) instead of queued.
 func (s *Server) maybeVerify(key string, cached []byte, recompute func() ([]byte, bool, error)) {
 	f := s.cfg.VerifyFraction
 	if f <= 0 {
@@ -321,16 +413,39 @@ func (s *Server) maybeVerify(key string, cached []byte, recompute func() ([]byte
 			return
 		}
 	}
-	s.verifyRuns.Add(1)
-	b, _, err := recompute()
-	if err != nil || !bytes.Equal(b, cached) {
-		s.verifyFailures.Add(1)
-		log.Printf("server: cache verification FAILED for %s (err=%v): cached bytes differ from re-execution", key, err)
+	select {
+	case s.verifySem <- struct{}{}:
+	default:
+		s.verifySkipped.Add(1)
+		return
 	}
+	s.verifyWG.Add(1)
+	go func() {
+		defer func() {
+			<-s.verifySem
+			s.verifyWG.Done()
+		}()
+		s.verifyRuns.Add(1)
+		b, _, err := recompute()
+		if err != nil || !bytes.Equal(b, cached) {
+			s.verifyFailures.Add(1)
+			log.Printf("server: cache verification FAILED for %s (err=%v): cached bytes differ from re-execution", key, err)
+		}
+	}()
 }
+
+// jobKeyRE matches the only keys the server ever issues: 64-char
+// lowercase-hex SHA-256 digests (sweep.JobKey/SweepKey). Anything else —
+// in particular traversal attempts like "..%2F..%2Fetc%2Fcreds", which
+// r.PathValue decodes to path segments — must never reach the cache or
+// its spill directory.
+var jobKeyRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
 func (s *Server) serveJob(w http.ResponseWriter, r *http.Request) int {
 	key := r.PathValue("key")
+	if !jobKeyRE.MatchString(key) {
+		return writeError(w, http.StatusNotFound, errors.New("server: malformed job key (want 64-char hex digest)"))
+	}
 	if body, ok := s.cache.Get(key); ok {
 		return writeResult(w, body, "hit")
 	}
@@ -363,9 +478,11 @@ type Metrics struct {
 	WorkerUtilization float64                  `json:"worker_utilization"`
 	TasksDone         int64                    `json:"tasks_done"`
 	Shed              int64                    `json:"shed"`
+	Coalesced         int64                    `json:"coalesced"`
 	Ready             bool                     `json:"ready"`
 	VerifyRuns        int64                    `json:"verify_runs"`
 	VerifyFailures    int64                    `json:"verify_failures"`
+	VerifySkipped     int64                    `json:"verify_skipped"`
 	Cache             CacheStats               `json:"cache"`
 	Endpoints         map[string]EndpointStats `json:"endpoints"`
 }
@@ -381,9 +498,11 @@ func (s *Server) Snapshot() Metrics {
 		WorkerUtilization: float64(inFlight) / float64(s.pool.Workers()),
 		TasksDone:         s.pool.Done(),
 		Shed:              s.shed.Load(),
+		Coalesced:         s.coalesced.Load(),
 		Ready:             s.ready.Load(),
 		VerifyRuns:        s.verifyRuns.Load(),
 		VerifyFailures:    s.verifyFailures.Load(),
+		VerifySkipped:     s.verifySkipped.Load(),
 		Cache:             s.cache.Stats(),
 		Endpoints: map[string]EndpointStats{
 			"simulate": s.simulateStats.snapshot(),

@@ -3,16 +3,21 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"hsfq/internal/simconfig"
+	"hsfq/internal/sweep"
 )
 
 // scenarioJSON is a small real scenario; seed variations make distinct
@@ -104,8 +109,10 @@ func TestSimulateCacheByteIdentical(t *testing.T) {
 	if m.Cache.Hits < 2 || m.Cache.Misses < 1 {
 		t.Errorf("cache counters %+v", m.Cache)
 	}
-	if m.VerifyRuns != 1 || m.VerifyFailures != 0 {
-		t.Errorf("verify runs=%d failures=%d", m.VerifyRuns, m.VerifyFailures)
+	// Verification is asynchronous; wait for the sampled hit's re-execution.
+	waitFor(t, func() bool { return srv.Snapshot().VerifyRuns == 1 })
+	if f := srv.Snapshot().VerifyFailures; f != 0 {
+		t.Errorf("verify failures=%d", f)
 	}
 	if m.Endpoints["simulate"].Count != 2 {
 		t.Errorf("simulate endpoint count %d", m.Endpoints["simulate"].Count)
@@ -291,9 +298,162 @@ func TestVerifyCacheDetectsDivergence(t *testing.T) {
 
 	post(t, ts, "/v1/simulate", scenarioJSON(1)) // miss: digest-1 cached
 	post(t, ts, "/v1/simulate", scenarioJSON(1)) // hit: verify recomputes digest-2
+	waitFor(t, func() bool {
+		m := srv.Snapshot()
+		return m.VerifyRuns == 1 && m.VerifyFailures == 1
+	})
+}
+
+// TestJobKeyRejectsTraversal: with a spill directory configured, a job
+// key that decodes to a relative path (r.PathValue decodes %2F) must be
+// rejected before it can reach the cache's disk lookup — otherwise
+// GET /v1/jobs/..%2Fsecret would read and serve arbitrary .json files.
+func TestJobKeyRejectsTraversal(t *testing.T) {
+	base := t.TempDir()
+	if err := os.WriteFile(filepath.Join(base, "secret.json"), []byte(`{"stolen":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 1, QueueDepth: 2, CacheDir: filepath.Join(base, "cache")})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, key := range []string{
+		"..%2Fsecret",
+		"..%2F..%2Fetc%2Fcreds",
+		"deadbeef",                 // too short
+		strings.Repeat("Z", 64),    // right length, not hex
+		strings.Repeat("a", 64)[:63] + "%2F", // separator smuggled into the last byte
+	} {
+		resp, body := get(t, ts, "/v1/jobs/"+key)
+		if resp.StatusCode != 404 {
+			t.Errorf("key %q: status %d (want 404), body %s", key, resp.StatusCode, body)
+		}
+		if bytes.Contains(body, []byte("stolen")) {
+			t.Fatalf("key %q leaked file contents outside the cache dir", key)
+		}
+	}
+}
+
+// TestCoalescedMisses: two concurrent requests for the same uncached key
+// run one simulation; the follower waits for the leader's result instead
+// of taking a pool slot, and both get byte-identical 200s.
+func TestCoalescedMisses(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8})
+	var executions atomic.Int64
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv.execute = func(cfg simconfig.Config, seed uint64) (string, map[string]float64, error) {
+		executions.Add(1)
+		started <- struct{}{}
+		<-release
+		return "digest", map[string]float64{"x": 1}, nil
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	type result struct {
+		status int
+		cache  string
+		body   []byte
+	}
+	results := make(chan result, 2)
+	fire := func() {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(scenarioJSON(1)))
+			if err != nil {
+				results <- result{status: -1}
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results <- result{resp.StatusCode, resp.Header.Get("X-Cache"), b}
+		}()
+	}
+	fire()
+	<-started // leader is executing
+	fire()    // same key while in flight: must coalesce, not re-execute
+	waitFor(t, func() bool { return srv.Snapshot().Coalesced == 1 })
+	close(release)
+
+	caches := map[string]int{}
+	var bodies [][]byte
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.status != 200 {
+			t.Fatalf("status %d", r.status)
+		}
+		caches[r.cache]++
+		bodies = append(bodies, r.body)
+	}
+	if n := executions.Load(); n != 1 {
+		t.Errorf("executions = %d, want 1", n)
+	}
+	if caches["miss"] != 1 || caches["coalesced"] != 1 {
+		t.Errorf("X-Cache counts: %v", caches)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("coalesced responses differ")
+	}
+	srv.Drain()
+}
+
+// TestInternalErrorIs500: a server-side fault (the sweep engine dying
+// without a report) is 500, not a 400 blaming the request.
+func TestInternalErrorIs500(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 2})
+	defer srv.Drain()
+	srv.runSweep = func(spec sweep.Spec, opt sweep.Options) (*sweep.Report, error) {
+		return nil, errors.New("simulator exploded")
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	spec := fmt.Sprintf(`{"base": %s, "axes": [{"param": "weight", "target": "/be", "values": [1]}]}`, scenarioJSON(1))
+	resp, body := post(t, ts, "/v1/sweep", spec)
+	if resp.StatusCode != 500 {
+		t.Errorf("internal fault: status %d (want 500), body %s", resp.StatusCode, body)
+	}
+}
+
+// TestVerifyBounded: cache-hit responses return immediately while
+// verification runs in the background, and the verification semaphore
+// skips (not queues) samples arriving while one is already running.
+func TestVerifyBounded(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8, VerifyFraction: 1})
+	var verifying atomic.Bool
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv.execute = func(cfg simconfig.Config, seed uint64) (string, map[string]float64, error) {
+		if verifying.Load() {
+			entered <- struct{}{}
+			<-release
+		}
+		return "d", map[string]float64{"x": 1}, nil
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post(t, ts, "/v1/simulate", scenarioJSON(1)) // miss: populate cache
+	verifying.Store(true)
+
+	// This hit samples a verification that blocks in the background; the
+	// response itself must come back while it is still blocked.
+	resp, _ := post(t, ts, "/v1/simulate", scenarioJSON(1))
+	if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("hit during verification: %d %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	<-entered // the verification is now occupying the only slot
+
+	// Further sampled hits find the semaphore full and are skipped.
+	post(t, ts, "/v1/simulate", scenarioJSON(1))
+	waitFor(t, func() bool { return srv.Snapshot().VerifySkipped == 1 })
+
+	close(release)
+	srv.Drain() // waits for the in-flight verification
 	m := srv.Snapshot()
-	if m.VerifyRuns != 1 || m.VerifyFailures != 1 {
-		t.Errorf("verify runs=%d failures=%d, want 1/1", m.VerifyRuns, m.VerifyFailures)
+	if m.VerifyRuns != 1 || m.VerifyFailures != 0 {
+		t.Errorf("verify runs=%d failures=%d, want 1/0", m.VerifyRuns, m.VerifyFailures)
 	}
 }
 

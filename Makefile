@@ -19,11 +19,15 @@ LOADTEST_C ?= 64
 LOADTEST_QUEUE ?= 16
 LOADTEST_WORKERS ?= 4
 
-.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest
+# Fuzz-smoke budget per target. Minimization is capped at one attempt so
+# the whole budget is spent fuzzing, not shrinking interesting inputs.
+FUZZ_TIME ?= 30s
+
+.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest fuzz-smoke mesh-smoke
 
 all: build test
 
-check: build test vet sweep-smoke
+check: build test vet sweep-smoke fuzz-smoke mesh-smoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +60,24 @@ loadtest:
 	$(GO) build -o /tmp/hsfqd ./cmd/hsfqd
 	$(GO) run ./cmd/hsfqload -hsfqd /tmp/hsfqd -n $(LOADTEST_N) -c $(LOADTEST_C) \
 		-queue $(LOADTEST_QUEUE) -workers $(LOADTEST_WORKERS)
+
+# Short coverage-guided runs of each fuzz target on top of the checked-in
+# corpora: config intake must never panic, content addresses must survive
+# the wire round trip and vary with the seed.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime $(FUZZ_TIME) -fuzzminimizetime 1x ./internal/simconfig
+	$(GO) test -run '^$$' -fuzz FuzzJobKey -fuzztime $(FUZZ_TIME) -fuzzminimizetime 1x ./internal/sweep
+
+# Distributed dispatch end to end over real processes: a 64-job sweep
+# across two hsfqd daemons (one SIGKILLed mid-sweep, hedging on) must be
+# byte-identical to a serial hsfqsweep run, and a digest-tampering backend
+# must be quarantined with exit 3 while the output is repaired locally.
+mesh-smoke:
+	$(GO) build -o /tmp/hsfqd ./cmd/hsfqd
+	$(GO) build -o /tmp/hsfqmesh ./cmd/hsfqmesh
+	$(GO) build -o /tmp/hsfqsweep ./cmd/hsfqsweep
+	$(GO) run ./cmd/meshsmoke -hsfqd /tmp/hsfqd -hsfqmesh /tmp/hsfqmesh \
+		-hsfqsweep /tmp/hsfqsweep -spec examples/sweeps/mesh.json
 
 # Serial vs parallel wall clock of the full figure suite, recorded as
 # BENCH_PR2.json (before = -workers 1, after = -workers $(SWEEP_BENCH_WORKERS)).

@@ -10,6 +10,7 @@
 //	hsfqd -addr :8377
 //	curl -s localhost:8377/v1/simulate -d @scenario.json   # run (or hit the cache)
 //	curl -s localhost:8377/v1/jobs/<key>                   # retrieve by content address
+//	curl -s localhost:8377/v1/jobs -d '{"jobs":[...]}'     # batch claim (hsfqmesh backend)
 //	curl -s localhost:8377/metrics                         # queue, cache, latency
 //
 // SIGTERM/SIGINT drain gracefully: /readyz flips to 503, the listener
@@ -43,6 +44,7 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache byte cap")
 		cacheDir     = flag.String("cache-dir", "", "disk spill directory for evicted results (empty = memory only)")
 		verifyCache  = flag.Float64("verify-cache", 0, "fraction of cache hits to re-execute and byte-compare (0..1)")
+		maxBatch     = flag.Int("max-batch", 256, "max jobs per POST /v1/jobs claim")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	)
@@ -56,6 +58,7 @@ func main() {
 		CacheBytes:     *cacheBytes,
 		CacheDir:       *cacheDir,
 		VerifyFraction: *verifyCache,
+		MaxBatch:       *maxBatch,
 		RequestTimeout: *timeout,
 	})
 	sigCh := make(chan os.Signal, 1)

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hsfq/internal/dispatch"
+	"hsfq/internal/server"
+	"hsfq/internal/simconfig"
+	"hsfq/internal/sweep"
+)
+
+const testSpec = `{
+  "name": "mesh-test",
+  "seeds": 2,
+  "base": {
+    "rate_mips": 100,
+    "horizon": "20ms",
+    "seed": 7,
+    "nodes": [
+      {"path": "/soft", "weight": 3, "leaf": "sfq", "quantum": "10ms"},
+      {"path": "/be", "weight": 1, "leaf": "sfq"}
+    ],
+    "threads": [
+      {"name": "a", "leaf": "/soft", "weight": 2, "program": {"kind": "loop"}},
+      {"name": "b", "leaf": "/be", "program": {"kind": "loop"}}
+    ]
+  },
+  "axes": [
+    {"param": "quantum", "target": "/soft", "values": ["5ms", "20ms"]}
+  ]
+}`
+
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(p, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// serialJSONL is the reference: the spec run by the in-process engine.
+func serialJSONL(t *testing.T) []byte {
+	t.Helper()
+	spec, err := sweep.ParseSpec(strings.NewReader(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sweep.Run(spec, sweep.Options{Workers: 1, Stream: &buf}); err != nil {
+		t.Fatalf("serial reference run: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func testOpts() dispatch.Options {
+	return dispatch.Options{
+		Batch: 2, Timeout: time.Minute, Retries: 2,
+		Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		ProbeInterval: 5 * time.Millisecond,
+	}
+}
+
+func TestRunLocalOnly(t *testing.T) {
+	want := serialJSONL(t)
+	var stdout, stderr bytes.Buffer
+	code, err := run(context.Background(), writeSpec(t), "", testOpts(),
+		"-", false, "work_total", false, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code %d, err %v, stderr %s", code, err, stderr.Bytes())
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("local-only output differs from serial:\n got: %s\nwant: %s", stdout.Bytes(), want)
+	}
+}
+
+func TestRunAgainstHTTPBackends(t *testing.T) {
+	want := serialJSONL(t)
+	var urls []string
+	for i := 0; i < 2; i++ {
+		srv := server.New(server.Config{Workers: 2, QueueDepth: 8, SweepWorkers: 2})
+		t.Cleanup(srv.Drain)
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	var stdout, stderr bytes.Buffer
+	code, err := run(context.Background(), writeSpec(t), strings.Join(urls, ","), testOpts(),
+		"-", true, "work_total", true, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code %d, err %v, stderr %s", code, err, stderr.Bytes())
+	}
+	out := stdout.Bytes()
+	if !bytes.HasPrefix(out, want) {
+		t.Errorf("mesh JSONL differs from serial:\n got: %s\nwant: %s", out, want)
+	}
+	if !bytes.Contains(out, []byte(`sweep "mesh-test"`)) {
+		t.Errorf("summary missing from stdout: %s", out)
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("dispatched=")) {
+		t.Errorf("per-backend stats missing from stderr: %s", stderr.Bytes())
+	}
+}
+
+// corruptingBackend mimics an hsfqd whose results are wrong: it executes
+// jobs correctly but flips a digit in every outcome digest.
+func corruptingBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Jobs []struct {
+				ID     int              `json:"id"`
+				Seed   uint64           `json:"seed"`
+				Config simconfig.Config `json:"config"`
+			} `json:"jobs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		type outcome struct {
+			ID      int                `json:"id"`
+			Key     string             `json:"key"`
+			Seed    uint64             `json:"seed"`
+			Digest  string             `json:"digest,omitempty"`
+			Metrics map[string]float64 `json:"metrics,omitempty"`
+			Error   string             `json:"error,omitempty"`
+		}
+		var resp struct {
+			Results []outcome `json:"results"`
+		}
+		for _, j := range req.Jobs {
+			res := sweep.RunJob(sweep.Job{ID: j.ID, Seed: j.Seed, Config: j.Config}, false)
+			d := res.Digest
+			if d != "" {
+				if d[0] == '0' {
+					d = "1" + d[1:]
+				} else {
+					d = "0" + d[1:]
+				}
+			}
+			resp.Results = append(resp.Results, outcome{
+				ID: j.ID, Key: sweep.JobKey(j.Config, j.Seed), Seed: j.Seed,
+				Digest: d, Metrics: res.Metrics, Error: res.Error,
+			})
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestCorruptBackendExitsMismatch(t *testing.T) {
+	want := serialJSONL(t)
+	ts := corruptingBackend(t)
+	opt := testOpts()
+	opt.VerifyFraction = 1
+	var stdout, stderr bytes.Buffer
+	code, err := run(context.Background(), writeSpec(t), ts.URL, opt,
+		"-", false, "work_total", false, &stdout, &stderr)
+	if code != exitMismatch {
+		t.Fatalf("code = %d, want %d (err %v)", code, exitMismatch, err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "digest verification") {
+		t.Errorf("err = %v", err)
+	}
+	// Detection does not sacrifice the output: every corrupt result was
+	// replaced by the local authority's, so the JSONL is still right.
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output not repaired:\n got: %s\nwant: %s", stdout.Bytes(), want)
+	}
+}
+
+func TestBadBackendURL(t *testing.T) {
+	code, err := run(context.Background(), writeSpec(t), "::not a url::", testOpts(),
+		"", false, "work_total", false, &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || code != 2 {
+		t.Fatalf("code %d, err %v; want usage error", code, err)
+	}
+}

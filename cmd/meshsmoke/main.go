@@ -1,0 +1,320 @@
+// Command meshsmoke is the end-to-end harness for the distributed sweep
+// path. It proves the two properties hsfqmesh sells, against real
+// processes over real sockets:
+//
+//  1. Fault tolerance without output drift: a sweep dispatched across two
+//     hsfqd daemons — one of them SIGKILLed mid-sweep, hedging on —
+//     produces JSONL byte-identical to a serial hsfqsweep run, exit 0.
+//  2. Corruption detection: a backend whose responses are tampered with
+//     (a harness-side reverse proxy flips one hex digit in every outcome
+//     digest) is quarantined, the run exits 3, and the output is still
+//     byte-identical because every affected job was re-run locally.
+//
+// Usage:
+//
+//	meshsmoke -hsfqsweep /tmp/hsfqsweep -hsfqd /tmp/hsfqd -hsfqmesh /tmp/hsfqmesh \
+//	          -spec examples/sweeps/mesh.json
+//
+// Exit status 0 when both legs hold, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		sweepBin = flag.String("hsfqsweep", "", "path to an hsfqsweep binary (required)")
+		hsfqdBin = flag.String("hsfqd", "", "path to an hsfqd binary (required)")
+		meshBin  = flag.String("hsfqmesh", "", "path to an hsfqmesh binary (required)")
+		specPath = flag.String("spec", "examples/sweeps/mesh.json", "sweep spec to run")
+	)
+	flag.Parse()
+	if *sweepBin == "" || *hsfqdBin == "" || *meshBin == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*sweepBin, *hsfqdBin, *meshBin, *specPath); err != nil {
+		fmt.Fprintln(os.Stderr, "meshsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sweepBin, hsfqdBin, meshBin, specPath string) error {
+	dir, err := os.MkdirTemp("", "meshsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Reference: the serial local run every distributed output must match.
+	serialPath := filepath.Join(dir, "serial.jsonl")
+	start := time.Now()
+	cmd := exec.Command(sweepBin, "-spec", specPath, "-o", serialPath, "-summary=false")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("serial hsfqsweep: %w", err)
+	}
+	serialDur := time.Since(start)
+	serial, err := os.ReadFile(serialPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("meshsmoke: serial reference: %d bytes in %v\n", len(serial), serialDur.Round(time.Millisecond))
+
+	if err := killLeg(hsfqdBin, meshBin, specPath, dir, serial, serialDur); err != nil {
+		return fmt.Errorf("kill leg: %w", err)
+	}
+	if err := corruptionLeg(hsfqdBin, meshBin, specPath, dir, serial); err != nil {
+		return fmt.Errorf("corruption leg: %w", err)
+	}
+	return nil
+}
+
+// killLeg runs the sweep over two daemons and SIGKILLs one mid-sweep; the
+// output must still be byte-identical and the exit status 0.
+func killLeg(hsfqdBin, meshBin, specPath, dir string, serial []byte, serialDur time.Duration) error {
+	d1, url1, err := spawnDaemon(hsfqdBin)
+	if err != nil {
+		return err
+	}
+	defer stopDaemon(d1)
+	d2, url2, err := spawnDaemon(hsfqdBin)
+	if err != nil {
+		return err
+	}
+	defer stopDaemon(d2)
+
+	outPath := filepath.Join(dir, "mesh.jsonl")
+	var stderr bytes.Buffer
+	mesh := exec.Command(meshBin,
+		"-spec", specPath,
+		"-backends", url1+","+url2,
+		"-o", outPath,
+		"-summary=false",
+		"-batch", "4",
+		"-retries", "3",
+		"-timeout", "30s",
+		"-hedge-after", "500ms",
+		"-verify", "0.2")
+	mesh.Stdout = os.Stdout
+	mesh.Stderr = &stderr
+	if err := mesh.Start(); err != nil {
+		return err
+	}
+	// Kill one backend roughly a quarter of the serial wall clock in: with
+	// two backends plus hedging the run takes longer than that, so the
+	// kill lands mid-sweep.
+	killAt := serialDur / 4
+	if killAt < 50*time.Millisecond {
+		killAt = 50 * time.Millisecond
+	}
+	time.Sleep(killAt)
+	if err := d2.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILLing backend 2: %w", err)
+	}
+	fmt.Printf("meshsmoke: SIGKILLed backend %s after %v\n", url2, killAt.Round(time.Millisecond))
+	if err := mesh.Wait(); err != nil {
+		os.Stderr.Write(stderr.Bytes())
+		return fmt.Errorf("hsfqmesh failed after backend kill: %w", err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, serial) {
+		return fmt.Errorf("mesh output (%d bytes) differs from serial run (%d bytes)", len(got), len(serial))
+	}
+	fmt.Printf("meshsmoke: kill leg ok: output byte-identical to serial (%d bytes)\n%s", len(got), indent(stderr.Bytes()))
+	return nil
+}
+
+// corruptionLeg fronts one daemon with a digest-tampering proxy and
+// requires hsfqmesh to detect it: exit 3, quarantine on stderr, output
+// still byte-identical (repaired by local re-execution).
+func corruptionLeg(hsfqdBin, meshBin, specPath, dir string, serial []byte) error {
+	d, durl, err := spawnDaemon(hsfqdBin)
+	if err != nil {
+		return err
+	}
+	defer stopDaemon(d)
+	proxy, err := corruptingProxy(durl)
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+
+	outPath := filepath.Join(dir, "corrupt.jsonl")
+	var stderr bytes.Buffer
+	mesh := exec.Command(meshBin,
+		"-spec", specPath,
+		"-backends", "http://"+proxy.Addr().String(),
+		"-o", outPath,
+		"-summary=false",
+		"-batch", "4",
+		"-verify", "1")
+	mesh.Stdout = os.Stdout
+	mesh.Stderr = &stderr
+	err = mesh.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		os.Stderr.Write(stderr.Bytes())
+		return fmt.Errorf("hsfqmesh against corrupt backend: err %v, want exit status 3", err)
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("QUARANTINED")) {
+		os.Stderr.Write(stderr.Bytes())
+		return fmt.Errorf("no quarantine report on stderr")
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, serial) {
+		return fmt.Errorf("corrupted-backend output not repaired: %d bytes vs serial %d", len(got), len(serial))
+	}
+	fmt.Printf("meshsmoke: corruption leg ok: exit 3, backend quarantined, output repaired (%d bytes)\n", len(got))
+	return nil
+}
+
+type daemon struct {
+	*exec.Cmd
+}
+
+func spawnDaemon(hsfqdBin string) (*daemon, string, error) {
+	port, err := freePort()
+	if err != nil {
+		return nil, "", err
+	}
+	url := fmt.Sprintf("http://127.0.0.1:%d", port)
+	cmd := exec.Command(hsfqdBin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-workers", "2", "-sweep-workers", "2", "-queue", "16")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("spawning %s: %w", hsfqdBin, err)
+	}
+	if err := waitReady(url, 5*time.Second); err != nil {
+		cmd.Process.Kill()
+		return nil, "", err
+	}
+	return &daemon{cmd}, url, nil
+}
+
+func stopDaemon(d *daemon) {
+	if d.Process != nil {
+		d.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { d.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			d.Process.Kill()
+			<-done
+		}
+	}
+}
+
+// digestRE matches a JSON digest field; the proxy flips its first digit.
+var digestRE = regexp.MustCompile(`"digest":"[0-9a-f]`)
+
+// corruptingProxy reverse-proxies a daemon, tampering every outcome
+// digest in POST /v1/jobs responses while leaving health endpoints alone
+// — a stand-in for a backend with bit rot or a diverging build.
+func corruptingProxy(backend string) (net.Listener, error) {
+	u, err := url.Parse(backend)
+	if err != nil {
+		return nil, err
+	}
+	rp := httputil.NewSingleHostReverseProxy(u)
+	rp.ModifyResponse = func(resp *http.Response) error {
+		if resp.Request.Method != http.MethodPost || resp.Request.URL.Path != "/v1/jobs" {
+			return nil
+		}
+		body, err := readAll(resp)
+		if err != nil {
+			return err
+		}
+		body = digestRE.ReplaceAllFunc(body, func(m []byte) []byte {
+			c := m[len(m)-1]
+			if c == '0' {
+				m[len(m)-1] = '1'
+			} else {
+				m[len(m)-1] = '0'
+			}
+			return m
+		})
+		resp.Body = newBody(body)
+		resp.ContentLength = int64(len(body))
+		resp.Header.Set("Content-Length", fmt.Sprint(len(body)))
+		return nil
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(l, rp)
+	return l, nil
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+func newBody(b []byte) *bodyReader { return &bodyReader{bytes.NewReader(b)} }
+
+type bodyReader struct{ *bytes.Reader }
+
+func (bodyReader) Close() error { return nil }
+
+func waitReady(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon at %s not ready within %v", addr, timeout)
+}
+
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// indent prefixes harness-captured hsfqmesh stderr for readable nesting.
+func indent(b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	var out bytes.Buffer
+	for _, line := range bytes.Split(bytes.TrimRight(b, "\n"), []byte("\n")) {
+		out.WriteString("  | ")
+		out.Write(line)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}

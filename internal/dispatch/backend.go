@@ -1,0 +1,188 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"hsfq/internal/simconfig"
+	"hsfq/internal/sweep"
+)
+
+// Backend executes claims of sweep jobs. Implementations must be safe for
+// concurrent use: the coordinator runs up to Window claims against one
+// backend at a time.
+//
+// The error return reports a *backend* fault (unreachable, timed out,
+// malformed or mismatched response): the claim's jobs stay valid and are
+// retried elsewhere. A JobResult with Error set reports a *job* fault
+// from a healthy backend; the coordinator resolves those against the
+// local authority instead of retrying remotely, so the error text in the
+// output is always the one a serial local run would have produced.
+type Backend interface {
+	Name() string
+	Run(ctx context.Context, jobs []sweep.Job) ([]sweep.JobResult, error)
+	// Probe reports whether the backend is ready for claims; the
+	// coordinator probes a backend marked down until it recovers.
+	Probe(ctx context.Context) error
+}
+
+// Local is the in-process Backend: it executes jobs with sweep.RunJob,
+// the exact code path of a serial hsfqsweep run. The coordinator uses it
+// both as the fallback of last resort and as the authority that digest
+// verification and mismatch arbitration compare remote results against.
+type Local struct{}
+
+// Name implements Backend.
+func (Local) Name() string { return "local" }
+
+// Probe implements Backend; the process is its own health.
+func (Local) Probe(ctx context.Context) error { return nil }
+
+// Run implements Backend, executing the claim's jobs sequentially.
+func (Local) Run(ctx context.Context, jobs []sweep.Job) ([]sweep.JobResult, error) {
+	out := make([]sweep.JobResult, 0, len(jobs))
+	for _, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, sweep.RunJob(j, false))
+	}
+	return out, nil
+}
+
+// HTTP is an hsfqd Backend: claims go to POST /v1/jobs, health probes to
+// GET /readyz. Every outcome is checked against the claim before it is
+// believed: the response must carry exactly the claimed job IDs, and each
+// outcome's content address must equal the pre-computed sweep.JobKey of
+// its job — a backend answering the wrong computation is a backend
+// fault, not a result. (The outcome *digest* cannot be checked without
+// executing; that is the coordinator's verification pass.)
+type HTTP struct {
+	name   string
+	base   string
+	client *http.Client
+}
+
+// NewHTTP builds a backend for an hsfqd base URL ("http://host:8377").
+func NewHTTP(base string) (*HTTP, error) {
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("dispatch: bad backend URL %q", base)
+	}
+	return &HTTP{name: u.Host, base: strings.TrimRight(base, "/"), client: &http.Client{}}, nil
+}
+
+// Name implements Backend: the URL's host:port.
+func (b *HTTP) Name() string { return b.name }
+
+// wireJob and wireOutcome mirror hsfqd's POST /v1/jobs wire contract.
+type wireJob struct {
+	ID     int              `json:"id"`
+	Seed   uint64           `json:"seed"`
+	Config simconfig.Config `json:"config"`
+}
+
+type wireOutcome struct {
+	ID      int                `json:"id"`
+	Key     string             `json:"key"`
+	Seed    uint64             `json:"seed"`
+	Digest  string             `json:"digest"`
+	Metrics map[string]float64 `json:"metrics"`
+	Error   string             `json:"error"`
+}
+
+// Run implements Backend over POST /v1/jobs.
+func (b *HTTP) Run(ctx context.Context, jobs []sweep.Job) ([]sweep.JobResult, error) {
+	req := struct {
+		Jobs []wireJob `json:"jobs"`
+	}{Jobs: make([]wireJob, len(jobs))}
+	for i, j := range jobs {
+		req.Jobs[i] = wireJob{ID: j.ID, Seed: j.Seed, Config: j.Config}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: marshaling claim: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %s: %w", b.name, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %s: reading response: %w", b.name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dispatch: %s: status %d: %s", b.name, resp.StatusCode, firstLine(raw))
+	}
+	var out struct {
+		Results []wireOutcome `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("dispatch: %s: undecodable response: %w", b.name, err)
+	}
+	byID := make(map[int]wireOutcome, len(out.Results))
+	for _, o := range out.Results {
+		byID[o.ID] = o
+	}
+	results := make([]sweep.JobResult, len(jobs))
+	for i, j := range jobs {
+		o, ok := byID[j.ID]
+		if !ok {
+			return nil, fmt.Errorf("dispatch: %s: no outcome for job %d", b.name, j.ID)
+		}
+		if want := sweep.JobKey(j.Config, j.Seed); o.Key != want || o.Seed != j.Seed {
+			return nil, fmt.Errorf("dispatch: %s: job %d: outcome for the wrong computation (key %s, want %s)",
+				b.name, j.ID, o.Key, want)
+		}
+		if o.Error == "" && o.Digest == "" {
+			return nil, fmt.Errorf("dispatch: %s: job %d: outcome carries neither digest nor error", b.name, j.ID)
+		}
+		// Point/Rep/Seed come from the local expansion, never the wire:
+		// the backend only contributes the outcome.
+		results[i] = sweep.JobResult{
+			ID: j.ID, Point: j.Point, Rep: j.Rep, Seed: j.Seed,
+			Digest: o.Digest, Metrics: o.Metrics, Error: o.Error,
+		}
+	}
+	return results, nil
+}
+
+// Probe implements Backend over GET /readyz.
+func (b *HTTP) Probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dispatch: %s: readyz status %d", b.name, resp.StatusCode)
+	}
+	return nil
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}

@@ -1,0 +1,383 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hsfq/internal/server"
+	"hsfq/internal/sweep"
+)
+
+// testSpec is a small real grid (2 quanta x 2 seeds = 4 jobs by default)
+// with a short horizon so distributed-vs-serial comparisons stay fast.
+const testSpec = `{
+  "name": "dispatch-test",
+  "seeds": %d,
+  "base": {
+    "rate_mips": 100,
+    "horizon": "20ms",
+    "seed": 42,
+    "nodes": [
+      {"path": "/soft", "weight": 3, "leaf": "sfq", "quantum": "10ms"},
+      {"path": "/be", "weight": 1, "leaf": "sfq"}
+    ],
+    "threads": [
+      {"name": "a", "leaf": "/soft", "weight": 2, "program": {"kind": "loop"}},
+      {"name": "b", "leaf": "/be", "program": {"kind": "loop"}}
+    ]
+  },
+  "axes": [
+    {"param": "quantum", "target": "/soft", "values": ["5ms", "20ms"]}
+  ]
+}`
+
+func testJobs(t *testing.T, seeds int) []sweep.Job {
+	t.Helper()
+	spec, err := sweep.ParseSpec(strings.NewReader(fmt.Sprintf(testSpec, seeds)))
+	if err != nil {
+		t.Fatalf("parsing spec: %v", err)
+	}
+	jobs, err := sweep.Expand(spec)
+	if err != nil {
+		t.Fatalf("expanding spec: %v", err)
+	}
+	return jobs
+}
+
+// serialBytes is the reference output: every job run locally, in order.
+func serialBytes(t *testing.T, jobs []sweep.Job) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	ord := sweep.NewOrderer(len(jobs), sweep.WriterSink{W: &buf})
+	for _, j := range jobs {
+		ord.Done(sweep.RunJob(j, false))
+	}
+	if err := ord.Err(); err != nil {
+		t.Fatalf("serial reference: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// fakeBackend executes jobs correctly via sweep.RunJob but can be told to
+// fail claims, delay, corrupt digests, or report job errors.
+type fakeBackend struct {
+	name    string
+	delay   time.Duration
+	fail    atomic.Int64 // claims to fail before serving
+	corrupt bool         // flip every digest's first hex digit
+	jobErr  map[int]string
+
+	mu     sync.Mutex
+	claims int
+	ran    map[int]int // job ID -> times executed
+}
+
+func newFake(name string) *fakeBackend {
+	return &fakeBackend{name: name, ran: map[int]int{}}
+}
+
+func (f *fakeBackend) Name() string                    { return f.name }
+func (f *fakeBackend) Probe(ctx context.Context) error { return nil }
+
+func (f *fakeBackend) Run(ctx context.Context, jobs []sweep.Job) ([]sweep.JobResult, error) {
+	f.mu.Lock()
+	f.claims++
+	f.mu.Unlock()
+	if f.fail.Add(-1) >= 0 {
+		return nil, fmt.Errorf("%s: injected claim failure", f.name)
+	}
+	if f.delay > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(f.delay):
+		}
+	}
+	out := make([]sweep.JobResult, len(jobs))
+	for i, j := range jobs {
+		if msg, ok := f.jobErr[j.ID]; ok {
+			out[i] = sweep.JobResult{ID: j.ID, Point: j.Point, Rep: j.Rep, Seed: j.Seed, Error: msg}
+			continue
+		}
+		res := sweep.RunJob(j, false)
+		if f.corrupt && res.Digest != "" {
+			res.Digest = flipHex(res.Digest)
+		}
+		out[i] = res
+		f.mu.Lock()
+		f.ran[j.ID]++
+		f.mu.Unlock()
+	}
+	return out, nil
+}
+
+func flipHex(s string) string {
+	b := []byte(s)
+	if b[0] == '0' {
+		b[0] = '1'
+	} else {
+		b[0] = '0'
+	}
+	return string(b)
+}
+
+func runCoordinator(t *testing.T, c *Coordinator, jobs []sweep.Job) (*Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	res, err := c.Run(context.Background(), jobs, sweep.WriterSink{W: &buf})
+	if err != nil {
+		t.Fatalf("coordinator run: %v", err)
+	}
+	return res, buf.Bytes()
+}
+
+func fastOpts() Options {
+	return Options{
+		Timeout: 5 * time.Second, Retries: 2,
+		Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		ProbeInterval: 5 * time.Millisecond,
+	}
+}
+
+func counters(res *Result, name string) map[string]int64 {
+	for _, b := range res.Backends {
+		if b.Name == name {
+			return b.Counters
+		}
+	}
+	return nil
+}
+
+func TestByteIdenticalAcrossBackends(t *testing.T) {
+	jobs := testJobs(t, 4) // 8 jobs
+	want := serialBytes(t, jobs)
+	c := &Coordinator{
+		Remotes: []Backend{newFake("r1"), newFake("r2")},
+		Local:   Local{},
+		Opt:     fastOpts(),
+	}
+	res, got := runCoordinator(t, c, jobs)
+	if !bytes.Equal(got, want) {
+		t.Errorf("distributed output differs from serial:\n got: %s\nwant: %s", got, want)
+	}
+	if len(res.Results) != len(jobs) {
+		t.Errorf("got %d results, want %d", len(res.Results), len(jobs))
+	}
+	total := int64(0)
+	for _, name := range []string{"r1", "r2", "local"} {
+		total += counters(res, name)["ok"]
+	}
+	if total != int64(len(jobs)) {
+		t.Errorf("ok counters sum to %d, want %d", total, len(jobs))
+	}
+}
+
+func TestRetryOnAnotherBackendAfterFailure(t *testing.T) {
+	jobs := testJobs(t, 2) // 4 jobs
+	want := serialBytes(t, jobs)
+	bad := newFake("bad")
+	bad.fail.Store(1 << 30) // every claim fails
+	good := newFake("good")
+	c := &Coordinator{Remotes: []Backend{bad, good}, Local: Local{}, Opt: fastOpts()}
+	res, got := runCoordinator(t, c, jobs)
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from serial after failover:\n got: %s\nwant: %s", got, want)
+	}
+	if counters(res, "good")["ok"] == 0 {
+		t.Errorf("good backend served nothing: %v", counters(res, "good"))
+	}
+	// The bad backend never succeeds; whether it got a claim at all before
+	// the good one drained the grid is schedule-dependent.
+	bad.mu.Lock()
+	claimed := bad.claims
+	bad.mu.Unlock()
+	if bc := counters(res, "bad"); bc["ok"] != 0 || (claimed > 0 && bc["claim_errors"] == 0) {
+		t.Errorf("bad backend counters: %v (claims %d)", bc, claimed)
+	}
+}
+
+func TestLocalFallbackWhenAllRemotesFail(t *testing.T) {
+	jobs := testJobs(t, 2)
+	want := serialBytes(t, jobs)
+	bad := newFake("bad")
+	bad.fail.Store(1 << 30)
+	c := &Coordinator{Remotes: []Backend{bad}, Local: Local{}, Opt: fastOpts()}
+	res, got := runCoordinator(t, c, jobs)
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from serial under local fallback:\n got: %s\nwant: %s", got, want)
+	}
+	if lc := counters(res, "local"); lc["ok"] != int64(len(jobs)) {
+		t.Errorf("local ok = %d, want %d (counters %v)", lc["ok"], len(jobs), lc)
+	}
+}
+
+func TestRemoteJobErrorResolvedLocally(t *testing.T) {
+	jobs := testJobs(t, 2)
+	want := serialBytes(t, jobs)
+	flaky := newFake("flaky")
+	flaky.jobErr = map[int]string{0: "transient remote-only failure", 2: "another"}
+	c := &Coordinator{Remotes: []Backend{flaky}, Local: Local{}, Opt: fastOpts()}
+	res, got := runCoordinator(t, c, jobs)
+	// The remote's made-up error strings must NOT appear: the local
+	// authority re-ran those jobs and produced the serial result.
+	if !bytes.Equal(got, want) {
+		t.Errorf("remote job errors leaked into output:\n got: %s\nwant: %s", got, want)
+	}
+	if counters(res, "flaky")["job_errors"] != 2 {
+		t.Errorf("flaky counters: %v", counters(res, "flaky"))
+	}
+	if counters(res, "local")["ok"] < 2 {
+		t.Errorf("local counters: %v", counters(res, "local"))
+	}
+}
+
+func TestVerificationQuarantinesCorruptBackend(t *testing.T) {
+	jobs := testJobs(t, 4) // 8 jobs
+	want := serialBytes(t, jobs)
+	evil := newFake("evil")
+	evil.corrupt = true
+	var logs []string
+	var logMu sync.Mutex
+	opt := fastOpts()
+	opt.VerifyFraction = 1
+	opt.Logf = func(f string, a ...any) {
+		logMu.Lock()
+		logs = append(logs, fmt.Sprintf(f, a...))
+		logMu.Unlock()
+	}
+	c := &Coordinator{Remotes: []Backend{evil}, Local: Local{}, Opt: opt}
+	res, got := runCoordinator(t, c, jobs)
+	if res.Mismatches == 0 {
+		t.Fatalf("corrupt backend produced no mismatches")
+	}
+	// Corruption is detected AND repaired: output still byte-identical.
+	if !bytes.Equal(got, want) {
+		t.Errorf("output not repaired after corruption:\n got: %s\nwant: %s", got, want)
+	}
+	if ec := counters(res, "evil"); ec["quarantined"] != 1 || ec["mismatches"] == 0 {
+		t.Errorf("evil counters: %v", ec)
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "QUARANTINED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no quarantine log line in %q", logs)
+	}
+}
+
+func TestHedgingRescuesStraggler(t *testing.T) {
+	jobs := testJobs(t, 2) // 4 jobs
+	want := serialBytes(t, jobs)
+	slow := newFake("slow")
+	slow.delay = 2 * time.Second
+	fast := newFake("fast")
+	// Fail fast's first claim so slow is guaranteed to pick up a job (and
+	// become the straggler) before fast recovers and starts hedging.
+	fast.fail.Store(1)
+	opt := fastOpts()
+	opt.Window = 1
+	opt.HedgeAfter = 10 * time.Millisecond
+	c := &Coordinator{Remotes: []Backend{slow, fast}, Local: Local{}, Opt: opt}
+	start := time.Now()
+	res, got := runCoordinator(t, c, jobs)
+	if !bytes.Equal(got, want) {
+		t.Errorf("hedged output differs from serial:\n got: %s\nwant: %s", got, want)
+	}
+	// Without hedging the slow backend would pin its job for 2s each; the
+	// run must finish well before that because the fast backend hedged.
+	if d := time.Since(start); d > 1500*time.Millisecond {
+		t.Errorf("run took %v; hedging did not rescue the straggler", d)
+	}
+	hedges := counters(res, "fast")["hedged"] + counters(res, "slow")["hedged"] +
+		counters(res, "local")["hedged"]
+	if hedges == 0 {
+		t.Errorf("no hedges recorded: %+v", res.Backends)
+	}
+}
+
+func TestBatchClaims(t *testing.T) {
+	jobs := testJobs(t, 4) // 8 jobs
+	want := serialBytes(t, jobs)
+	b := newFake("batcher")
+	opt := fastOpts()
+	opt.Batch = 3
+	c := &Coordinator{Remotes: []Backend{b}, Local: Local{}, Opt: opt}
+	_, got := runCoordinator(t, c, jobs)
+	if !bytes.Equal(got, want) {
+		t.Errorf("batched output differs from serial:\n got: %s\nwant: %s", got, want)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.claims >= len(jobs) {
+		t.Errorf("%d claims for %d jobs; batching not effective", b.claims, len(jobs))
+	}
+}
+
+func TestRejectsNonDenseJobIDs(t *testing.T) {
+	jobs := testJobs(t, 2)
+	jobs[1].ID = 7
+	c := &Coordinator{Local: Local{}, Opt: fastOpts()}
+	if _, err := c.Run(context.Background(), jobs, sweep.WriterSink{W: &bytes.Buffer{}}); err == nil {
+		t.Fatalf("non-dense job IDs accepted")
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	jobs := testJobs(t, 2)
+	slow := newFake("slow")
+	slow.delay = 10 * time.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); cancel() }()
+	opt := fastOpts()
+	c := &Coordinator{Remotes: []Backend{slow}, Local: slow, Opt: opt}
+	if _, err := c.Run(ctx, jobs, sweep.WriterSink{W: &bytes.Buffer{}}); err == nil {
+		t.Fatalf("cancelled run returned nil error")
+	}
+}
+
+// TestEndToEndHTTPBackends drives the coordinator against two real hsfqd
+// server instances over HTTP, asserting byte identity with a serial run.
+func TestEndToEndHTTPBackends(t *testing.T) {
+	jobs := testJobs(t, 4) // 8 jobs
+	want := serialBytes(t, jobs)
+	var remotes []Backend
+	for i := 0; i < 2; i++ {
+		srv := server.New(server.Config{Workers: 2, QueueDepth: 8, SweepWorkers: 2, CacheDir: t.TempDir()})
+		t.Cleanup(srv.Drain)
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		hb, err := NewHTTP(ts.URL)
+		if err != nil {
+			t.Fatalf("NewHTTP(%q): %v", ts.URL, err)
+		}
+		remotes = append(remotes, hb)
+	}
+	opt := fastOpts()
+	opt.Batch = 2
+	opt.VerifyFraction = 0.5
+	c := &Coordinator{Remotes: remotes, Local: Local{}, Opt: opt}
+	res, got := runCoordinator(t, c, jobs)
+	if !bytes.Equal(got, want) {
+		t.Errorf("HTTP end-to-end output differs from serial:\n got: %s\nwant: %s", got, want)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("unexpected mismatches: %d", res.Mismatches)
+	}
+	// Second run hits the backends' caches and must be byte-identical too.
+	_, again := runCoordinator(t, c, jobs)
+	if !bytes.Equal(again, want) {
+		t.Errorf("cached HTTP output differs from serial")
+	}
+}

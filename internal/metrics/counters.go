@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// CounterSet is a small ordered collection of named int64 counters, safe
+// for concurrent use. The dispatch layer keeps one per backend
+// (dispatched/retried/hedged/quarantined/...); rendering preserves the
+// registration order so operator output is stable.
+type CounterSet struct {
+	mu    sync.Mutex
+	names []string
+	vals  map[string]int64
+}
+
+// NewCounterSet creates a set with the given counters preregistered (all
+// zero). Adding to an unregistered name registers it at the end.
+func NewCounterSet(names ...string) *CounterSet {
+	c := &CounterSet{vals: make(map[string]int64, len(names))}
+	for _, n := range names {
+		c.names = append(c.names, n)
+		c.vals[n] = 0
+	}
+	return c
+}
+
+// Add increments name by d.
+func (c *CounterSet) Add(name string, d int64) {
+	c.mu.Lock()
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += d
+	c.mu.Unlock()
+}
+
+// Inc increments name by one.
+func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+
+// Get returns name's current value (zero if never touched).
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
+
+// Snapshot returns a copy of every counter.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make(map[string]int64, len(c.vals))
+	for k, v := range c.vals {
+		m[k] = v
+	}
+	return m
+}
+
+// String renders "name=value" pairs in registration order.
+func (c *CounterSet) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	parts := make([]string, len(c.names))
+	for i, n := range c.names {
+		parts[i] = fmt.Sprintf("%s=%d", n, c.vals[n])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSetOrderAndValues(t *testing.T) {
+	c := NewCounterSet("dispatched", "retried")
+	c.Inc("dispatched")
+	c.Add("dispatched", 2)
+	c.Inc("hedged") // late registration appends
+	if got := c.Get("dispatched"); got != 3 {
+		t.Errorf("dispatched = %d, want 3", got)
+	}
+	if got := c.Get("retried"); got != 0 {
+		t.Errorf("retried = %d, want 0", got)
+	}
+	if got := c.String(); got != "dispatched=3 retried=0 hedged=1" {
+		t.Errorf("String() = %q", got)
+	}
+	snap := c.Snapshot()
+	if snap["hedged"] != 1 || len(snap) != 3 {
+		t.Errorf("snapshot %v", snap)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet("n")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8000 {
+		t.Errorf("n = %d, want 8000", got)
+	}
+}

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +29,7 @@ type Cache struct {
 	index      map[string]*list.Element
 	bytes      int64
 
-	hits, misses, evictions, diskHits int64
+	hits, misses, evictions, diskHits, diskCorrupt int64
 }
 
 type cacheEntry struct {
@@ -65,10 +68,25 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	// The disk read happens without the lock: a spill-directory miss must
 	// not stall unrelated in-memory hits behind disk latency.
 	c.mu.Unlock()
-	b, err := os.ReadFile(c.path(key))
+	raw, err := os.ReadFile(c.path(key))
+	var b []byte
+	corrupt := false
+	if err == nil {
+		if b, err = decodeSpill(raw); err != nil {
+			// A truncated or bit-rotted spill file is a miss, never an
+			// error and never served: the caller recomputes (determinism
+			// makes that safe) and the bad file is dropped so the next
+			// eviction can rewrite it.
+			corrupt = true
+			_ = os.Remove(c.path(key))
+		}
+	}
 	c.mu.Lock()
 	if err != nil {
 		c.misses++
+		if corrupt {
+			c.diskCorrupt++
+		}
 		c.mu.Unlock()
 		return nil, false
 	}
@@ -135,9 +153,38 @@ func (c *Cache) spill(evicted []*cacheEntry) {
 	}
 	for _, e := range evicted {
 		if diskSafe(e.key) {
-			_ = os.WriteFile(c.path(e.key), e.body, 0o644)
+			_ = os.WriteFile(c.path(e.key), encodeSpill(e.body), 0o644)
 		}
 	}
+}
+
+// Spill files carry their own integrity: a 64-char hex SHA-256 of the
+// body, a newline, then the body. The spill key names the *request*
+// (sweep.JobKey of config+seed), not the bytes, so without the header a
+// truncated write or on-disk corruption would be served as if it were the
+// real result — the header makes any damaged file detectably invalid.
+
+// encodeSpill frames body for the spill directory.
+func encodeSpill(body []byte) []byte {
+	sum := sha256.Sum256(body)
+	out := make([]byte, 0, hex.EncodedLen(len(sum))+1+len(body))
+	out = append(out, []byte(hex.EncodeToString(sum[:]))...)
+	out = append(out, '\n')
+	return append(out, body...)
+}
+
+// decodeSpill unframes a spill file, failing on any integrity violation.
+func decodeSpill(raw []byte) ([]byte, error) {
+	i := bytes.IndexByte(raw, '\n')
+	if i != 64 {
+		return nil, errSpillCorrupt
+	}
+	body := raw[i+1:]
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != string(raw[:i]) {
+		return nil, errSpillCorrupt
+	}
+	return body, nil
 }
 
 // diskSafe rejects keys that could name anything outside the spill
@@ -151,15 +198,23 @@ func diskSafe(key string) bool {
 // path maps a disk-safe key to its spill file.
 func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
 
+// errSpillCorrupt marks a spill file that failed its integrity check.
+var errSpillCorrupt = errSpill("server: corrupt spill file")
+
+type errSpill string
+
+func (e errSpill) Error() string { return string(e) }
+
 // CacheStats is a point-in-time view of the cache's counters for the
 // /metrics endpoint.
 type CacheStats struct {
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-	DiskHits  int64 `json:"disk_hits"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	DiskHits    int64 `json:"disk_hits"`
+	DiskCorrupt int64 `json:"disk_corrupt"`
 }
 
 // Stats snapshots the cache counters.
@@ -167,11 +222,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:   c.lru.Len(),
-		Bytes:     c.bytes,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		DiskHits:  c.diskHits,
+		Entries:     c.lru.Len(),
+		Bytes:       c.bytes,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		DiskHits:    c.diskHits,
+		DiskCorrupt: c.diskCorrupt,
 	}
 }

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestCacheSpillIntegrity covers the spill frame itself: every flavor of
+// on-disk damage — truncation, header corruption, body corruption, an
+// empty or headerless file — must read back as a miss (never an error,
+// never wrong bytes), increment the disk_corrupt counter, and remove the
+// bad file so a later eviction can rewrite it.
+func TestCacheSpillIntegrity(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		corrupt bool
+	}{
+		{"intact", func(b []byte) []byte { return b }, false},
+		{"truncated-mid-body", func(b []byte) []byte { return b[:len(b)-3] }, true},
+		{"truncated-mid-header", func(b []byte) []byte { return b[:20] }, true},
+		{"flipped-header-digit", func(b []byte) []byte {
+			if b[0] == '0' {
+				b[0] = '1'
+			} else {
+				b[0] = '0'
+			}
+			return b
+		}, true},
+		{"flipped-body-byte", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }, true},
+		{"empty-file", func([]byte) []byte { return nil }, true},
+		{"no-newline", func(b []byte) []byte { return bytes.ReplaceAll(b, []byte("\n"), nil) }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c := newCache(1, 0, dir)
+			c.Put("victim", []byte(`{"result": "the real bytes"}`))
+			c.Put("evictor", []byte("x")) // pushes victim to disk
+			path := filepath.Join(dir, "victim.json")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("spill file never written: %v", err)
+			}
+			if err := os.WriteFile(path, tc.mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			body, ok := c.Get("victim")
+			st := c.Stats()
+			if tc.corrupt {
+				if ok {
+					t.Fatalf("corrupt spill served as a hit: %q", body)
+				}
+				if st.DiskCorrupt != 1 {
+					t.Errorf("disk_corrupt = %d, want 1 (stats %+v)", st.DiskCorrupt, st)
+				}
+				if _, err := os.Stat(path); !os.IsNotExist(err) {
+					t.Errorf("corrupt spill file not removed (err %v)", err)
+				}
+			} else {
+				if !ok || !bytes.Equal(body, []byte(`{"result": "the real bytes"}`)) {
+					t.Fatalf("intact spill not served: %q %v", body, ok)
+				}
+				if st.DiskCorrupt != 0 {
+					t.Errorf("disk_corrupt = %d on intact file", st.DiskCorrupt)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheConcurrentSpillChurn hammers a tiny cache (capacity 2, disk
+// spill on) from many goroutines with overlapping keys, so gets, puts,
+// evictions, spills, disk re-admissions, and concurrent-admit races all
+// interleave — run under -race this is the proof the lock discipline
+// around the unlocked disk I/O holds. A background vandal concurrently
+// corrupts random spill files; correctness demands every successful Get
+// still returns exactly the bytes put under that key, corrupt files are
+// only ever misses, and counters stay consistent.
+func TestCacheConcurrentSpillChurn(t *testing.T) {
+	dir := t.TempDir()
+	c := newCache(2, 64, dir)
+	const keys = 8
+	body := func(k int) []byte { return []byte(fmt.Sprintf(`{"key": %d, "pad": "0123456789"}`, k)) }
+
+	var workers sync.WaitGroup
+	stop := make(chan struct{})
+	vandalDone := make(chan struct{})
+	// The vandal: flips bytes in whatever spill files exist right now.
+	go func() {
+		defer close(vandalDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ents, _ := os.ReadDir(dir)
+			for _, e := range ents {
+				p := filepath.Join(dir, e.Name())
+				raw, err := os.ReadFile(p)
+				if err != nil || len(raw) == 0 {
+					continue
+				}
+				raw[len(raw)/2] ^= 0xff
+				_ = os.WriteFile(p, raw, 0o644)
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < 500; i++ {
+				k := (g + i) % keys
+				key := fmt.Sprintf("key-%d", k)
+				if got, ok := c.Get(key); ok {
+					if !bytes.Equal(got, body(k)) {
+						t.Errorf("Get(%s) = %q, want %q", key, got, body(k))
+						return
+					}
+				} else {
+					c.Put(key, body(k))
+				}
+			}
+		}(g)
+	}
+	for g := 8; g < 10; g++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < 200; i++ {
+				c.Stats()
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	<-vandalDone
+}

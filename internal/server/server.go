@@ -22,6 +22,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
@@ -58,6 +59,9 @@ type Config struct {
 	// VerifyFraction in (0,1] re-executes that fraction of cache hits and
 	// compares bytes, checking the determinism the cache relies on.
 	VerifyFraction float64
+	// MaxBatch caps the number of jobs one POST /v1/jobs claim may carry;
+	// <= 0 means 256.
+	MaxBatch int
 	// RequestTimeout is the per-request deadline covering queue wait and
 	// execution; <= 0 means 30 s.
 	RequestTimeout time.Duration
@@ -82,6 +86,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
 	return c
 }
 
@@ -97,6 +104,7 @@ type Server struct {
 	simulateStats *endpointStats
 	sweepStats    *endpointStats
 	jobsStats     *endpointStats
+	batchStats    *endpointStats
 
 	shed      atomic.Int64
 	coalesced atomic.Int64
@@ -144,6 +152,7 @@ func New(cfg Config) *Server {
 		simulateStats: newEndpointStats(),
 		sweepStats:    newEndpointStats(),
 		jobsStats:     newEndpointStats(),
+		batchStats:    newEndpointStats(),
 		verifyRng:     rand.New(rand.NewSource(1)),
 		verifySem:     make(chan struct{}, 1),
 		flights:       map[string]*flight{},
@@ -154,6 +163,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/simulate", s.instrument(s.simulateStats, s.serveSimulate))
 	mux.HandleFunc("POST /v1/sweep", s.instrument(s.sweepStats, s.serveSweep))
 	mux.HandleFunc("GET /v1/jobs/{key}", s.instrument(s.jobsStats, s.serveJob))
+	mux.HandleFunc("POST /v1/jobs", s.instrument(s.batchStats, s.serveJobsBatch))
 	mux.HandleFunc("GET /healthz", s.serveHealthz)
 	mux.HandleFunc("GET /readyz", s.serveReadyz)
 	mux.HandleFunc("GET /metrics", s.serveMetrics)
@@ -276,6 +286,132 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request) int {
 		return b, rep.Failed == 0, nil
 	}
 	return s.serveComputed(w, r, key, recompute)
+}
+
+// jobsRequest is the body of POST /v1/jobs: a batch claim of independent
+// simulation jobs, the transport unit of distributed sweep dispatch
+// (cmd/hsfqmesh). Each job is a fully applied config plus the seed to
+// instantiate it at; its content address is sweep.JobKey(config, seed),
+// the same key space as POST /v1/simulate, so a job computed through
+// either endpoint serves the other from cache.
+type jobsRequest struct {
+	Jobs []batchJob `json:"jobs"`
+}
+
+type batchJob struct {
+	// ID correlates the outcome with the claim; opaque to the server.
+	ID int `json:"id"`
+	// Seed instantiates the config; 0 keeps the config's own seed.
+	Seed   uint64           `json:"seed"`
+	Config simconfig.Config `json:"config"`
+}
+
+type jobsResponse struct {
+	Results []batchOutcome `json:"results"`
+}
+
+// batchOutcome mirrors simulateResponse plus the claim's correlation ID
+// and a per-job error: one failing job fails alone, not the whole claim.
+type batchOutcome struct {
+	ID      int                `json:"id"`
+	Key     string             `json:"key"`
+	Seed    uint64             `json:"seed"`
+	Digest  string             `json:"digest,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// serveJobsBatch answers a batch claim. The whole claim occupies one pool
+// slot and fans out internally across SweepWorkers goroutines, exactly as
+// a sweep request does, so admission control still counts claims rather
+// than jobs; per-job results are served from or admitted to the shared
+// content-addressed cache.
+func (s *Server) serveJobsBatch(w http.ResponseWriter, r *http.Request) int {
+	var req jobsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, fmt.Errorf("server: %w", err))
+	}
+	if len(req.Jobs) == 0 {
+		return writeError(w, http.StatusBadRequest, errors.New("server: empty batch"))
+	}
+	if len(req.Jobs) > s.cfg.MaxBatch {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Errorf("server: batch of %d jobs exceeds cap %d", len(req.Jobs), s.cfg.MaxBatch))
+	}
+	// Validate every config up front: a structurally bad job is the
+	// client's 400, not a claim outcome.
+	for i, j := range req.Jobs {
+		if err := j.Config.Validate(); err != nil {
+			return writeError(w, http.StatusBadRequest, fmt.Errorf("server: jobs[%d]: %w", i, err))
+		}
+	}
+	compute := func() ([]byte, bool, error) {
+		out := make([]batchOutcome, len(req.Jobs))
+		workers := s.cfg.SweepWorkers
+		if workers > len(req.Jobs) {
+			workers = len(req.Jobs)
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for n := 0; n < workers; n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i] = s.runBatchJob(req.Jobs[i])
+				}
+			}()
+		}
+		for i := range req.Jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		b, err := json.Marshal(jobsResponse{Results: out})
+		if err != nil {
+			return nil, false, &internalError{err}
+		}
+		// The batch body itself is not cached (claims are arbitrary
+		// groupings); the per-job bodies were cached inside runBatchJob.
+		return b, false, nil
+	}
+	body, _, status, err := s.compute(r, compute)
+	if err != nil {
+		return writeComputeError(w, status, err)
+	}
+	return writeResult(w, body, "batch")
+}
+
+// runBatchJob answers one claimed job: a cache hit by content address is
+// decoded and re-labeled; a miss executes and populates the shared cache
+// with exactly the body /v1/simulate would have stored for the same job.
+func (s *Server) runBatchJob(j batchJob) batchOutcome {
+	seed := j.Seed
+	if seed == 0 {
+		seed = j.Config.Seed
+	}
+	key := sweep.JobKey(j.Config, seed)
+	out := batchOutcome{ID: j.ID, Key: key, Seed: seed}
+	if body, ok := s.cache.Get(key); ok {
+		var resp simulateResponse
+		if err := json.Unmarshal(body, &resp); err == nil {
+			out.Digest, out.Metrics = resp.Digest, resp.Metrics
+			return out
+		}
+		// An undecodable cached body falls through to re-execution.
+	}
+	digest, m, err := s.execute(j.Config, seed)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	out.Digest, out.Metrics = digest, m
+	if b, err := json.Marshal(simulateResponse{Key: key, Digest: digest, Seed: seed, Metrics: m}); err == nil {
+		s.cache.Put(key, b)
+	}
+	return out
 }
 
 // serveComputed is the shared hit-or-execute path: serve from cache
@@ -505,9 +641,10 @@ func (s *Server) Snapshot() Metrics {
 		VerifySkipped:     s.verifySkipped.Load(),
 		Cache:             s.cache.Stats(),
 		Endpoints: map[string]EndpointStats{
-			"simulate": s.simulateStats.snapshot(),
-			"sweep":    s.sweepStats.snapshot(),
-			"jobs":     s.jobsStats.snapshot(),
+			"simulate":   s.simulateStats.snapshot(),
+			"sweep":      s.sweepStats.snapshot(),
+			"jobs":       s.jobsStats.snapshot(),
+			"jobs_batch": s.batchStats.snapshot(),
 		},
 	}
 }

@@ -321,8 +321,8 @@ func TestJobKeyRejectsTraversal(t *testing.T) {
 	for _, key := range []string{
 		"..%2Fsecret",
 		"..%2F..%2Fetc%2Fcreds",
-		"deadbeef",                 // too short
-		strings.Repeat("Z", 64),    // right length, not hex
+		"deadbeef",                           // too short
+		strings.Repeat("Z", 64),              // right length, not hex
 		strings.Repeat("a", 64)[:63] + "%2F", // separator smuggled into the last byte
 	} {
 		resp, body := get(t, ts, "/v1/jobs/"+key)

@@ -1,0 +1,61 @@
+package simconfig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig feeds arbitrary bytes through the full config intake
+// path — Parse then Validate — the same pipeline every untrusted input
+// crosses (hsfqd request bodies, sweep spec base configs, CLI files). The
+// invariants: never panic, and inputs that are not valid JSON objects
+// must be rejected by Parse, not limp through to Validate half-decoded.
+func FuzzParseConfig(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`not json`,
+		`[]`,
+		`{"rate_mips": 100}`,
+		`{"horizon": "10ms", "nodes": []}`,
+		`{"horizon": "-5ms"}`,
+		`{"horizon": 1e999}`,
+		`{"nodes": [{"path": "/a", "leaf": "sfq"}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "nope", "weight": -1}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "sfq", "quantum": "xyz"}]}`,
+		`{"threads": [{"name": "t", "leaf": "/missing"}]}`,
+		`{"threads": [{"name": "", "program": {"kind": "unknowable"}}]}`,
+		`{"interrupts": [{"kind": "poisson", "rate_per_sec": -3}]}`,
+		`{"rate_mips": 100, "horizon": "20ms", "seed": 7,
+		  "nodes": [{"path": "/soft", "weight": 3, "leaf": "sfq", "quantum": "10ms"}],
+		  "threads": [{"name": "a", "leaf": "/soft", "program": {"kind": "loop"}}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "sfq"}], "unknown_field": 1}`,
+		"{\"horizon\": \"10éms\"}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			// Rejected input carries no obligations; but the error must
+			// be labeled as ours, not a raw json internal.
+			if !strings.HasPrefix(err.Error(), "simconfig: ") {
+				t.Fatalf("unlabeled parse error: %v", err)
+			}
+			return
+		}
+		// Whatever decoded must survive validation without panicking, and
+		// a validation failure must locate the offending field.
+		if verr := c.Validate(); verr != nil {
+			fe, ok := verr.(*FieldError)
+			if !ok {
+				t.Fatalf("Validate returned %T (%v), want *FieldError", verr, verr)
+			}
+			if fe.Field == "" {
+				t.Fatalf("FieldError without a field path: %v", verr)
+			}
+		}
+	})
+}

@@ -366,13 +366,6 @@ func (s *Simulation) Run() {
 	s.Machine.Flush()
 }
 
-// BuildConfig builds the simulation with the config's own seed.
-//
-// Deprecated: use Build with a BuildOptions, which makes the seed of the
-// instantiation explicit. All in-tree callers have been migrated; the
-// wrapper will be removed in the next PR.
-func BuildConfig(c Config) (*Simulation, error) { return Build(c, BuildOptions{}) }
-
 func buildProgram(s *Simulation, tc ThreadConfig, rate cpu.Rate, rng *sim.Rand) (cpu.Program, error) {
 	pc := tc.Program
 	burst := sched.Work(pc.Burst)

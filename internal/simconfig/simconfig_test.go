@@ -219,8 +219,7 @@ func TestValidate(t *testing.T) {
 }
 
 // TestBuildSeedOverride checks a BuildOptions seed overrides the config's
-// and that the zero options value keeps the config's own (the behaviour
-// the deprecated BuildConfig wrapper — removed next PR — delegated to).
+// and that the zero options value keeps the config's own.
 func TestBuildSeedOverride(t *testing.T) {
 	cfg, err := Parse(strings.NewReader(`{"seed":7,"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a"}]}`))
 	if err != nil {

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hsfq/internal/simconfig"
+)
+
+// FuzzJobKey checks the content-address invariants the caching and
+// dispatch layers build on, for arbitrary parseable configs:
+//
+//   - a key is always a 64-char lowercase hex SHA-256;
+//   - equal computations get equal keys: marshaling the config and
+//     re-parsing it (the exact round trip a job takes over hsfqd's wire)
+//     must not change its key;
+//   - the seed participates: the same config at another seed is another
+//     computation, hence another key.
+//
+// A violation in any of these would let hsfqd's cache serve the wrong
+// result for a request, or hsfqmesh's HTTP backend reject every response.
+func FuzzJobKey(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"rate_mips": 100}`,
+		`{"rate_mips": 100.5, "horizon": "10ms", "seed": 18446744073709551615}`,
+		`{"nodes": [{"path": "/a", "leaf": "sfq", "quantum": "5ms"}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "sfq"}, {"path": "/b", "weight": 0.25}],
+		  "threads": [{"name": "x", "leaf": "/a", "program": {"kind": "mpeg", "loop": true}}]}`,
+		`{"interrupts": [{"kind": "poisson", "rate_per_sec": 1e3, "service": "200us"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), uint64(0))
+		f.Add([]byte(s), uint64(1<<63))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		c, err := simconfig.Parse(bytes.NewReader(data))
+		if err != nil {
+			return // not a config; JobKey's domain is parsed configs
+		}
+		key := JobKey(c, seed)
+		if !isHexDigest(key) {
+			t.Fatalf("JobKey = %q, not a 64-char hex digest", key)
+		}
+		// Round trip through the wire format hsfqd and hsfqmesh use.
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshaling parsed config: %v", err)
+		}
+		c2, err := simconfig.Parse(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("re-parsing marshaled config: %v", err)
+		}
+		if again := JobKey(c2, seed); again != key {
+			t.Fatalf("key changed across marshal round trip: %s then %s\nconfig: %s", key, again, b)
+		}
+		if other := JobKey(c, seed+1); other == key {
+			t.Fatalf("seed does not participate in the key: %d and %d both map to %s", seed, seed+1, key)
+		}
+	})
+}
+
+func isHexDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -62,6 +62,80 @@ type Report struct {
 	Aggregates []Aggregate `json:"aggregates"`
 }
 
+// Sink consumes job results. Orderer delivers them in dense job-ID order,
+// so a Sink never needs to reorder; WriterSink is the JSONL implementation
+// every tool shares.
+type Sink interface {
+	Emit(JobResult) error
+}
+
+// WriterSink streams one canonical JSON line per result. Marshaling is
+// deterministic (struct field order; map keys sort), so the bytes written
+// for a given result list are identical no matter who computed the
+// results — the property the sweep engine's worker-count invariance and
+// the dispatcher's remote/local equivalence both rest on.
+type WriterSink struct{ W io.Writer }
+
+// Emit implements Sink.
+func (s WriterSink) Emit(r JobResult) error { return writeJSONLine(s.W, r) }
+
+// Orderer releases results to a sink in dense job-ID order regardless of
+// completion order: result i is held until every result below i has been
+// emitted. It also retains all results for report assembly. Not safe for
+// concurrent use; callers serialize Done (the sweep engine calls it from
+// its single collector loop, the dispatcher under its state lock).
+type Orderer struct {
+	sink    Sink // may be nil: order/collect only
+	results []JobResult
+	ready   []bool
+	next    int
+	err     error // first sink error; later emissions are dropped
+}
+
+// NewOrderer prepares an orderer for jobs with IDs in [0, n).
+func NewOrderer(n int, sink Sink) *Orderer {
+	return &Orderer{sink: sink, results: make([]JobResult, n), ready: make([]bool, n)}
+}
+
+// Done records one completed result and flushes the contiguous prefix of
+// completed results to the sink.
+func (o *Orderer) Done(r JobResult) {
+	if r.ID < 0 || r.ID >= len(o.results) || o.ready[r.ID] {
+		panic(fmt.Sprintf("sweep: Orderer.Done of bad or duplicate job ID %d", r.ID))
+	}
+	o.results[r.ID] = r
+	o.ready[r.ID] = true
+	for o.next < len(o.results) && o.ready[o.next] {
+		if o.sink != nil && o.err == nil {
+			o.err = o.sink.Emit(o.results[o.next])
+		}
+		o.next++
+	}
+}
+
+// Results returns the result slice, valid once every job is Done.
+func (o *Orderer) Results() []JobResult { return o.results }
+
+// Err returns the first sink error, if any.
+func (o *Orderer) Err() error { return o.err }
+
+// NewReport assembles a Report from per-job results: failure and mismatch
+// counts plus per-point aggregates. Shared by the in-process engine and
+// the distributed dispatcher, so both report identically.
+func NewReport(name string, workers int, results []JobResult) *Report {
+	rep := &Report{Name: name, Jobs: len(results), Workers: workers, Results: results}
+	for _, r := range results {
+		if r.Error != "" {
+			rep.Failed++
+		}
+		if r.Mismatch {
+			rep.Mismatched++
+		}
+	}
+	rep.Aggregates = aggregate(results)
+	return rep
+}
+
 // Run expands the spec and executes every job across the worker pool.
 // The returned report lists results in job order; the error is non-nil if
 // any job failed to build, run, or verify.
@@ -78,17 +152,15 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		workers = len(jobs)
 	}
 
-	results := make([]JobResult, len(jobs))
 	idxCh := make(chan int)
-	doneCh := make(chan int, len(jobs))
+	doneCh := make(chan JobResult, len(jobs))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				results[i] = runJob(jobs[i], opt.Verify)
-				doneCh <- i
+				doneCh <- RunJob(jobs[i], opt.Verify)
 			}
 		}()
 	}
@@ -101,34 +173,20 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		close(doneCh)
 	}()
 
-	// Emit results in job order as they complete: result i is held until
-	// every result below i has been written.
-	var streamErr error
-	next := 0
-	ready := make([]bool, len(jobs))
-	for i := range doneCh {
-		ready[i] = true
-		for next < len(jobs) && ready[next] {
-			if opt.Stream != nil && streamErr == nil {
-				streamErr = writeJSONLine(opt.Stream, results[next])
-			}
-			next++
-		}
+	var sink Sink
+	if opt.Stream != nil {
+		sink = WriterSink{opt.Stream}
 	}
-	if streamErr != nil {
-		return nil, fmt.Errorf("sweep: streaming results: %w", streamErr)
+	ord := NewOrderer(len(jobs), sink)
+	for r := range doneCh {
+		ord.Done(r)
 	}
+	if err := ord.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: streaming results: %w", err)
+	}
+	results := ord.Results()
 
-	rep := &Report{Name: spec.Name, Jobs: len(jobs), Workers: workers, Results: results}
-	for _, r := range results {
-		if r.Error != "" {
-			rep.Failed++
-		}
-		if r.Mismatch {
-			rep.Mismatched++
-		}
-	}
-	rep.Aggregates = aggregate(results)
+	rep := NewReport(spec.Name, workers, results)
 	if rep.Failed > 0 {
 		return rep, fmt.Errorf("sweep: %d of %d job(s) failed (first: %s)", rep.Failed, len(jobs), firstError(results))
 	}
@@ -154,9 +212,12 @@ func writeJSONLine(w io.Writer, v any) error {
 	return err
 }
 
-// runJob executes one job (twice under verify) with nothing shared: the
-// build constructs private engine, machine, structure, and thread state.
-func runJob(job Job, verify bool) JobResult {
+// RunJob executes one job in-process (twice under verify) with nothing
+// shared: the build constructs private engine, machine, structure, and
+// thread state. It is the local execution authority: the sweep engine's
+// workers, the dispatcher's local backend, and the dispatcher's
+// remote-result verification all call it.
+func RunJob(job Job, verify bool) JobResult {
 	res := JobResult{ID: job.ID, Point: job.Point, Rep: job.Rep, Seed: job.Seed}
 	digest, m, err := executeJob(job)
 	if err != nil {

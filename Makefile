@@ -23,11 +23,11 @@ LOADTEST_WORKERS ?= 4
 # the whole budget is spent fuzzing, not shrinking interesting inputs.
 FUZZ_TIME ?= 30s
 
-.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest fuzz-smoke mesh-smoke
+.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest fuzz-smoke mesh-smoke checkpoint-smoke
 
 all: build test
 
-check: build test vet sweep-smoke fuzz-smoke mesh-smoke
+check: build test vet sweep-smoke fuzz-smoke mesh-smoke checkpoint-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,7 @@ loadtest:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime $(FUZZ_TIME) -fuzzminimizetime 1x ./internal/simconfig
 	$(GO) test -run '^$$' -fuzz FuzzJobKey -fuzztime $(FUZZ_TIME) -fuzzminimizetime 1x ./internal/sweep
+	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime $(FUZZ_TIME) -fuzzminimizetime 1x ./internal/checkpoint
 
 # Distributed dispatch end to end over real processes: a 64-job sweep
 # across two hsfqd daemons (one SIGKILLed mid-sweep, hedging on) must be
@@ -78,6 +79,18 @@ mesh-smoke:
 	$(GO) build -o /tmp/hsfqsweep ./cmd/hsfqsweep
 	$(GO) run ./cmd/meshsmoke -hsfqd /tmp/hsfqd -hsfqmesh /tmp/hsfqmesh \
 		-hsfqsweep /tmp/hsfqsweep -spec examples/sweeps/mesh.json
+
+# Checkpoint/restore end to end over real processes: an hsfqsim run
+# SIGKILLed mid-simulation must resume to a byte-identical trace, a
+# horizon-axis sweep with a checkpoint store must emit byte-identical
+# JSONL while resuming jobs, and hsfqdiff must pinpoint a deliberately
+# planted divergence (exit 3) and clear identical configs (exit 0).
+checkpoint-smoke:
+	$(GO) build -o /tmp/hsfqsim ./cmd/hsfqsim
+	$(GO) build -o /tmp/hsfqsweep ./cmd/hsfqsweep
+	$(GO) build -o /tmp/hsfqdiff ./cmd/hsfqdiff
+	$(GO) run ./cmd/ckptsmoke -hsfqsim /tmp/hsfqsim -hsfqsweep /tmp/hsfqsweep \
+		-hsfqdiff /tmp/hsfqdiff -spec examples/sweeps/ckpt.json
 
 # Serial vs parallel wall clock of the full figure suite, recorded as
 # BENCH_PR2.json (before = -workers 1, after = -workers $(SWEEP_BENCH_WORKERS)).

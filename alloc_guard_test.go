@@ -2,11 +2,14 @@ package hsfq_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
+	"hsfq/internal/checkpoint"
 	"hsfq/internal/core"
 	"hsfq/internal/sched"
 	"hsfq/internal/sim"
+	"hsfq/internal/simconfig"
 )
 
 // These tests pin down the PR's zero-allocation property: once a hierarchy
@@ -129,5 +132,80 @@ func TestLeafSchedulersDoNotAllocate(t *testing.T) {
 				t.Fatalf("%s Pick/Charge allocates %v times per decision, want 0", name, allocs)
 			}
 		})
+	}
+}
+
+// TestSnapshotDoesNotAllocate guards the in-memory checkpoint path: once
+// the encoder's buffer has grown to size (one cold Snapshot), repeated
+// snapshots of a live mid-run simulation perform no heap allocations.
+// This is what makes high-frequency checkpointing (hsfqdiff's grid,
+// hsfqsim -checkpoint-every) free of GC pressure: the simulation's hot
+// loop and the snapshot loop share a zero-allocation steady state.
+func TestSnapshotDoesNotAllocate(t *testing.T) {
+	cfg, err := simconfig.Parse(strings.NewReader(`{
+	  "horizon": "5s",
+	  "seed": 9,
+	  "nodes": [
+	    {"path": "/rt", "weight": 2, "leaf": "edf", "quantum": "5ms"},
+	    {"path": "/be", "weight": 1, "leaf": "sfq", "quantum": "10ms"}
+	  ],
+	  "threads": [
+	    {"name": "cam", "leaf": "/rt", "program": {"kind": "periodic", "period": "40ms", "cost": "6ms"}},
+	    {"name": "job", "leaf": "/be", "program": {"kind": "loop"}}
+	  ],
+	  "interrupts": [{"kind": "periodic", "period": "10ms", "service": "100us"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := simconfig.Build(cfg, simconfig.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 100 * sim.Millisecond
+	until := step
+	s.Machine.Run(until)
+
+	var enc sim.Enc
+	if err := checkpoint.Snapshot(s, &enc); err != nil { // cold: grows the buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		until += step
+		s.Machine.Run(until) // keep the state moving between snapshots
+		enc.Reset()
+		if err := checkpoint.Snapshot(s, &enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Snapshot allocates %v times per call, want 0", allocs)
+	}
+	if enc.Len() == 0 {
+		t.Fatal("snapshot encoded nothing")
+	}
+}
+
+// TestSpineStillAllocFreeAfterSnapshot checks snapshots do not poison the
+// scheduling spine's zero-allocation property: interleaving a Snapshot
+// with the Pick/Charge cycle leaves the cycle itself allocation-free.
+func TestSpineStillAllocFreeAfterSnapshot(t *testing.T) {
+	s, _ := buildThreeLevelTree(t)
+	now := sim.Time(0)
+	for i := 0; i < 32; i++ {
+		th := s.Pick(now)
+		s.Charge(th, 1_000_000, now, true)
+		now += sim.Millisecond
+	}
+	var enc sim.Enc
+	enc.Reset()
+	s.SaveState(&enc) // exercise the structure's encoder mid-stream
+	allocs := testing.AllocsPerRun(1000, func() {
+		th := s.Pick(now)
+		s.Charge(th, 1_000_000, now, true)
+		now += sim.Millisecond
+	})
+	if allocs != 0 {
+		t.Fatalf("Pick/Charge allocates %v times per decision after a snapshot, want 0", allocs)
 	}
 }

@@ -1,0 +1,295 @@
+// Command ckptsmoke is the end-to-end harness for the checkpoint/restore
+// subsystem. It proves the resume-equivalence contract against real
+// processes and real files, the way an operator would hit it:
+//
+//  1. Kill/resume: an hsfqsim run checkpointing periodically is SIGKILLed
+//     mid-simulation; a -resume run from the surviving snapshot must
+//     produce a trace CSV byte-identical to an uninterrupted run.
+//  2. Horizon extension: an hsfqsweep with a horizon axis and a
+//     -checkpoint-dir store must emit JSONL byte-identical to a storeless
+//     run while actually resuming jobs from shorter-horizon prefixes.
+//  3. Divergence bisection: hsfqdiff must exit 0 on identical configs,
+//     and on a config with a deliberately planted divergence (a thread
+//     that first wakes at t=1s) it must exit 3 and pinpoint the first
+//     divergent event at the 1s mark.
+//
+// Usage:
+//
+//	ckptsmoke -hsfqsim /tmp/hsfqsim -hsfqsweep /tmp/hsfqsweep \
+//	          -hsfqdiff /tmp/hsfqdiff -spec examples/sweeps/ckpt.json
+//
+// Exit status 0 when all three legs hold, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+	"time"
+
+	"hsfq/internal/testutil"
+)
+
+func main() {
+	var (
+		simBin   = flag.String("hsfqsim", "", "path to an hsfqsim binary (required)")
+		sweepBin = flag.String("hsfqsweep", "", "path to an hsfqsweep binary (required)")
+		diffBin  = flag.String("hsfqdiff", "", "path to an hsfqdiff binary (required)")
+		specPath = flag.String("spec", "examples/sweeps/ckpt.json", "horizon-axis sweep spec for the extension leg")
+	)
+	flag.Parse()
+	if *simBin == "" || *sweepBin == "" || *diffBin == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*simBin, *sweepBin, *diffBin, *specPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ckptsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(simBin, sweepBin, diffBin, specPath string) error {
+	dir, err := os.MkdirTemp("", "ckptsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	if err := killResumeLeg(simBin, dir); err != nil {
+		return fmt.Errorf("kill/resume leg: %w", err)
+	}
+	if err := extensionLeg(sweepBin, specPath, dir); err != nil {
+		return fmt.Errorf("horizon-extension leg: %w", err)
+	}
+	if err := bisectLeg(diffBin, dir); err != nil {
+		return fmt.Errorf("bisection leg: %w", err)
+	}
+	return nil
+}
+
+// simConfig is shaped for the kill/resume leg: a long horizon so the run
+// is killable mid-flight on any machine, with enough event variety
+// (periodic deadlines, SVR4 feedback, Poisson interrupts, a seeded RNG
+// stream) that a sloppy restore would almost surely show in the trace.
+const simConfig = `{
+  "rate_mips": 100,
+  "horizon": "120s",
+  "seed": 11,
+  "nodes": [
+    {"path": "/rt", "weight": 2, "leaf": "edf", "quantum": "5ms"},
+    {"path": "/be", "weight": 1, "leaf": "svr4"}
+  ],
+  "threads": [
+    {"name": "cam", "leaf": "/rt", "program": {"kind": "periodic", "period": "30ms", "cost": "5ms"}},
+    {"name": "hog", "leaf": "/be", "program": {"kind": "loop"}},
+    {"name": "chat", "leaf": "/be", "program": {"kind": "interactive", "think_mean": "50ms"}}
+  ],
+  "interrupts": [{"kind": "poisson", "rate_per_sec": 40, "service": "150us"}]
+}`
+
+// killResumeLeg runs the simulation three ways: uninterrupted (the
+// reference), checkpointing until SIGKILLed mid-run, and resumed from the
+// snapshot the kill left behind. The resumed trace must be byte-identical
+// to the reference.
+func killResumeLeg(simBin, dir string) error {
+	cfgPath := filepath.Join(dir, "sim.json")
+	if err := os.WriteFile(cfgPath, []byte(simConfig), 0o644); err != nil {
+		return err
+	}
+
+	pristine := filepath.Join(dir, "pristine.csv")
+	out, err := exec.Command(simBin, "-config", cfgPath, "-trace", pristine).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("reference run: %w\n%s", err, out)
+	}
+
+	ckpt := filepath.Join(dir, "run.ckpt")
+	victim := exec.Command(simBin, "-config", cfgPath,
+		"-trace", filepath.Join(dir, "never-written.csv"),
+		"-checkpoint-every", "2s", "-checkpoint-out", ckpt)
+	var victimOut bytes.Buffer
+	victim.Stdout = &victimOut
+	victim.Stderr = &victimOut
+	if err := victim.Start(); err != nil {
+		return err
+	}
+	// Kill as soon as the first snapshot lands. The write is atomic, so
+	// whenever the SIGKILL arrives — even mid-write of a later snapshot —
+	// the file holds a complete earlier one.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			victim.Wait()
+			return fmt.Errorf("no checkpoint file after 30s\n%s", victimOut.Bytes())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	err = victim.Wait()
+	ws, ok := victim.ProcessState.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		return fmt.Errorf("victim was not killed mid-run (err %v, state %v); the kill landed after completion — raise the config horizon", err, victim.ProcessState)
+	}
+	fmt.Printf("ckptsmoke: SIGKILLed checkpointing run mid-simulation; snapshot survives at %s\n", ckpt)
+
+	resumed := filepath.Join(dir, "resumed.csv")
+	resume := exec.Command(simBin, "-resume", ckpt, "-trace", resumed)
+	var resumeErr bytes.Buffer
+	resume.Stdout = os.Stdout
+	resume.Stderr = &resumeErr
+	if err := resume.Run(); err != nil {
+		return fmt.Errorf("resume run: %w\n%s", err, resumeErr.Bytes())
+	}
+	if !bytes.Contains(resumeErr.Bytes(), []byte("resumed at")) {
+		return fmt.Errorf("resume run did not report its resume point: %s", resumeErr.Bytes())
+	}
+
+	want, err := os.ReadFile(pristine)
+	if err != nil {
+		return err
+	}
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		return err
+	}
+	if d := testutil.DiffBytes(got, want); d != "" {
+		return fmt.Errorf("resumed trace differs from uninterrupted run: %s", d)
+	}
+	fmt.Printf("ckptsmoke: kill/resume ok: resumed trace byte-identical to uninterrupted run (%d bytes)\n", len(got))
+	return nil
+}
+
+var resumedRE = regexp.MustCompile(`resumed (\d+) of (\d+) job\(s\)`)
+
+// extensionLeg compares a storeless sweep against one with a checkpoint
+// store: identical JSONL, and the store must actually be used — first
+// pass resuming longer horizons from shorter ones, second pass resuming
+// every job from the now-complete store.
+func extensionLeg(sweepBin, specPath, dir string) error {
+	refPath := filepath.Join(dir, "ref.jsonl")
+	out, err := exec.Command(sweepBin, "-spec", specPath, "-o", refPath, "-summary=false").CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("storeless sweep: %w\n%s", err, out)
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		return err
+	}
+
+	store := filepath.Join(dir, "store")
+	runStored := func(outName string) (jsonl []byte, resumed, jobs int, err error) {
+		p := filepath.Join(dir, outName)
+		// -workers 1 on the first pass so shorter-horizon jobs finish
+		// (and store their final states) before longer ones start.
+		cmd := exec.Command(sweepBin, "-spec", specPath, "-o", p, "-summary=false",
+			"-workers", "1", "-checkpoint-dir", store)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, 0, 0, fmt.Errorf("stored sweep: %w\n%s", err, stderr.Bytes())
+		}
+		m := resumedRE.FindSubmatch(stderr.Bytes())
+		if m == nil {
+			return nil, 0, 0, fmt.Errorf("no resume report on stderr: %s", stderr.Bytes())
+		}
+		resumed, _ = strconv.Atoi(string(m[1]))
+		jobs, _ = strconv.Atoi(string(m[2]))
+		jsonl, err = os.ReadFile(p)
+		return jsonl, resumed, jobs, err
+	}
+
+	got, resumed, jobs, err := runStored("stored.jsonl")
+	if err != nil {
+		return err
+	}
+	if resumed == 0 {
+		return fmt.Errorf("first stored pass resumed nothing; horizon extension not exercised")
+	}
+	if d := testutil.DiffBytes(got, ref); d != "" {
+		return fmt.Errorf("stored sweep JSONL differs from storeless: %s", d)
+	}
+
+	again, resumed2, jobs2, err := runStored("again.jsonl")
+	if err != nil {
+		return err
+	}
+	if resumed2 != jobs2 {
+		return fmt.Errorf("fully-primed pass resumed %d of %d jobs", resumed2, jobs2)
+	}
+	if d := testutil.DiffBytes(again, ref); d != "" {
+		return fmt.Errorf("fully-primed sweep JSONL differs from storeless: %s", d)
+	}
+	fmt.Printf("ckptsmoke: horizon extension ok: %d then %d of %d job(s) resumed, JSONL byte-identical to storeless run\n",
+		resumed, resumed2, jobs)
+	return nil
+}
+
+// diffConfig is the bisection leg's base scenario.
+const diffConfig = `{
+  "horizon": "2s",
+  "seed": 5,
+  "nodes": [
+    {"path": "/rt", "weight": 3, "leaf": "edf", "quantum": "5ms"},
+    {"path": "/be", "weight": 1, "leaf": "sfq", "quantum": "10ms"}
+  ],
+  "threads": [
+    {"name": "cam", "leaf": "/rt", "program": {"kind": "periodic", "period": "33ms", "cost": "5ms"}},
+    {"name": "job", "leaf": "/be", "program": {"kind": "loop"}}%s
+  ],
+  "interrupts": [{"kind": "poisson", "rate_per_sec": 120, "service": "100us"}]
+}`
+
+// intruder is appended to diffConfig's thread list for the divergent
+// side: last in the list so existing thread IDs are untouched, dormant
+// until t=1s so the streams really are identical for the first second.
+const intruder = `,
+    {"name": "intruder", "leaf": "/be", "start": "1s", "program": {"kind": "loop"}}`
+
+var divergenceRE = regexp.MustCompile(`(?m)^divergence_at_ns=(\d+)$`)
+
+// bisectLeg checks both hsfqdiff verdicts: identical configs exit 0, and
+// a planted 1s divergence is pinpointed with exit 3.
+func bisectLeg(diffBin, dir string) error {
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(fmt.Sprintf(diffConfig, "")), 0o644); err != nil {
+		return err
+	}
+	planted := filepath.Join(dir, "planted.json")
+	if err := os.WriteFile(planted, []byte(fmt.Sprintf(diffConfig, intruder)), 0o644); err != nil {
+		return err
+	}
+
+	out, err := exec.Command(diffBin, "-a", base, "-b", base).CombinedOutput()
+	if err != nil || !bytes.Contains(out, []byte("identical:")) {
+		return fmt.Errorf("identical configs: err %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(diffBin, "-a", base, "-b", planted)
+	out, err = cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		return fmt.Errorf("planted divergence: err %v, want exit status 3\n%s", err, out)
+	}
+	m := divergenceRE.FindSubmatch(out)
+	if m == nil {
+		return fmt.Errorf("no divergence_at_ns line:\n%s", out)
+	}
+	at, _ := strconv.ParseInt(string(m[1]), 10, 64)
+	if at < 900e6 || at > 1100e6 {
+		return fmt.Errorf("divergence reported at %dns, want ~1s (the intruder's wake)\n%s", at, out)
+	}
+	fmt.Printf("ckptsmoke: bisection ok: identical exits 0, planted divergence pinpointed at %dns (exit 3)\n", at)
+	return nil
+}

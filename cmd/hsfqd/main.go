@@ -43,6 +43,7 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 1024, "result cache entry cap")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache byte cap")
 		cacheDir     = flag.String("cache-dir", "", "disk spill directory for evicted results (empty = memory only)")
+		ckptDir      = flag.String("checkpoint-dir", "", "checkpoint store: resume simulations whose horizon extends a previously served run (empty = always simulate from tick zero)")
 		verifyCache  = flag.Float64("verify-cache", 0, "fraction of cache hits to re-execute and byte-compare (0..1)")
 		maxBatch     = flag.Int("max-batch", 256, "max jobs per POST /v1/jobs claim")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
@@ -60,6 +61,7 @@ func main() {
 		VerifyFraction: *verifyCache,
 		MaxBatch:       *maxBatch,
 		RequestTimeout: *timeout,
+		CheckpointDir:  *ckptDir,
 	})
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)

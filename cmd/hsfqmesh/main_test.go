@@ -16,6 +16,7 @@ import (
 	"hsfq/internal/server"
 	"hsfq/internal/simconfig"
 	"hsfq/internal/sweep"
+	"hsfq/internal/testutil"
 )
 
 const testSpec = `{
@@ -78,8 +79,8 @@ func TestRunLocalOnly(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("run: code %d, err %v, stderr %s", code, err, stderr.Bytes())
 	}
-	if !bytes.Equal(stdout.Bytes(), want) {
-		t.Errorf("local-only output differs from serial:\n got: %s\nwant: %s", stdout.Bytes(), want)
+	if d := testutil.DiffBytes(stdout.Bytes(), want); d != "" {
+		t.Errorf("local-only output differs from serial: %s", d)
 	}
 }
 
@@ -180,8 +181,8 @@ func TestCorruptBackendExitsMismatch(t *testing.T) {
 	}
 	// Detection does not sacrifice the output: every corrupt result was
 	// replaced by the local authority's, so the JSONL is still right.
-	if !bytes.Equal(stdout.Bytes(), want) {
-		t.Errorf("output not repaired:\n got: %s\nwant: %s", stdout.Bytes(), want)
+	if d := testutil.DiffBytes(stdout.Bytes(), want); d != "" {
+		t.Errorf("output not repaired: %s", d)
 	}
 }
 

@@ -6,19 +6,29 @@
 //	hsfqsim -config sim.json
 //	hsfqsim -config sim.json -trace events.csv -dot structure.dot
 //	hsfqsim -config sim.json -cpuprofile cpu.pprof -memprofile mem.pprof
+//	hsfqsim -config sim.json -checkpoint-every 1s -checkpoint-out run.ckpt
+//	hsfqsim -resume run.ckpt -trace events.csv
 //
 // With no -config it runs a built-in demonstration: the paper's Fig. 2
 // structure under mixed load.
+//
+// Checkpointing: -checkpoint-every periodically snapshots the full
+// simulation state to -checkpoint-out (atomically, so a kill mid-write
+// leaves the previous snapshot intact). -resume continues a run from such
+// a snapshot; the completed run's outputs — the trace CSV in particular —
+// are byte-identical to an uninterrupted run of the original config.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
+	"hsfq/internal/checkpoint"
 	"hsfq/internal/metrics"
 	"hsfq/internal/sched"
 	"hsfq/internal/sim"
@@ -63,6 +73,9 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "override the config's random seed")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		ckptEvery  = flag.Duration("checkpoint-every", 0, "snapshot the simulation state at this simulated-time cadence (requires -checkpoint-out)")
+		ckptOut    = flag.String("checkpoint-out", "", "checkpoint file, atomically overwritten at each snapshot")
+		resumePath = flag.String("resume", "", "resume from a checkpoint file instead of building from a config")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: hsfqsim [flags]\n\nleaf kinds (config \"leaf\" field): %s\n\nflags:\n",
@@ -82,7 +95,16 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*configPath, *tracePath, *dotPath, *seed, *gantt)
+	err := run(runOptions{
+		configPath: *configPath,
+		tracePath:  *tracePath,
+		dotPath:    *dotPath,
+		seed:       *seed,
+		gantt:      *gantt,
+		ckptEvery:  sim.Time(ckptEvery.Nanoseconds()),
+		ckptOut:    *ckptOut,
+		resumePath: *resumePath,
+	})
 	if *memProf != "" {
 		if merr := writeMemProfile(*memProf); err == nil {
 			err = merr
@@ -112,33 +134,83 @@ func writeMemProfile(path string) error {
 	return f.Close()
 }
 
-func run(configPath, tracePath, dotPath string, seed uint64, gantt bool) error {
-	var cfg simconfig.Config
-	var err error
-	if configPath == "" {
-		fmt.Println("(no -config given: running the built-in Fig. 2 demo)")
-		cfg, err = simconfig.Parse(strings.NewReader(demoConfig))
-	} else {
-		f, ferr := os.Open(configPath)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		cfg, err = simconfig.Parse(f)
-	}
-	if err != nil {
-		return err
-	}
+type runOptions struct {
+	configPath string
+	tracePath  string
+	dotPath    string
+	seed       uint64
+	gantt      bool
+	ckptEvery  sim.Time
+	ckptOut    string
+	resumePath string
+}
 
-	s, err := simconfig.Build(cfg, simconfig.BuildOptions{Seed: seed})
-	if err != nil {
-		return err
-	}
-
+func run(o runOptions) error {
+	var s *simconfig.Simulation
 	var rec *trace.Recorder
-	if tracePath != "" || gantt {
-		rec = trace.NewRecorder(0)
-		s.Machine.Listen(rec)
+	wantTrace := o.tracePath != "" || o.gantt
+
+	if o.resumePath != "" {
+		if o.configPath != "" || o.seed != 0 {
+			return fmt.Errorf("-resume carries its own config and seed; drop -config/-seed")
+		}
+		data, err := os.ReadFile(o.resumePath)
+		if err != nil {
+			return err
+		}
+		info, err := checkpoint.Peek(data)
+		if err != nil {
+			return err
+		}
+		opt := checkpoint.Options{}
+		if wantTrace {
+			if !info.HasTrace {
+				return fmt.Errorf("%s has no trace section; rerun the checkpointing side with -trace", o.resumePath)
+			}
+			rec = trace.NewRecorder(0)
+			opt.Recorder = rec
+		}
+		s, err = checkpoint.Restore(data, opt)
+		if err != nil {
+			return err
+		}
+		if rec != nil {
+			s.Machine.Listen(rec)
+		}
+		fmt.Fprintf(os.Stderr, "hsfqsim: resumed at %v of %v (seed %d)\n", info.At, info.Horizon, info.Seed)
+	} else {
+		var cfg simconfig.Config
+		var err error
+		if o.configPath == "" {
+			fmt.Println("(no -config given: running the built-in Fig. 2 demo)")
+			cfg, err = simconfig.Parse(strings.NewReader(demoConfig))
+		} else {
+			f, ferr := os.Open(o.configPath)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			cfg, err = simconfig.Parse(f)
+		}
+		if err != nil {
+			return err
+		}
+		if s, err = simconfig.Build(cfg, simconfig.BuildOptions{Seed: o.seed}); err != nil {
+			return err
+		}
+		if wantTrace {
+			rec = trace.NewRecorder(0)
+			s.Machine.Listen(rec)
+		}
+	}
+
+	if o.ckptEvery > 0 {
+		if o.ckptOut == "" {
+			return fmt.Errorf("-checkpoint-every needs -checkpoint-out")
+		}
+		armCheckpoints(s, rec, o.ckptEvery, o.ckptOut)
+	} else if o.ckptOut != "" {
+		return fmt.Errorf("-checkpoint-out needs -checkpoint-every")
 	}
 
 	s.Run()
@@ -168,14 +240,14 @@ func run(configPath, tracePath, dotPath string, seed uint64, gantt bool) error {
 		fmt.Printf("decoder %q: %d frames decoded\n", name, d.FramesDecoded(s.Config.Horizon.Time()))
 	}
 
-	if gantt {
+	if o.gantt {
 		fmt.Println("\nfirst second of the schedule:")
 		if err := trace.Gantt(os.Stdout, rec.Spans(), 0, simSecond(), 100); err != nil {
 			return err
 		}
 	}
-	if dotPath != "" {
-		f, err := os.Create(dotPath)
+	if o.dotPath != "" {
+		f, err := os.Create(o.dotPath)
 		if err != nil {
 			return err
 		}
@@ -186,10 +258,10 @@ func run(configPath, tracePath, dotPath string, seed uint64, gantt bool) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", dotPath)
+		fmt.Printf("wrote %s\n", o.dotPath)
 	}
-	if rec != nil && tracePath != "" {
-		f, err := os.Create(tracePath)
+	if rec != nil && o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
 		if err != nil {
 			return err
 		}
@@ -200,7 +272,54 @@ func run(configPath, tracePath, dotPath string, seed uint64, gantt bool) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d events)\n", tracePath, len(rec.Events()))
+		fmt.Printf("wrote %s (%d events)\n", o.tracePath, len(rec.Events()))
+	}
+	return nil
+}
+
+// armCheckpoints schedules a self-rescheduling engine event that snapshots
+// the full simulation state to path every `every` of simulated time. The
+// write is atomic (temp file + rename in the same directory), so a kill
+// mid-write leaves the previous snapshot intact. Snapshot failures only
+// warn: a checkpoint is a convenience, never worth aborting the run for.
+//
+// The extra engine events consume sequence numbers but do not reorder any
+// same-instant simulation events, so the run's trace stays byte-identical
+// to one without checkpointing.
+func armCheckpoints(s *simconfig.Simulation, rec *trace.Recorder, every sim.Time, path string) {
+	var tick func()
+	tick = func() {
+		if err := writeCheckpoint(s, rec, path); err != nil {
+			fmt.Fprintf(os.Stderr, "hsfqsim: checkpoint at %v: %v\n", s.Engine.Now(), err)
+		}
+		s.Engine.After(every, tick)
+	}
+	s.Engine.After(every, tick)
+}
+
+// writeCheckpoint atomically replaces path with the current snapshot.
+func writeCheckpoint(s *simconfig.Simulation, rec *trace.Recorder, path string) error {
+	data, err := checkpoint.Save(s, checkpoint.Options{Recorder: rec})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".hsfqsim-ckpt-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
 	}
 	return nil
 }

@@ -38,7 +38,9 @@ func TestRunDemoConfig(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "events.csv")
 	dotPath := filepath.Join(dir, "structure.dot")
-	out := capture(t, func() error { return run("", tracePath, dotPath, 0, false) })
+	out := capture(t, func() error {
+		return run(runOptions{tracePath: tracePath, dotPath: dotPath})
+	})
 
 	for _, want := range []string{
 		"scheduling structure:",
@@ -69,7 +71,9 @@ func TestRunWithConfigFileAndGantt(t *testing.T) {
 	}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out := capture(t, func() error { return run(cfg, "", "", 7, true) })
+	out := capture(t, func() error {
+		return run(runOptions{configPath: cfg, seed: 7, gantt: true})
+	})
 	if !strings.Contains(out, "first second of the schedule:") {
 		t.Error("gantt section missing")
 	}
@@ -79,7 +83,111 @@ func TestRunWithConfigFileAndGantt(t *testing.T) {
 }
 
 func TestRunMissingConfig(t *testing.T) {
-	if err := run("/no/such/config.json", "", "", 0, false); err == nil {
+	if err := run(runOptions{configPath: "/no/such/config.json"}); err == nil {
 		t.Error("missing config accepted")
 	}
+}
+
+const ckptTestConfig = `{
+  "horizon": "1s",
+  "seed": 11,
+  "nodes": [
+    {"path": "/rt", "weight": 2, "leaf": "edf", "quantum": "5ms"},
+    {"path": "/be", "weight": 1, "leaf": "sfq", "quantum": "10ms"}
+  ],
+  "threads": [
+    {"name": "cam", "leaf": "/rt", "program": {"kind": "periodic", "period": "40ms", "cost": "6ms"}},
+    {"name": "job", "leaf": "/be", "program": {"kind": "loop"}}
+  ],
+  "interrupts": [{"kind": "poisson", "rate_per_sec": 80, "service": "120us"}]
+}`
+
+// TestRunCheckpointResume drives the full CLI round trip: a checkpointing
+// run leaves a snapshot behind, a -resume run finishes from it, and the
+// resumed run's trace CSV is byte-identical to the uninterrupted one.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "sim.json")
+	if err := os.WriteFile(cfg, []byte(ckptTestConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pristine := filepath.Join(dir, "pristine.csv")
+	capture(t, func() error { return run(runOptions{configPath: cfg, tracePath: pristine}) })
+
+	ckpt := filepath.Join(dir, "run.ckpt")
+	capture(t, func() error {
+		return run(runOptions{
+			configPath: cfg,
+			tracePath:  filepath.Join(dir, "ignored.csv"),
+			ckptEvery:  300 * 1e6, // 300ms simulated
+			ckptOut:    ckpt,
+		})
+	})
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+
+	resumed := filepath.Join(dir, "resumed.csv")
+	out := capture(t, func() error {
+		return run(runOptions{resumePath: ckpt, tracePath: resumed})
+	})
+	if !strings.Contains(out, "scheduling structure:") {
+		t.Error("resumed run printed no report")
+	}
+
+	want, err := os.ReadFile(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("resumed trace differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "sim.json")
+	if err := os.WriteFile(cfg, []byte(ckptTestConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opt  runOptions
+	}{
+		{"resume+config", runOptions{resumePath: "x.ckpt", configPath: cfg}},
+		{"resume+seed", runOptions{resumePath: "x.ckpt", seed: 3}},
+		{"every without out", runOptions{configPath: cfg, ckptEvery: 1e6}},
+		{"out without every", runOptions{configPath: cfg, ckptOut: filepath.Join(dir, "a.ckpt")}},
+		{"resume missing file", runOptions{resumePath: filepath.Join(dir, "nope.ckpt")}},
+	}
+	for _, tc := range cases {
+		if err := run(tc.opt); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestRunResumeWithoutTraceSection checks the error when a traceless
+// checkpoint is resumed with -trace: the past events cannot be recreated.
+func TestRunResumeWithoutTraceSection(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "sim.json")
+	if err := os.WriteFile(cfg, []byte(ckptTestConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "run.ckpt")
+	capture(t, func() error {
+		return run(runOptions{configPath: cfg, ckptEvery: 400 * 1e6, ckptOut: ckpt})
+	})
+	err := run(runOptions{resumePath: ckpt, tracePath: filepath.Join(dir, "t.csv")})
+	if err == nil || !strings.Contains(err.Error(), "no trace section") {
+		t.Errorf("want trace-section error, got %v", err)
+	}
+	// Without -trace the same checkpoint resumes fine.
+	capture(t, func() error { return run(runOptions{resumePath: ckpt}) })
 }

@@ -9,6 +9,7 @@
 //	hsfqsweep -spec sweep.json -workers 8 -o out.jsonl
 //	hsfqsweep -spec sweep.json -verify               # every job twice; digests must match
 //	hsfqsweep -spec sweep.json -metrics work_total,share:dec
+//	hsfqsweep -spec sweep.json -checkpoint-dir ck/   # resume longer horizons from stored prefixes
 //
 // Per-job results stream as JSON lines in job order; the bytes are
 // identical for any -workers value. The summary table aggregates each grid
@@ -37,6 +38,7 @@ func main() {
 		outPath     = flag.String("o", "-", `JSON-lines results: "-" for stdout, "" for none, else a file`)
 		summary     = flag.Bool("summary", true, "print the per-point aggregate table")
 		metricNames = flag.String("metrics", "work_total", "comma-separated metrics to summarize")
+		ckptDir     = flag.String("checkpoint-dir", "", "checkpoint store: resume jobs from stored run prefixes (horizon extension) and store final states for future sweeps")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `usage: hsfqsweep -spec sweep.json [flags]
@@ -57,13 +59,16 @@ flags:
 		flag.Usage()
 		os.Exit(2)
 	}
-	rep, err := run(*specPath, *workers, *verify, *outPath, *summary, *metricNames, os.Stdout)
+	rep, err := run(*specPath, *workers, *verify, *outPath, *summary, *metricNames, *ckptDir, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hsfqsweep:", err)
 		if line := mismatchSummary(rep); line != "" {
 			fmt.Fprintln(os.Stderr, "hsfqsweep:", line)
 		}
 		os.Exit(exitCode(rep))
+	}
+	if rep.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "hsfqsweep: resumed %d of %d job(s) from checkpoints\n", rep.Resumed, rep.Jobs)
 	}
 }
 
@@ -96,7 +101,7 @@ func mismatchSummary(rep *sweep.Report) string {
 	return fmt.Sprintf("verify: %d of %d job(s) nondeterministic%s", rep.Mismatched, rep.Jobs, first)
 }
 
-func run(specPath string, workers int, verify bool, outPath string, summary bool, metricNames string, stdout io.Writer) (*sweep.Report, error) {
+func run(specPath string, workers int, verify bool, outPath string, summary bool, metricNames, ckptDir string, stdout io.Writer) (*sweep.Report, error) {
 	f, err := os.Open(specPath)
 	if err != nil {
 		return nil, err
@@ -121,7 +126,7 @@ func run(specPath string, workers int, verify bool, outPath string, summary bool
 		stream = out
 	}
 
-	rep, err := sweep.Run(spec, sweep.Options{Workers: workers, Verify: verify, Stream: stream})
+	rep, err := sweep.Run(spec, sweep.Options{Workers: workers, Verify: verify, Stream: stream, CheckpointDir: ckptDir})
 	if err != nil {
 		return rep, err
 	}

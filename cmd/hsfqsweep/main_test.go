@@ -38,7 +38,7 @@ func TestRunSweep(t *testing.T) {
 	outPath := filepath.Join(dir, "out.jsonl")
 
 	var stdout strings.Builder
-	rep, err := run(specPath, 4, true, outPath, true, "work_total,share:x", &stdout)
+	rep, err := run(specPath, 4, true, outPath, true, "work_total,share:x", "", &stdout)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestRunSweep(t *testing.T) {
 
 	// A second run with a different worker count streams identical bytes.
 	outPath2 := filepath.Join(dir, "out2.jsonl")
-	if _, err := run(specPath, 1, false, outPath2, false, "work_total", &stdout); err != nil {
+	if _, err := run(specPath, 1, false, outPath2, false, "work_total", "", &stdout); err != nil {
 		t.Fatal(err)
 	}
 	jsonl2, err := os.ReadFile(outPath2)
@@ -86,7 +86,7 @@ func TestRunSweepBadSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout strings.Builder
-	if _, err := run(specPath, 1, false, "", false, "", &stdout); err == nil {
+	if _, err := run(specPath, 1, false, "", false, "", "", &stdout); err == nil {
 		t.Error("empty base accepted")
 	}
 }

@@ -32,6 +32,8 @@ import (
 	"regexp"
 	"syscall"
 	"time"
+
+	"hsfq/internal/testutil"
 )
 
 func main() {
@@ -134,8 +136,8 @@ func killLeg(hsfqdBin, meshBin, specPath, dir string, serial []byte, serialDur t
 	if err != nil {
 		return err
 	}
-	if !bytes.Equal(got, serial) {
-		return fmt.Errorf("mesh output (%d bytes) differs from serial run (%d bytes)", len(got), len(serial))
+	if d := testutil.DiffBytes(got, serial); d != "" {
+		return fmt.Errorf("mesh output differs from serial run: %s", d)
 	}
 	fmt.Printf("meshsmoke: kill leg ok: output byte-identical to serial (%d bytes)\n%s", len(got), indent(stderr.Bytes()))
 	return nil
@@ -181,8 +183,8 @@ func corruptionLeg(hsfqdBin, meshBin, specPath, dir string, serial []byte) error
 	if err != nil {
 		return err
 	}
-	if !bytes.Equal(got, serial) {
-		return fmt.Errorf("corrupted-backend output not repaired: %d bytes vs serial %d", len(got), len(serial))
+	if d := testutil.DiffBytes(got, serial); d != "" {
+		return fmt.Errorf("corrupted-backend output not repaired: %s", d)
 	}
 	fmt.Printf("meshsmoke: corruption leg ok: exit 3, backend quarantined, output repaired (%d bytes)\n", len(got))
 	return nil

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// Structure implements sched.Stater: the whole hierarchy — per-node SFQ
+// tags, runnable-heap memberships, and every leaf scheduler's state —
+// round-trips through a checkpoint. The tree shape itself is NOT
+// serialized: the rebuild recreates the same nodes with the same IDs
+// deterministically, and LoadState verifies the checkpoint describes the
+// structure it is being loaded into (same node set, same leaf/interior
+// split) before touching anything.
+var _ sched.Stater = (*Structure)(nil)
+
+// SaveState implements sched.Stater. Nodes are emitted sorted by ID so
+// the encoding is canonical; leaf schedulers must implement sched.Stater
+// themselves.
+func (s *Structure) SaveState(e *sim.Enc) error {
+	e.U64(s.seq)
+	e.Int(s.runnable)
+	if s.picked != nil {
+		e.Int(s.picked.ID)
+	} else {
+		e.Int(-1)
+	}
+	if s.pickedAt != nil {
+		e.Int(int(s.pickedAt.id))
+	} else {
+		e.Int(-1)
+	}
+
+	s.saveScratch = s.saveScratch[:0]
+	for _, n := range s.nodes {
+		s.saveScratch = append(s.saveScratch, n)
+	}
+	slices.SortFunc(s.saveScratch, func(a, b *Node) int { return int(a.id) - int(b.id) })
+	e.Int(len(s.saveScratch))
+	for _, n := range s.saveScratch {
+		e.Int(int(n.id))
+		e.F64(n.weight)
+		e.F64(n.start)
+		e.F64(n.finish)
+		e.U64(n.seq)
+		e.F64(n.maxFinish)
+		e.Bool(n.heapIdx != -1)
+		if n.IsLeaf() {
+			e.Bool(true)
+			st, ok := n.leaf.(sched.Stater)
+			if !ok {
+				return fmt.Errorf("core: leaf %q scheduler %q does not support checkpointing",
+					s.PathOf(n.id), n.leaf.Name())
+			}
+			if err := st.SaveState(e); err != nil {
+				return err
+			}
+		} else {
+			e.Bool(false)
+		}
+	}
+	return nil
+}
+
+// LoadState implements sched.Stater. Runnable-heap memberships are
+// rebuilt by pushing nodes in ID order, which is sound because the heap
+// order (start tag, stamp sequence) is a strict total order: the
+// sequence of minima the hsfq_schedule walk observes does not depend on
+// the heap's internal layout.
+func (s *Structure) LoadState(d *sim.Dec, resolve func(id int) *sched.Thread) error {
+	if s.runnable != 0 || s.root.runq.Len() != 0 {
+		return fmt.Errorf("core: LoadState into a structure with runnable threads")
+	}
+	s.seq = d.U64()
+	runnable := d.Int()
+	pickedID := d.Int()
+	pickedAtID := d.Int()
+	n := d.Count(35)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(s.nodes) {
+		return fmt.Errorf("core: checkpoint has %d nodes, structure has %d", n, len(s.nodes))
+	}
+	if runnable < 0 {
+		return fmt.Errorf("core: negative runnable count %d", runnable)
+	}
+
+	var inRunq []*Node
+	prev := math.MinInt
+	leafRunnable := 0
+	for i := 0; i < n; i++ {
+		id := d.Int()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if id <= prev {
+			return fmt.Errorf("core: node IDs not strictly increasing at %d", id)
+		}
+		prev = id
+		nd := s.nodes[NodeID(id)]
+		if nd == nil {
+			return fmt.Errorf("core: checkpoint references unknown node %d", id)
+		}
+		weight := d.F64()
+		nd.start = d.F64()
+		nd.finish = d.F64()
+		nd.seq = d.U64()
+		nd.maxFinish = d.F64()
+		inQ := d.Bool()
+		isLeaf := d.Bool()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if !(weight > 0) {
+			return fmt.Errorf("core: node %d with non-positive weight %v", id, weight)
+		}
+		nd.weight = weight
+		if isLeaf != nd.IsLeaf() {
+			return fmt.Errorf("core: node %d leafness mismatch (checkpoint %v, structure %v)",
+				id, isLeaf, nd.IsLeaf())
+		}
+		if inQ {
+			if nd.parent == nil {
+				return fmt.Errorf("core: root marked runnable in a parent heap")
+			}
+			inRunq = append(inRunq, nd)
+		}
+		if isLeaf {
+			st, ok := nd.leaf.(sched.Stater)
+			if !ok {
+				return fmt.Errorf("core: leaf %q scheduler %q does not support checkpointing",
+					s.PathOf(nd.id), nd.leaf.Name())
+			}
+			if err := st.LoadState(d, resolve); err != nil {
+				return err
+			}
+			leafRunnable += nd.leaf.Len()
+		}
+	}
+	if leafRunnable != runnable {
+		return fmt.Errorf("core: leaves hold %d runnable threads but structure count is %d",
+			leafRunnable, runnable)
+	}
+	for _, nd := range inRunq {
+		nd.parent.runq.Push(nd)
+	}
+	s.runnable = runnable
+
+	s.picked, s.pickedAt = nil, nil
+	if pickedID != -1 {
+		t := resolve(pickedID)
+		if t == nil {
+			return fmt.Errorf("core: picked thread %d unknown", pickedID)
+		}
+		nd := s.nodes[NodeID(pickedAtID)]
+		if nd == nil || !nd.IsLeaf() {
+			return fmt.Errorf("core: picked-at node %d missing or not a leaf", pickedAtID)
+		}
+		s.picked, s.pickedAt = t, nd
+	} else if pickedAtID != -1 {
+		return fmt.Errorf("core: picked-at node %d without a picked thread", pickedAtID)
+	}
+	return d.Err()
+}

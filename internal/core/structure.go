@@ -155,6 +155,10 @@ type Structure struct {
 	runnable int // total runnable threads across all leaves
 	picked   *sched.Thread
 	pickedAt *Node
+
+	// SaveState scratch, reused so periodic checkpointing stays
+	// allocation-free on the warm path.
+	saveScratch []*Node
 }
 
 // NewStructure returns a structure containing only the root node. The root

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"hsfq/internal/sim"
 )
 
@@ -45,6 +47,19 @@ func (p *PeriodicInterrupts) Next(now sim.Time) (sim.Time, sim.Time, bool) {
 	return at, p.Service, true
 }
 
+// SaveState implements Stater.
+func (p *PeriodicInterrupts) SaveState(e *sim.Enc) {
+	e.Time(p.next)
+	e.Bool(p.init)
+}
+
+// LoadState implements Stater.
+func (p *PeriodicInterrupts) LoadState(d *sim.Dec) error {
+	p.next = d.Time()
+	p.init = d.Bool()
+	return d.Err()
+}
+
 // PoissonInterrupts models an irregular source (network, disk) with
 // exponentially distributed inter-arrival times of mean 1/RatePerSec and
 // exponentially distributed service times of mean ServiceMean, optionally
@@ -73,6 +88,30 @@ func (p *PoissonInterrupts) Next(now sim.Time) (sim.Time, sim.Time, bool) {
 		svc = p.ServiceCap
 	}
 	return now + gap, svc, true
+}
+
+// SaveState implements Stater. The RNG state is the source's whole
+// mutable state: without it a resumed run would draw a different arrival
+// stream and diverge from the uninterrupted one.
+func (p *PoissonInterrupts) SaveState(e *sim.Enc) {
+	e.Bool(p.Rand != nil)
+	if p.Rand != nil {
+		e.U64(p.Rand.State())
+	}
+}
+
+// LoadState implements Stater.
+func (p *PoissonInterrupts) LoadState(d *sim.Dec) error {
+	if d.Bool() {
+		st := d.U64()
+		if d.Err() == nil {
+			if p.Rand == nil {
+				return fmt.Errorf("cpu: checkpoint carries RNG state for a source without one")
+			}
+			p.Rand.SetState(st)
+		}
+	}
+	return d.Err()
 }
 
 // BurstInterrupts models a source that delivers Count back-to-back
@@ -108,4 +147,25 @@ func (b *BurstInterrupts) Next(now sim.Time) (sim.Time, sim.Time, bool) {
 		at = now
 	}
 	return at, b.Service, true
+}
+
+// SaveState implements Stater.
+func (b *BurstInterrupts) SaveState(e *sim.Enc) {
+	e.Time(b.burstStart)
+	e.Int(b.inBurst)
+	e.Bool(b.init)
+}
+
+// LoadState implements Stater.
+func (b *BurstInterrupts) LoadState(d *sim.Dec) error {
+	b.burstStart = d.Time()
+	b.inBurst = d.Int()
+	b.init = d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if b.inBurst < 0 || (b.Count > 0 && b.inBurst >= b.Count) {
+		return fmt.Errorf("cpu: burst position %d out of range", b.inBurst)
+	}
+	return nil
 }

@@ -69,8 +69,21 @@ type tstate struct {
 	t         *sched.Thread
 	prog      Program
 	burstLeft sched.Work
+	start     *sim.Event // pending program-start event, nil once fired
 	wake      *sim.Event
 	wakeFn    func() // timed-wakeup callback, built once at Add
+	startFn   func() // program-start callback, built once at Add
+}
+
+// intrState tracks one registered interrupt source: the pending arrival
+// event, the service length drawn for it, and the fire callback reused
+// across arrivals. Keeping it a named struct (instead of the former local
+// closures) is what lets checkpoints re-arm arrivals after a restore.
+type intrState struct {
+	src     InterruptSource
+	service sim.Time
+	next    *sim.Event // pending arrival, nil once fired or exhausted
+	fire    func()
 }
 
 // Machine is a simulated uniprocessor.
@@ -86,11 +99,14 @@ type Machine struct {
 	inCallback   int      // depth of program-callback nesting (see progNext)
 	intrUntil    sim.Time // CPU busy with interrupts until this time
 	intrEnd      *sim.Event
+	intrs        []*intrState // registration order; part of the checkpoint canon
 	idleFrom     sim.Time
 	idle         bool
 	stats        Stats
 	nextID       int
 	dispatchCost func(t *sched.Thread) sim.Time
+
+	saveScratch []*tstate // reused by SaveState so snapshots stay alloc-free
 
 	// Method values are built once here; evaluating m.segmentEnd at each
 	// dispatch would allocate a fresh closure per run segment.
@@ -174,9 +190,13 @@ func (m *Machine) Add(t *sched.Thread, prog Program, startAt sim.Time) {
 		ts.t.WokeAt = m.eng.Now()
 		m.advance(ts)
 	}
+	ts.startFn = func() {
+		ts.start = nil
+		m.advance(ts)
+	}
 	m.threads[t] = ts
 	t.MachSlot.Set(m, ts)
-	m.eng.At(startAt, func() { m.advance(ts) })
+	ts.start = m.eng.At(startAt, ts.startFn)
 }
 
 // stateOf returns t's machine state, consulting the threads map only after
@@ -193,26 +213,29 @@ func (m *Machine) stateOf(t *sched.Thread) *tstate {
 }
 
 // AddInterrupts registers an interrupt source and schedules its first
-// arrival. The two closures below are reused for every arrival of this
-// source; the order (service first, then re-arm) matters, because it gives
-// the interrupt-end event an earlier sequence number than the next arrival
-// and same-instant events fire in scheduling order.
+// arrival. The fire callback is reused for every arrival of this source;
+// the order inside it (service first, then re-arm) matters, because it
+// gives the interrupt-end event an earlier sequence number than the next
+// arrival and same-instant events fire in scheduling order.
 func (m *Machine) AddInterrupts(src InterruptSource) {
-	var service sim.Time
-	var arm func()
-	fire := func() {
-		m.interrupt(service)
-		arm()
+	is := &intrState{src: src}
+	is.fire = func() {
+		is.next = nil
+		m.interrupt(is.service)
+		m.armInterrupt(is)
 	}
-	arm = func() {
-		at, svc, ok := src.Next(m.eng.Now())
-		if !ok {
-			return
-		}
-		service = svc
-		m.eng.At(at, fire)
+	m.intrs = append(m.intrs, is)
+	m.armInterrupt(is)
+}
+
+// armInterrupt draws the source's next arrival and schedules it.
+func (m *Machine) armInterrupt(is *intrState) {
+	at, svc, ok := is.src.Next(m.eng.Now())
+	if !ok {
+		return
 	}
-	arm()
+	is.service = svc
+	is.next = m.eng.At(at, is.fire)
 }
 
 // Run executes the simulation until the given time.

@@ -66,30 +66,80 @@ type ProgramFunc func(now sim.Time) Action
 func (f ProgramFunc) Next(now sim.Time) Action { return f(now) }
 
 // Sequence returns a program that performs the given actions in order and
-// then exits.
+// then exits. The returned program supports checkpointing (Stater).
 func Sequence(actions ...Action) Program {
-	i := 0
-	return ProgramFunc(func(now sim.Time) Action {
-		if i >= len(actions) {
-			return Exit()
-		}
-		a := actions[i]
-		i++
-		return a
-	})
+	return &seqProgram{actions: actions}
 }
 
-// Forever returns a program that repeats the given actions in a loop.
+// Forever returns a program that repeats the given actions in a loop. The
+// returned program supports checkpointing (Stater).
 func Forever(actions ...Action) Program {
 	if len(actions) == 0 {
 		panic("cpu: Forever with no actions")
 	}
-	i := 0
-	return ProgramFunc(func(now sim.Time) Action {
-		a := actions[i%len(actions)]
-		i++
-		return a
-	})
+	return &loopProgram{actions: actions}
+}
+
+// seqProgram runs a fixed action list once. It is a struct rather than a
+// closure so its position survives a checkpoint.
+type seqProgram struct {
+	actions []Action
+	i       int
+}
+
+// Next implements Program.
+func (p *seqProgram) Next(now sim.Time) Action {
+	if p.i >= len(p.actions) {
+		return Exit()
+	}
+	a := p.actions[p.i]
+	p.i++
+	return a
+}
+
+// SaveState implements Stater.
+func (p *seqProgram) SaveState(e *sim.Enc) { e.Int(p.i) }
+
+// LoadState implements Stater.
+func (p *seqProgram) LoadState(d *sim.Dec) error {
+	i := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if i < 0 || i > len(p.actions) {
+		return fmt.Errorf("cpu: sequence position %d out of range [0, %d]", i, len(p.actions))
+	}
+	p.i = i
+	return nil
+}
+
+// loopProgram repeats a fixed action list forever.
+type loopProgram struct {
+	actions []Action
+	i       int
+}
+
+// Next implements Program.
+func (p *loopProgram) Next(now sim.Time) Action {
+	a := p.actions[p.i%len(p.actions)]
+	p.i++
+	return a
+}
+
+// SaveState implements Stater.
+func (p *loopProgram) SaveState(e *sim.Enc) { e.Int(p.i) }
+
+// LoadState implements Stater.
+func (p *loopProgram) LoadState(d *sim.Dec) error {
+	i := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if i < 0 {
+		return fmt.Errorf("cpu: negative loop position %d", i)
+	}
+	p.i = i
+	return nil
 }
 
 func (k ActionKind) String() string {

@@ -1,0 +1,318 @@
+package cpu
+
+import (
+	"fmt"
+	"slices"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// Stater is implemented by programs and interrupt sources whose mutable
+// state can be captured into a checkpoint and restored into a freshly
+// rebuilt simulation. Static configuration (action lists, periods, traces)
+// is NOT serialized — the rebuild recreates it deterministically — only
+// the state that advances as the simulation runs (positions, counters,
+// RNG streams).
+type Stater interface {
+	SaveState(e *sim.Enc)
+	LoadState(d *sim.Dec) error
+}
+
+// saveEvent appends a pending-event descriptor: presence, absolute fire
+// time, and the original scheduling sequence number. The sequence number
+// is essential: events at the same instant fire in seq order, so restore
+// re-arms pending events sorted by their saved seqs, preserving every
+// same-instant ordering of the original run.
+func saveEvent(e *sim.Enc, ev *sim.Event) {
+	if ev == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Time(ev.At)
+	e.U64(ev.Seq())
+}
+
+// rearm is one pending event to be rescheduled after decode. set stores
+// the fresh handle wherever the machine tracks it.
+type rearm struct {
+	seq uint64
+	at  sim.Time
+	fn  func()
+	set func(*sim.Event)
+}
+
+// loadEvent reads a descriptor written by saveEvent.
+func loadEvent(d *sim.Dec) (ok bool, at sim.Time, seq uint64) {
+	if !d.Bool() {
+		return false, 0, 0
+	}
+	return d.Err() == nil, d.Time(), d.U64()
+}
+
+// SaveState serializes the machine's entire mutable state: counters,
+// per-thread accounting and program positions, the in-flight run segment,
+// interrupt bookkeeping, and a descriptor for every pending event the
+// machine owns (thread starts, timed wakeups, segment end, interrupt end,
+// interrupt arrivals). Threads are emitted sorted by ID so the encoding is
+// canonical — the same state always produces the same bytes. It must be
+// called at an event boundary (never from inside a program callback).
+func (m *Machine) SaveState(e *sim.Enc) error {
+	if m.inCallback != 0 {
+		return fmt.Errorf("cpu: SaveState from inside a program callback")
+	}
+	e.I64(m.stats.Dispatches)
+	e.I64(m.stats.Preemptions)
+	e.I64(m.stats.Interrupts)
+	e.Time(m.stats.Stolen)
+	e.Time(m.stats.SchedCost)
+	e.Time(m.stats.Idle)
+	e.I64(int64(m.stats.Work))
+	e.Int(m.nextID)
+	e.Bool(m.idle)
+	e.Time(m.idleFrom)
+	e.Time(m.intrUntil)
+
+	m.saveScratch = m.saveScratch[:0]
+	for _, ts := range m.threads {
+		m.saveScratch = append(m.saveScratch, ts)
+	}
+	slices.SortFunc(m.saveScratch, func(a, b *tstate) int { return a.t.ID - b.t.ID })
+	e.Int(len(m.saveScratch))
+	for _, ts := range m.saveScratch {
+		t := ts.t
+		e.Int(t.ID)
+		e.F64(t.Weight)
+		e.Int(t.Priority)
+		e.Time(t.Period)
+		e.Time(t.RelDeadline)
+		e.Int(int(t.State))
+		e.I64(int64(t.Done))
+		e.Int(t.Segments)
+		e.Time(t.ReadyAt)
+		e.Time(t.WokeAt)
+		e.Time(t.Waited)
+		e.I64(int64(ts.burstLeft))
+		saveEvent(e, ts.start)
+		saveEvent(e, ts.wake)
+		p, ok := ts.prog.(Stater)
+		if !ok {
+			return fmt.Errorf("cpu: program %T of thread %v does not support checkpointing", ts.prog, t)
+		}
+		p.SaveState(e)
+	}
+
+	if s := m.seg; s != nil {
+		e.Bool(true)
+		e.Int(s.ts.t.ID)
+		e.I64(int64(s.left))
+		e.I64(int64(s.used))
+		e.Time(s.resumeAt)
+		e.Bool(s.paused)
+		saveEvent(e, s.end)
+	} else {
+		e.Bool(false)
+	}
+	saveEvent(e, m.intrEnd)
+
+	e.Int(len(m.intrs))
+	for _, is := range m.intrs {
+		saveEvent(e, is.next)
+		e.Time(is.service)
+		s, ok := is.src.(Stater)
+		if !ok {
+			return fmt.Errorf("cpu: interrupt source %T does not support checkpointing", is.src)
+		}
+		s.SaveState(e)
+	}
+	return nil
+}
+
+// LoadState restores state saved by SaveState into a freshly built
+// machine: same thread set (resolved by ID), same interrupt sources in the
+// same registration order, and an engine already Reset to the checkpoint's
+// clock and sequence counter (so the build's initial events are gone).
+// Pending events are re-armed under their original sequence numbers
+// (Engine.AtSeq), so the restored engine is indistinguishable from the
+// saved one: same-instant orderings are preserved exactly and
+// save→restore→save is a byte-level fixed point — the properties the
+// resume-equivalence and canonicality tests pin down.
+func (m *Machine) LoadState(d *sim.Dec, resolve func(id int) *sched.Thread) error {
+	if m.eng.Pending() != 0 {
+		return fmt.Errorf("cpu: LoadState with %d events still pending; Reset the engine first", m.eng.Pending())
+	}
+	now := m.eng.Now()
+	m.stats.Dispatches = d.I64()
+	m.stats.Preemptions = d.I64()
+	m.stats.Interrupts = d.I64()
+	m.stats.Stolen = d.Time()
+	m.stats.SchedCost = d.Time()
+	m.stats.Idle = d.Time()
+	m.stats.Work = sched.Work(d.I64())
+	m.nextID = d.Int()
+	m.idle = d.Bool()
+	m.idleFrom = d.Time()
+	m.intrUntil = d.Time()
+
+	// The engine reset discarded the build's pending events; drop the now
+	// dangling handles before decoding re-arms.
+	for _, ts := range m.threads {
+		ts.start, ts.wake = nil, nil
+	}
+	m.seg, m.intrEnd = nil, nil
+	for _, is := range m.intrs {
+		is.next = nil
+	}
+
+	var rearms []rearm
+	n := d.Count(1)
+	if d.Err() == nil && n != len(m.threads) {
+		return fmt.Errorf("cpu: checkpoint has %d threads, machine has %d", n, len(m.threads))
+	}
+	prevID := -1 << 62
+	for i := 0; i < n; i++ {
+		id := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if id <= prevID {
+			return fmt.Errorf("cpu: thread IDs not strictly increasing at %d", id)
+		}
+		prevID = id
+		t := resolve(id)
+		if t == nil {
+			return fmt.Errorf("cpu: checkpoint references unknown thread %d", id)
+		}
+		ts := m.stateOf(t)
+		if ts == nil {
+			return fmt.Errorf("cpu: thread %d not registered with this machine", id)
+		}
+		t.Weight = d.F64()
+		t.Priority = d.Int()
+		t.Period = d.Time()
+		t.RelDeadline = d.Time()
+		st := sched.ThreadState(d.Int())
+		if d.Err() == nil && (st < sched.StateNew || st > sched.StateExited) {
+			return fmt.Errorf("cpu: thread %d with invalid state %d", id, st)
+		}
+		t.State = st
+		t.Done = sched.Work(d.I64())
+		t.Segments = d.Int()
+		t.ReadyAt = d.Time()
+		t.WokeAt = d.Time()
+		t.Waited = d.Time()
+		ts.burstLeft = sched.Work(d.I64())
+		if ok, at, seq := loadEvent(d); ok {
+			rearms = append(rearms, rearm{seq, at, ts.startFn, func(ev *sim.Event) { ts.start = ev }})
+		}
+		if ok, at, seq := loadEvent(d); ok {
+			rearms = append(rearms, rearm{seq, at, ts.wakeFn, func(ev *sim.Event) { ts.wake = ev }})
+		}
+		p, ok := ts.prog.(Stater)
+		if !ok {
+			return fmt.Errorf("cpu: program %T of thread %v does not support checkpointing", ts.prog, t)
+		}
+		if err := p.LoadState(d); err != nil {
+			return err
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
+
+	if d.Bool() {
+		id := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		t := resolve(id)
+		if t == nil {
+			return fmt.Errorf("cpu: segment references unknown thread %d", id)
+		}
+		ts := m.stateOf(t)
+		if ts == nil {
+			return fmt.Errorf("cpu: segment thread %d not registered", id)
+		}
+		m.segbuf = segment{
+			ts:       ts,
+			left:     sched.Work(d.I64()),
+			used:     sched.Work(d.I64()),
+			resumeAt: d.Time(),
+			paused:   d.Bool(),
+		}
+		m.seg = &m.segbuf
+		hasEnd, at, seq := loadEvent(d)
+		if hasEnd {
+			rearms = append(rearms, rearm{seq, at, m.segEndFn, func(ev *sim.Event) { m.segbuf.end = ev }})
+		}
+		if d.Err() == nil {
+			if m.segbuf.paused == hasEnd {
+				return fmt.Errorf("cpu: segment paused=%v with end-event=%v", m.segbuf.paused, hasEnd)
+			}
+			if t.State != sched.StateRunning {
+				return fmt.Errorf("cpu: segment thread %d in state %v, want running", id, t.State)
+			}
+		}
+	}
+
+	hadIntrEnd := false
+	if ok, at, seq := loadEvent(d); ok {
+		hadIntrEnd = true
+		rearms = append(rearms, rearm{seq, at, m.intrDoneFn, func(ev *sim.Event) { m.intrEnd = ev }})
+	}
+	if d.Err() == nil && m.seg != nil && m.segbuf.paused && !hadIntrEnd {
+		return fmt.Errorf("cpu: paused segment with no interrupt in flight")
+	}
+
+	cnt := d.Count(1)
+	if d.Err() == nil && cnt != len(m.intrs) {
+		return fmt.Errorf("cpu: checkpoint has %d interrupt sources, machine has %d", cnt, len(m.intrs))
+	}
+	for i := 0; i < cnt; i++ {
+		is := m.intrs[i]
+		if ok, at, seq := loadEvent(d); ok {
+			rearms = append(rearms, rearm{seq, at, is.fire, func(ev *sim.Event) { is.next = ev }})
+		}
+		is.service = d.Time()
+		s, ok := is.src.(Stater)
+		if !ok {
+			return fmt.Errorf("cpu: interrupt source %T does not support checkpointing", is.src)
+		}
+		if err := s.LoadState(d); err != nil {
+			return err
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+
+	for _, r := range rearms {
+		if r.at < now {
+			return fmt.Errorf("cpu: pending event at %v lies before checkpoint time %v", r.at, now)
+		}
+		if r.seq >= m.eng.Seq() {
+			return fmt.Errorf("cpu: pending event seq %d not below engine seq %d", r.seq, m.eng.Seq())
+		}
+	}
+	slices.SortStableFunc(rearms, func(a, b rearm) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for i, r := range rearms {
+		if i > 0 && r.seq == rearms[i-1].seq {
+			return fmt.Errorf("cpu: two pending events share seq %d", r.seq)
+		}
+		r.set(m.eng.AtSeq(r.at, r.seq, r.fn))
+	}
+	return nil
+}

@@ -21,6 +21,9 @@ type EDF struct {
 	entries map[*Thread]*edfEntry
 	heap    sim.Heap[*edfEntry]
 	seq     uint64
+	// saveScratch is reused across SaveState calls so periodic
+	// checkpointing stays allocation-free (see alloc_guard_test.go).
+	saveScratch []*edfEntry
 }
 
 type edfEntry struct {

@@ -22,6 +22,9 @@ type EEVDF struct {
 	total   float64
 	seq     uint64
 	picked  *eevdfEntry
+	// saveScratch is reused across SaveState calls so periodic
+	// checkpointing stays allocation-free (see alloc_guard_test.go).
+	saveScratch []*eevdfEntry
 }
 
 type eevdfEntry struct {

@@ -18,6 +18,9 @@ type Priority struct {
 	entries map[*Thread]*prioEntry
 	heap    sim.Heap[*prioEntry]
 	seq     uint64
+	// saveScratch is reused across SaveState calls so periodic
+	// checkpointing stays allocation-free (see alloc_guard_test.go).
+	saveScratch []*prioEntry
 }
 
 type prioEntry struct {

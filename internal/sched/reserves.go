@@ -32,6 +32,9 @@ type Reserves struct {
 	bg      []*resEntry
 	count   int
 	picked  *resEntry
+	// saveScratch is reused across SaveState calls so periodic
+	// checkpointing stays allocation-free (see alloc_guard_test.go).
+	saveScratch []*resEntry
 }
 
 type resEntry struct {

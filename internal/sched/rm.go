@@ -17,6 +17,9 @@ type RM struct {
 	entries map[*Thread]*rmEntry
 	heap    sim.Heap[*rmEntry]
 	seq     uint64
+	// saveScratch is reused across SaveState calls so periodic
+	// checkpointing stays allocation-free (see alloc_guard_test.go).
+	saveScratch []*rmEntry
 }
 
 type rmEntry struct {

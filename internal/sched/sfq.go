@@ -31,6 +31,11 @@ type SFQ struct {
 	seq       uint64
 	total     float64             // total effective weight of runnable threads
 	donated   map[*Thread]float64 // priority-inversion weight transfers (§4)
+
+	// SaveState scratch, reused so periodic checkpointing stays
+	// allocation-free on the warm path.
+	entScratch []*sfqEntry
+	donScratch []*Thread
 }
 
 type sfqEntry struct {

@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"hsfq/internal/sim"
+)
+
+// stateHarness builds one scheduler of each kind plus the thread set it
+// schedules, so the round-trip test can rebuild an identical fresh
+// instance for the restore side.
+type stateHarness struct {
+	name  string
+	build func() (Scheduler, []*Thread)
+}
+
+func stateHarnesses() []stateHarness {
+	mkThreads := func() []*Thread {
+		a := NewThread(1, "a", 1)
+		b := NewThread(2, "b", 2)
+		c := NewThread(3, "c", 4)
+		c.Priority = 7
+		b.Priority = 3
+		a.Period, a.RelDeadline = 30*sim.Millisecond, 30*sim.Millisecond
+		b.Period, b.RelDeadline = 50*sim.Millisecond, 40*sim.Millisecond
+		return []*Thread{a, b, c}
+	}
+	return []stateHarness{
+		{"sfq", func() (Scheduler, []*Thread) {
+			ts := mkThreads()
+			s := NewSFQ(10 * sim.Millisecond)
+			s.SetThreadQuantum(ts[1], 5*sim.Millisecond)
+			return s, ts
+		}},
+		{"rr", func() (Scheduler, []*Thread) { return NewRoundRobin(10 * sim.Millisecond), mkThreads() }},
+		{"fifo", func() (Scheduler, []*Thread) { return NewFIFO(), mkThreads() }},
+		{"priority", func() (Scheduler, []*Thread) { return NewPriority(10 * sim.Millisecond), mkThreads() }},
+		{"edf", func() (Scheduler, []*Thread) { return NewEDF(10 * sim.Millisecond), mkThreads() }},
+		{"rm", func() (Scheduler, []*Thread) { return NewRM(10 * sim.Millisecond), mkThreads() }},
+		{"svr4", func() (Scheduler, []*Thread) {
+			ts := mkThreads()
+			s := NewSVR4(nil, 100_000_000, 25*sim.Millisecond)
+			s.SetRealTime(ts[2], 10)
+			return s, ts
+		}},
+		{"lottery", func() (Scheduler, []*Thread) {
+			return NewLottery(10*sim.Millisecond, sim.NewRand(42)), mkThreads()
+		}},
+		{"stride", func() (Scheduler, []*Thread) { return NewStride(10 * sim.Millisecond), mkThreads() }},
+		{"eevdf", func() (Scheduler, []*Thread) {
+			return NewEEVDF(10*sim.Millisecond, 1_000_000), mkThreads()
+		}},
+		{"reserves", func() (Scheduler, []*Thread) {
+			ts := mkThreads()
+			s := NewReserves(10 * sim.Millisecond)
+			s.SetReserve(ts[0], 500_000, 30*sim.Millisecond)
+			return s, ts
+		}},
+	}
+}
+
+// driveStep performs one deterministic Pick/Charge cycle and returns the
+// picked thread's ID, or -1 if the scheduler is empty. Work charged and
+// the occasional block/re-enqueue vary with the step counter so tags,
+// budgets, queue rotations, and feedback tables all move.
+func driveStep(s Scheduler, threads []*Thread, step int, now *sim.Time) int {
+	t := s.Pick(*now)
+	if t == nil {
+		// Everyone asleep: wake all blocked threads.
+		for _, w := range threads {
+			if w.State == StateBlocked {
+				w.State = StateRunnable
+				w.WokeAt = *now
+				s.Enqueue(w, *now)
+			}
+		}
+		return -1
+	}
+	used := Work(200_000 + 70_000*(step%5))
+	*now += sim.Time(step%3+1) * sim.Millisecond
+	blocks := step%7 == 3
+	if blocks {
+		t.State = StateBlocked
+	}
+	t.Segments++
+	s.Charge(t, used, *now, !blocks)
+	// Re-enqueue one blocked thread every few steps, as a wakeup would.
+	if step%7 == 5 {
+		for _, w := range threads {
+			if w.State == StateBlocked {
+				w.State = StateRunnable
+				w.WokeAt = *now
+				s.Enqueue(w, *now)
+				break
+			}
+		}
+	}
+	return t.ID
+}
+
+// TestStateRoundTripContinuesIdentically drives each scheduler for a
+// while, snapshots it mid-run, restores into a freshly built instance
+// with fresh threads, and checks both continuations pick the identical
+// thread sequence — the sched-layer half of resume equivalence. It also
+// pins encoding canonicality: saving twice yields identical bytes.
+func TestStateRoundTripContinuesIdentically(t *testing.T) {
+	const warm, tail = 37, 80
+	for _, h := range stateHarnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			s1, ts1 := h.build()
+			now1 := sim.Time(0)
+			for _, th := range ts1 {
+				th.State = StateRunnable
+				s1.Enqueue(th, now1)
+			}
+			for i := 0; i < warm; i++ {
+				driveStep(s1, ts1, i, &now1)
+			}
+
+			var e sim.Enc
+			st1 := s1.(Stater)
+			if err := st1.SaveState(&e); err != nil {
+				t.Fatalf("SaveState: %v", err)
+			}
+			snap := append([]byte(nil), e.Bytes()...)
+			e.Reset()
+			if err := st1.SaveState(&e); err != nil {
+				t.Fatalf("second SaveState: %v", err)
+			}
+			if !bytes.Equal(snap, e.Bytes()) {
+				t.Fatalf("SaveState is not canonical: two saves differ")
+			}
+
+			s2, ts2 := h.build()
+			byID := map[int]*Thread{}
+			for _, th := range ts2 {
+				byID[th.ID] = th
+			}
+			// Thread-level fields the machine normally restores.
+			for i, th := range ts2 {
+				th.State = ts1[i].State
+				th.Segments = ts1[i].Segments
+				th.WokeAt = ts1[i].WokeAt
+			}
+			resolve := func(id int) *Thread { return byID[id] }
+			if err := s2.(Stater).LoadState(sim.NewDec(snap), resolve); err != nil {
+				t.Fatalf("LoadState: %v", err)
+			}
+			if s1.Len() != s2.Len() {
+				t.Fatalf("Len after restore = %d, want %d", s2.Len(), s1.Len())
+			}
+
+			now2 := now1
+			for i := warm; i < warm+tail; i++ {
+				got1 := driveStep(s1, ts1, i, &now1)
+				got2 := driveStep(s2, ts2, i, &now2)
+				if got1 != got2 {
+					t.Fatalf("step %d: restored scheduler picked %d, original picked %d", i, got2, got1)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadStateRejectsHostileInput checks that corrupt checkpoints fail
+// with errors rather than panics or silent corruption.
+func TestLoadStateRejectsHostileInput(t *testing.T) {
+	for _, h := range stateHarnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			s1, ts1 := h.build()
+			now := sim.Time(0)
+			for _, th := range ts1 {
+				th.State = StateRunnable
+				s1.Enqueue(th, now)
+			}
+			for i := 0; i < 20; i++ {
+				driveStep(s1, ts1, i, &now)
+			}
+			var e sim.Enc
+			if err := s1.(Stater).SaveState(&e); err != nil {
+				t.Fatalf("SaveState: %v", err)
+			}
+			snap := e.Bytes()
+
+			fresh := func() (Stater, func(id int) *Thread) {
+				s2, ts2 := h.build()
+				byID := map[int]*Thread{}
+				for _, th := range ts2 {
+					byID[th.ID] = th
+				}
+				return s2.(Stater), func(id int) *Thread { return byID[id] }
+			}
+
+			// Truncations at every byte boundary must error, never panic.
+			for cut := 0; cut < len(snap); cut += 7 {
+				s2, resolve := fresh()
+				if err := s2.LoadState(sim.NewDec(snap[:cut]), resolve); err == nil {
+					t.Fatalf("truncation at %d accepted", cut)
+				}
+			}
+			// Bit flips must either decode to the same scheduler or error;
+			// they must never panic. (Many flips only touch float tags and
+			// decode fine — that is acceptable.)
+			for pos := 0; pos < len(snap); pos += 11 {
+				mut := append([]byte(nil), snap...)
+				mut[pos] ^= 0x80
+				s2, resolve := fresh()
+				_ = s2.LoadState(sim.NewDec(mut), resolve)
+			}
+		})
+	}
+}

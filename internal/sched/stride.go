@@ -19,6 +19,9 @@ type Stride struct {
 	global  float64 // pass of the most recently dispatched thread
 	seq     uint64
 	total   float64
+	// saveScratch is reused across SaveState calls so periodic
+	// checkpointing stays allocation-free (see alloc_guard_test.go).
+	saveScratch []*strideEntry
 }
 
 type strideEntry struct {

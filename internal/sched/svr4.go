@@ -33,6 +33,10 @@ type SVR4 struct {
 	queues  map[int][]*svr4Entry // global priority -> FIFO
 	count   int
 	picked  *svr4Entry
+	// saveScratch is reused across SaveState calls so periodic
+	// checkpointing stays allocation-free (see alloc_guard_test.go).
+	saveScratch []*svr4Entry
+	prioScratch []int
 }
 
 // DispatchEntry is one row of the TS dispatch table, mirroring the fields

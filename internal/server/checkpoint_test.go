@@ -1,0 +1,50 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSimulateWithCheckpointStore extends a served run's horizon and
+// checks the daemon's answer is byte-identical to a storeless daemon's:
+// the checkpoint store may only change how the result is computed, never
+// what is returned.
+func TestSimulateWithCheckpointStore(t *testing.T) {
+	dir := t.TempDir()
+	withStore := New(Config{Workers: 2, QueueDepth: 8, CheckpointDir: filepath.Join(dir, "ck")})
+	defer withStore.Drain()
+	plain := New(Config{Workers: 2, QueueDepth: 8})
+	defer plain.Drain()
+
+	tsStore := httptest.NewServer(withStore)
+	defer tsStore.Close()
+	tsPlain := httptest.NewServer(plain)
+	defer tsPlain.Close()
+
+	short := scenarioJSON(7) // horizon 50ms
+	long := strings.Replace(scenarioJSON(7), `"horizon": "50ms"`, `"horizon": "140ms"`, 1)
+
+	if resp, body := post(t, tsStore, "/v1/simulate", short); resp.StatusCode != 200 {
+		t.Fatalf("short: %d %s", resp.StatusCode, body)
+	}
+	resp, got := post(t, tsStore, "/v1/simulate", long)
+	if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("long: %d %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	respPlain, want := post(t, tsPlain, "/v1/simulate", long)
+	if respPlain.StatusCode != 200 {
+		t.Fatalf("plain long: %d", respPlain.StatusCode)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("checkpoint-resumed response differs from storeless:\n%s\nvs\n%s", got, want)
+	}
+
+	// The store directory holds checkpoints for the served horizons.
+	matches, err := filepath.Glob(filepath.Join(dir, "ck", "*.ckpt"))
+	if err != nil || len(matches) < 2 {
+		t.Fatalf("checkpoint files: %v (err %v)", matches, err)
+	}
+}

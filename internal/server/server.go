@@ -65,6 +65,12 @@ type Config struct {
 	// RequestTimeout is the per-request deadline covering queue wait and
 	// execution; <= 0 means 30 s.
 	RequestTimeout time.Duration
+	// CheckpointDir, when non-empty, names a sweep.Store: simulate and
+	// sweep executions resume from stored run prefixes when a request
+	// extends the horizon of a previously served run, and store their own
+	// final states. Response bytes are unchanged by the store — resume
+	// equivalence — so it composes with the result cache and the mesh.
+	CheckpointDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +164,20 @@ func New(cfg Config) *Server {
 		flights:       map[string]*flight{},
 		execute:       sweep.ExecuteConfig,
 		runSweep:      sweep.Run,
+	}
+	if cfg.CheckpointDir != "" {
+		if store, err := sweep.NewStore(cfg.CheckpointDir); err != nil {
+			log.Printf("server: checkpoint dir %s: %v (checkpoint reuse disabled)", cfg.CheckpointDir, err)
+		} else {
+			s.execute = func(c simconfig.Config, seed uint64) (string, map[string]float64, error) {
+				digest, m, _, err := sweep.ExecuteConfigCheckpointed(c, seed, store)
+				return digest, m, err
+			}
+			s.runSweep = func(spec sweep.Spec, opt sweep.Options) (*sweep.Report, error) {
+				opt.CheckpointDir = cfg.CheckpointDir
+				return sweep.Run(spec, opt)
+			}
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.instrument(s.simulateStats, s.serveSimulate))

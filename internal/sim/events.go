@@ -58,6 +58,29 @@ func (e *Engine) Now() Time { return e.now }
 // and determinism probe for tests.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// Seq returns the next sequence number the engine will assign. Together
+// with Now and Fired it is the engine's whole mutable state apart from the
+// queue itself; checkpoints capture it so that restored runs hand out the
+// same FIFO tie-break ordering the original run would have.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// Seq returns the event's scheduling sequence number, the FIFO tie-break
+// among events at the same instant. Checkpoints record it so pending
+// events can be re-armed in their original relative order on restore.
+func (e *Event) Seq() uint64 { return e.seq }
+
+// Reset discards every pending event (returning the handles to the pool)
+// and forces the clock and counters, clearing any halt. It exists for
+// checkpoint restore: a freshly built simulation carries the build's
+// initial events, which Reset drops before the restored pending events are
+// re-armed. Holders of outstanding event handles must drop them.
+func (e *Engine) Reset(now Time, seq, fired uint64) {
+	for e.queue.Len() > 0 {
+		e.release(e.queue.Pop())
+	}
+	e.now, e.seq, e.fired, e.halted = now, seq, fired, false
+}
+
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
@@ -79,6 +102,33 @@ func (e *Engine) At(at Time, fn func()) *Event {
 		ev = &Event{At: at, Fn: fn, seq: e.seq, idx: -1}
 	}
 	e.seq++
+	e.queue.Push(ev)
+	return ev
+}
+
+// AtSeq schedules fn at the absolute time at under an explicit sequence
+// number. It exists for checkpoint restore: re-arming pending events with
+// their original seqs makes the restored engine indistinguishable from
+// the saved one, so save→restore→save is a byte-level fixed point. The
+// caller must pass seqs below the engine's next counter (Reset to the
+// saved value first) and must not reuse a seq; restore code validates
+// both before calling.
+func (e *Engine) AtSeq(at Time, seq uint64, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", at, e.now))
+	}
+	if seq >= e.seq {
+		panic(fmt.Sprintf("sim: re-armed event seq %d not below engine seq %d", seq, e.seq))
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.At, ev.Fn, ev.seq = at, fn, seq
+	} else {
+		ev = &Event{At: at, Fn: fn, seq: seq, idx: -1}
+	}
 	e.queue.Push(ev)
 	return ev
 }

@@ -77,6 +77,15 @@ func (r *Rand) Perm(n int) []int {
 	return p
 }
 
+// State returns the generator's internal state word. Checkpoints capture
+// it because any forked stream that advances during a run (interactive
+// think times, Poisson interrupt arrivals, lottery draws) must resume at
+// exactly the same point for the continuation to be byte-identical.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState restores a state word previously obtained from State.
+func (r *Rand) SetState(s uint64) { r.state = s }
+
 // Fork derives an independent generator from r's stream, so subsystems can
 // be given private streams without correlating with each other.
 func (r *Rand) Fork() *Rand {

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncDecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U64(0)
+	e.U64(^uint64(0))
+	e.I64(-42)
+	e.Int(17)
+	e.Time(3 * Second)
+	e.F64(3.14159)
+	e.F64(-0.0)
+	e.Bool(true)
+	e.Bool(false)
+	e.Str("hello")
+	e.Str("")
+	e.Blob([]byte{1, 2, 3})
+
+	d := NewDec(e.Bytes())
+	if got := d.U64(); got != 0 {
+		t.Errorf("U64 = %d, want 0", got)
+	}
+	if got := d.U64(); got != ^uint64(0) {
+		t.Errorf("U64 = %d, want max", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d, want -42", got)
+	}
+	if got := d.Int(); got != 17 {
+		t.Errorf("Int = %d, want 17", got)
+	}
+	if got := d.Time(); got != 3*Second {
+		t.Errorf("Time = %v, want 3s", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.F64(); got != 0 {
+		t.Errorf("F64 = %v, want -0.0", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("Bool = false, want true")
+	}
+	if got := d.Bool(); got {
+		t.Error("Bool = true, want false")
+	}
+	if got := d.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := d.Str(); got != "" {
+		t.Errorf("Str = %q, want empty", got)
+	}
+	if got := d.Blob(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestDecTruncationIsStickyError(t *testing.T) {
+	var e Enc
+	e.U64(7)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDec(full[:cut])
+		_ = d.U64()
+		if d.Err() == nil {
+			t.Fatalf("cut=%d: no error on truncated input", cut)
+		}
+		// Sticky: later reads keep returning zero values, same error.
+		first := d.Err()
+		if got := d.I64(); got != 0 {
+			t.Errorf("cut=%d: read after error = %d, want 0", cut, got)
+		}
+		if d.Err() != first {
+			t.Errorf("cut=%d: error replaced after first failure", cut)
+		}
+	}
+}
+
+func TestDecHostileLengths(t *testing.T) {
+	// A blob length far past the end must error, not allocate.
+	var e Enc
+	e.U64(1 << 60)
+	d := NewDec(e.Bytes())
+	if b := d.Blob(); b != nil || d.Err() == nil {
+		t.Fatalf("hostile blob: got %v err %v, want nil + error", b, d.Err())
+	}
+
+	// A negative count must error.
+	e.Reset()
+	e.I64(-1)
+	d = NewDec(e.Bytes())
+	if n := d.Count(1); n != 0 || d.Err() == nil {
+		t.Fatalf("negative count: got %d err %v", n, d.Err())
+	}
+
+	// A count claiming more elements than bytes remain must error.
+	e.Reset()
+	e.I64(1 << 40)
+	d = NewDec(e.Bytes())
+	if n := d.Count(8); n != 0 || d.Err() == nil {
+		t.Fatalf("oversized count: got %d err %v", n, d.Err())
+	}
+
+	// An out-of-range bool byte must error.
+	d = NewDec([]byte{2})
+	if d.Bool(); d.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+func TestEncResetKeepsCapacityAndAllocatesNothing(t *testing.T) {
+	var e Enc
+	for i := 0; i < 4; i++ { // warm the buffer
+		e.Reset()
+		for j := 0; j < 64; j++ {
+			e.U64(uint64(j))
+			e.Str("thread")
+			e.Bool(true)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Reset()
+		for j := 0; j < 64; j++ {
+			e.U64(uint64(j))
+			e.Str("thread")
+			e.Bool(true)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Enc allocates %v per encode, want 0", allocs)
+	}
+}
+
+func TestEngineResetDropsPendingAndForcesCounters(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.At(2, func() { fired++ })
+	e.RunUntil(1)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	seq, nFired := e.Seq(), e.Fired()
+	e.Reset(5, seq, nFired)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Reset, want 0", e.Pending())
+	}
+	if e.Now() != 5 || e.Seq() != seq || e.Fired() != nFired {
+		t.Fatalf("Reset state = (%v, %d, %d), want (5, %d, %d)",
+			e.Now(), e.Seq(), e.Fired(), seq, nFired)
+	}
+	// The engine is still usable; same-instant FIFO order still holds.
+	var order []int
+	e.At(7, func() { order = append(order, 1) })
+	e.At(7, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("post-Reset order = %v, want [1 2]", order)
+	}
+	if fired != 1 {
+		t.Fatalf("dropped event fired anyway (fired = %d)", fired)
+	}
+}
+
+func TestRandStateRoundTrip(t *testing.T) {
+	r := NewRand(123)
+	for i := 0; i < 10; i++ {
+		r.Uint64()
+	}
+	st := r.State()
+	want := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	r2 := NewRand(0)
+	r2.SetState(st)
+	for i, w := range want {
+		if got := r2.Uint64(); got != w {
+			t.Fatalf("draw %d after SetState = %d, want %d", i, got, w)
+		}
+	}
+}

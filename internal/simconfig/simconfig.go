@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -165,16 +166,13 @@ func Parse(r io.Reader) (Config, error) {
 	return c, nil
 }
 
-// programKinds and interruptKinds mirror the switches in buildProgram and
-// buildInterrupt; Validate checks against them so a bad kind is reported
-// before any simulation state is built.
+// programKinds mirrors the switch in buildProgram; Validate checks
+// against it so a bad kind is reported before any simulation state is
+// built. Interrupt kinds are validated in the per-kind switch in
+// Validate, which also enforces each source's parameter constraints.
 var programKinds = map[string]bool{
 	"": true, "loop": true, "dhrystone": true, "mpeg": true,
 	"trace": true, "periodic": true, "interactive": true, "onoff": true,
-}
-
-var interruptKinds = map[string]bool{
-	"periodic": true, "poisson": true, "burst": true,
 }
 
 // FieldError is a validation failure located by the JSON field path of
@@ -205,10 +203,22 @@ func (c Config) Validate() error {
 	if len(c.Nodes) == 0 {
 		return fieldErr("nodes", "no nodes")
 	}
+	if c.RateMIPS < 0 {
+		return fieldErr("rate_mips", "negative rate %d", c.RateMIPS)
+	}
+	if c.Horizon < 0 {
+		return fieldErr("horizon", "negative horizon %d", c.Horizon)
+	}
 	leaves := map[string]bool{}
 	for i, nc := range c.Nodes {
 		if nc.Path == "" {
 			return fieldErr(fmt.Sprintf("nodes[%d].path", i), "node with empty path")
+		}
+		if !validWeight(nc.Weight) {
+			return fieldErr(fmt.Sprintf("nodes[%d].weight", i), "node %q: weight must be a finite non-negative number, got %v", nc.Path, nc.Weight)
+		}
+		if nc.Quantum < 0 {
+			return fieldErr(fmt.Sprintf("nodes[%d].quantum", i), "node %q: negative quantum", nc.Path)
 		}
 		if nc.Leaf != "" {
 			if !sched.Known(nc.Leaf) {
@@ -229,14 +239,81 @@ func (c Config) Validate() error {
 		if !leaves[tc.Leaf] {
 			return fieldErr(fmt.Sprintf("threads[%d].leaf", i), "thread %q: no leaf %q", tc.Name, tc.Leaf)
 		}
+		if !validWeight(tc.Weight) {
+			return fieldErr(fmt.Sprintf("threads[%d].weight", i), "thread %q: weight must be a finite non-negative number, got %v", tc.Name, tc.Weight)
+		}
+		if tc.Start < 0 {
+			return fieldErr(fmt.Sprintf("threads[%d].start", i), "thread %q: negative start time", tc.Name)
+		}
+		if tc.RTPriority != nil && (*tc.RTPriority < 0 || *tc.RTPriority >= sched.RTLevels) {
+			return fieldErr(fmt.Sprintf("threads[%d].rt_priority", i), "thread %q: rt_priority %d outside [0, %d)", tc.Name, *tc.RTPriority, sched.RTLevels)
+		}
+		if tc.ReserveCost < 0 || tc.ReservePeriod < 0 {
+			return fieldErr(fmt.Sprintf("threads[%d].reserve_cost", i), "thread %q: negative reserve cost or period", tc.Name)
+		}
+		if tc.ReserveCost > 0 && tc.ReservePeriod <= 0 {
+			return fieldErr(fmt.Sprintf("threads[%d].reserve_period", i), "thread %q: reserve cost without a positive period", tc.Name)
+		}
 		if !programKinds[tc.Program.Kind] {
 			return fieldErr(fmt.Sprintf("threads[%d].program.kind", i), "thread %q: unknown program %q", tc.Name, tc.Program.Kind)
 		}
+		if err := tc.Program.validate(fmt.Sprintf("threads[%d].program", i), tc.Name); err != nil {
+			return err
+		}
 	}
 	for i, ic := range c.Interrupts {
-		if !interruptKinds[ic.Kind] {
+		// The cpu interrupt sources panic on misconfiguration — they treat
+		// it as a programming error — so every constraint they enforce
+		// must be rejected here, where bad input is a 400, not a crash.
+		switch ic.Kind {
+		case "periodic":
+			if ic.Period <= 0 || ic.Service < 0 {
+				return fieldErr(fmt.Sprintf("interrupts[%d].period", i), "periodic interrupt needs a positive period and non-negative service")
+			}
+		case "poisson":
+			if !(ic.RatePerSec > 0) || math.IsInf(ic.RatePerSec, 1) {
+				return fieldErr(fmt.Sprintf("interrupts[%d].rate_per_sec", i), "poisson interrupt rate must be a finite positive number, got %v", ic.RatePerSec)
+			}
+			if ic.Service <= 0 {
+				return fieldErr(fmt.Sprintf("interrupts[%d].service", i), "poisson interrupt needs a positive mean service time")
+			}
+		case "burst":
+			if ic.Period <= 0 || ic.Count <= 0 || ic.Service <= 0 {
+				return fieldErr(fmt.Sprintf("interrupts[%d]", i), "burst interrupt needs positive period, count, and service")
+			}
+		default:
 			return fieldErr(fmt.Sprintf("interrupts[%d].kind", i), "unknown interrupt kind %q", ic.Kind)
 		}
+	}
+	return nil
+}
+
+// validWeight rejects the values that would panic deep inside the
+// scheduler layer: negatives (sched.NewThread panics), NaN and Inf
+// (virtual-time tags would stop ordering). Zero is fine — Build treats it
+// as "default 1".
+func validWeight(w float64) bool {
+	return w >= 0 && !math.IsInf(w, 1)
+}
+
+func (p ProgramConfig) validate(field, thread string) error {
+	if p.Burst < 0 {
+		return fieldErr(field+".burst", "thread %q: negative burst", thread)
+	}
+	if p.FaultEvery < 0 || p.FaultSleep < 0 {
+		return fieldErr(field+".fault_every", "thread %q: negative fault cadence", thread)
+	}
+	if p.Frames < 0 {
+		return fieldErr(field+".frames", "thread %q: negative frame count", thread)
+	}
+	if p.Period < 0 || p.Cost < 0 {
+		return fieldErr(field+".period", "thread %q: negative period or cost", thread)
+	}
+	if p.ThinkMean < 0 {
+		return fieldErr(field+".think_mean", "thread %q: negative think time", thread)
+	}
+	if p.Bursts < 0 || p.Off < 0 {
+		return fieldErr(field+".bursts", "thread %q: negative on-off shape", thread)
 	}
 	return nil
 }

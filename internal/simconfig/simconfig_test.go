@@ -253,7 +253,15 @@ func TestValidateFieldPaths(t *testing.T) {
 		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a"},{"name":"t","leaf":"/a"}]}`, "threads[1].name"},
 		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/b"}]}`, "threads[0].leaf"},
 		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","program":{"kind":"bogus"}}]}`, "threads[0].program.kind"},
-		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"periodic"},{"kind":"bogus"}]}`, "interrupts[1].kind"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"periodic","period":"5ms"},{"kind":"bogus"}]}`, "interrupts[1].kind"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq","weight":-1}]}`, "nodes[0].weight"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","weight":-2}]}`, "threads[0].weight"},
+		{`{"nodes":[{"path":"/a","leaf":"svr4"}],"threads":[{"name":"t","leaf":"/a","rt_priority":60}]}`, "threads[0].rt_priority"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","start":-1}]}`, "threads[0].start"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","program":{"kind":"periodic","period":-1,"cost":"1ms"}}]}`, "threads[0].program.period"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"periodic"}]}`, "interrupts[0].period"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"poisson","rate_per_sec":-3,"service":"1ms"}]}`, "interrupts[0].rate_per_sec"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"burst","period":"1ms","service":"1us"}]}`, "interrupts[0]"},
 	}
 	for _, tc := range cases {
 		cfg, err := Parse(strings.NewReader(tc.js))

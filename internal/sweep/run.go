@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hsfq/internal/metrics"
 	"hsfq/internal/simconfig"
@@ -23,6 +24,12 @@ type Options struct {
 	// order, as results become available. The bytes are identical for any
 	// worker count.
 	Stream io.Writer
+	// CheckpointDir, when non-empty, names a checkpoint Store: jobs
+	// resume from stored prefixes of their runs when possible (horizon
+	// extension) and store their own final state for future sweeps. The
+	// streamed and reported results are byte-identical with or without a
+	// store; only wall-clock time and Report.Resumed change.
+	CheckpointDir string
 }
 
 // JobResult is the outcome of one job.
@@ -57,7 +64,12 @@ type Report struct {
 	// Mismatched counts the failures that were Verify digest mismatches;
 	// callers (hsfqsweep) report these distinctly, because they impeach
 	// the simulator rather than the scenario.
-	Mismatched int         `json:"mismatched,omitempty"`
+	Mismatched int `json:"mismatched,omitempty"`
+	// Resumed counts the jobs that continued from a stored checkpoint
+	// instead of simulating from tick zero. It lives on the report, not
+	// on JobResult, so per-job JSONL stays byte-identical with and
+	// without a checkpoint store.
+	Resumed    int         `json:"resumed,omitempty"`
 	Results    []JobResult `json:"results"`
 	Aggregates []Aggregate `json:"aggregates"`
 }
@@ -152,15 +164,28 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		workers = len(jobs)
 	}
 
+	var store *Store
+	if opt.CheckpointDir != "" {
+		store, err = NewStore(opt.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	idxCh := make(chan int)
 	doneCh := make(chan JobResult, len(jobs))
 	var wg sync.WaitGroup
+	var resumed atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				doneCh <- RunJob(jobs[i], opt.Verify)
+				r, fromCkpt := RunJobStore(jobs[i], opt.Verify, store)
+				if fromCkpt {
+					resumed.Add(1)
+				}
+				doneCh <- r
 			}
 		}()
 	}
@@ -187,6 +212,7 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	results := ord.Results()
 
 	rep := NewReport(spec.Name, workers, results)
+	rep.Resumed = int(resumed.Load())
 	if rep.Failed > 0 {
 		return rep, fmt.Errorf("sweep: %d of %d job(s) failed (first: %s)", rep.Failed, len(jobs), firstError(results))
 	}
@@ -218,11 +244,31 @@ func writeJSONLine(w io.Writer, v any) error {
 // workers, the dispatcher's local backend, and the dispatcher's
 // remote-result verification all call it.
 func RunJob(job Job, verify bool) JobResult {
+	res, _ := RunJobStore(job, verify, nil)
+	return res
+}
+
+// RunJobStore is RunJob with an optional checkpoint store, reporting
+// whether the job resumed from a stored prefix. Under verify, the rerun
+// is always executed from tick zero, so for a resumed job the comparison
+// checks resume equivalence end-to-end — restored-and-continued against
+// from-scratch — not merely that two executions agree.
+func RunJobStore(job Job, verify bool, store *Store) (JobResult, bool) {
 	res := JobResult{ID: job.ID, Point: job.Point, Rep: job.Rep, Seed: job.Seed}
-	digest, m, err := executeJob(job)
+	var (
+		digest  string
+		m       map[string]float64
+		resumed bool
+		err     error
+	)
+	if store != nil {
+		digest, m, resumed, err = ExecuteConfigCheckpointed(job.Config, job.Seed, store)
+	} else {
+		digest, m, err = executeJob(job)
+	}
 	if err != nil {
 		res.Error = err.Error()
-		return res
+		return res, false
 	}
 	res.Digest, res.Metrics = digest, m
 	if verify {
@@ -234,7 +280,7 @@ func RunJob(job Job, verify bool) JobResult {
 			res.Mismatch = true
 		}
 	}
-	return res
+	return res, resumed
 }
 
 // executeJob is a seam over ExecuteConfig so tests can inject

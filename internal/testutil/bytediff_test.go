@@ -1,0 +1,29 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffBytesEqual(t *testing.T) {
+	if d := DiffBytes([]byte("a\nb\n"), []byte("a\nb\n")); d != "" {
+		t.Errorf("equal buffers reported: %q", d)
+	}
+	if d := DiffBytes(nil, nil); d != "" {
+		t.Errorf("nil buffers reported: %q", d)
+	}
+}
+
+func TestDiffBytesLine(t *testing.T) {
+	d := DiffBytes([]byte("a\nX\nc\n"), []byte("a\nb\nc\n"))
+	if !strings.Contains(d, "line 2") || !strings.Contains(d, "X") || !strings.Contains(d, "b") {
+		t.Errorf("diff = %q", d)
+	}
+}
+
+func TestDiffBytesLength(t *testing.T) {
+	d := DiffBytes([]byte("a\nb\nextra"), []byte("a\nb"))
+	if !strings.Contains(d, "lengths differ") {
+		t.Errorf("diff = %q", d)
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash"
+
+	"hsfq/internal/cpu"
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// Hasher is a cpu.Listener that folds every scheduling event into a
+// streaming SHA-256 instead of storing it. hsfqdiff uses it to compare
+// two runs' event streams without holding either in memory, and to grab
+// prefix digests at checkpoint instants: Sum does not disturb the
+// running state, so the digest of the stream so far can be sampled at
+// any event boundary.
+type Hasher struct {
+	cpu.BaseListener
+	h    hash.Hash
+	rows int
+	buf  []byte
+}
+
+// NewHasher returns an empty stream hasher.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+func (s *Hasher) row(at sim.Time, kind Kind, thread string, tid int, used sched.Work, runnable bool, service sim.Time) {
+	s.buf = s.buf[:0]
+	s.buf = fmt.Appendf(s.buf, "%d,%s,%s,%d,%d,%t,%d\n", int64(at), kind, thread, tid, int64(used), runnable, int64(service))
+	s.h.Write(s.buf)
+	s.rows++
+}
+
+// OnDispatch implements cpu.Listener.
+func (s *Hasher) OnDispatch(t *sched.Thread, now sim.Time) {
+	s.row(now, Dispatch, t.Name, t.ID, 0, false, 0)
+}
+
+// OnCharge implements cpu.Listener.
+func (s *Hasher) OnCharge(t *sched.Thread, used sched.Work, now sim.Time, runnable bool) {
+	s.row(now, Charge, t.Name, t.ID, used, runnable, 0)
+}
+
+// OnWake implements cpu.Listener.
+func (s *Hasher) OnWake(t *sched.Thread, now sim.Time) {
+	s.row(now, Wake, t.Name, t.ID, 0, false, 0)
+}
+
+// OnBlock implements cpu.Listener.
+func (s *Hasher) OnBlock(t *sched.Thread, now sim.Time) {
+	s.row(now, Block, t.Name, t.ID, 0, false, 0)
+}
+
+// OnExit implements cpu.Listener.
+func (s *Hasher) OnExit(t *sched.Thread, now sim.Time) {
+	s.row(now, Exit, t.Name, t.ID, 0, false, 0)
+}
+
+// OnInterrupt implements cpu.Listener.
+func (s *Hasher) OnInterrupt(now, service sim.Time) {
+	s.row(now, Interrupt, "", 0, 0, false, service)
+}
+
+// OnIdle implements cpu.Listener.
+func (s *Hasher) OnIdle(now sim.Time) {
+	s.row(now, Idle, "", 0, 0, false, 0)
+}
+
+// Rows returns how many events have been hashed.
+func (s *Hasher) Rows() int { return s.rows }
+
+// Sum returns the hex digest of the stream so far without disturbing the
+// running state.
+func (s *Hasher) Sum() string {
+	return fmt.Sprintf("%x", s.h.Sum(nil))
+}

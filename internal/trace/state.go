@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"fmt"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// SaveState captures the recorder's event log so a resumed run emits the
+// FULL trace of the logical run, not just the tail after the restore
+// point — the property the checkpoint smoke test byte-compares.
+func (r *Recorder) SaveState(e *sim.Enc) {
+	e.Int(r.drops)
+	e.Int(len(r.events))
+	for _, ev := range r.events {
+		e.Time(ev.At)
+		e.Str(string(ev.Kind))
+		e.Str(ev.Thread)
+		e.Int(ev.ThreadID)
+		e.I64(int64(ev.Used))
+		e.Bool(ev.Runnable)
+		e.Time(ev.Service)
+	}
+}
+
+// LoadState restores an event log saved by SaveState. The recorder must
+// be empty (freshly built).
+func (r *Recorder) LoadState(d *sim.Dec) error {
+	if len(r.events) != 0 {
+		return fmt.Errorf("trace: LoadState into a recorder with events")
+	}
+	drops := d.Int()
+	n := d.Count(35)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if drops < 0 {
+		return fmt.Errorf("trace: negative drop count %d", drops)
+	}
+	if r.max > 0 && n > r.max {
+		return fmt.Errorf("trace: checkpoint holds %d events but recorder is bounded to %d", n, r.max)
+	}
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev := Event{
+			At:       d.Time(),
+			Kind:     Kind(d.Str()),
+			Thread:   d.Str(),
+			ThreadID: d.Int(),
+			Used:     sched.Work(d.I64()),
+			Runnable: d.Bool(),
+			Service:  d.Time(),
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		events = append(events, ev)
+	}
+	r.drops = drops
+	r.events = events
+	return nil
+}

@@ -49,18 +49,34 @@ func (d Dhrystone) Program() cpu.Program {
 		// About 28 hours of loops per burst: unbounded in practice.
 		return cpu.Forever(cpu.Compute(d.LoopWork * 1_000_000_000))
 	}
-	first := d.FaultEvery - d.Phase%d.FaultEvery
-	computing := false
-	batch := first
-	return cpu.ProgramFunc(func(now sim.Time) cpu.Action {
-		computing = !computing
-		if computing {
-			w := cpu.Compute(d.LoopWork * sched.Work(batch))
-			batch = d.FaultEvery
-			return w
-		}
-		return cpu.Sleep(d.FaultSleep)
-	})
+	return &dhrystoneProgram{
+		loopWork:   d.LoopWork,
+		faultEvery: d.FaultEvery,
+		faultSleep: d.FaultSleep,
+		batch:      d.FaultEvery - d.Phase%d.FaultEvery,
+	}
+}
+
+// dhrystoneProgram is the faulting Dhrystone loop. It is a struct rather
+// than a closure so its position survives a checkpoint.
+type dhrystoneProgram struct {
+	loopWork   sched.Work
+	faultEvery int
+	faultSleep sim.Time
+
+	computing bool
+	batch     int
+}
+
+// Next implements cpu.Program.
+func (p *dhrystoneProgram) Next(now sim.Time) cpu.Action {
+	p.computing = !p.computing
+	if p.computing {
+		w := cpu.Compute(p.loopWork * sched.Work(p.batch))
+		p.batch = p.faultEvery
+		return w
+	}
+	return cpu.Sleep(p.faultSleep)
 }
 
 // Loops returns the number of completed benchmark loops given the total
@@ -85,14 +101,25 @@ func OnOff(burst sched.Work, bursts int, offDur sim.Time) cpu.Program {
 	if burst <= 0 || bursts <= 0 || offDur <= 0 {
 		panic("workload: OnOff misconfigured")
 	}
-	i := 0
-	return cpu.ProgramFunc(func(now sim.Time) cpu.Action {
-		i++
-		if i%(bursts+1) == 0 {
-			return cpu.Sleep(offDur)
-		}
-		return cpu.Compute(burst)
-	})
+	return &onOffProgram{burst: burst, bursts: bursts, offDur: offDur}
+}
+
+// onOffProgram alternates compute bursts and sleeps; a struct so its
+// phase survives a checkpoint.
+type onOffProgram struct {
+	burst  sched.Work
+	bursts int
+	offDur sim.Time
+	i      int
+}
+
+// Next implements cpu.Program.
+func (p *onOffProgram) Next(now sim.Time) cpu.Action {
+	p.i++
+	if p.i%(p.bursts+1) == 0 {
+		return cpu.Sleep(p.offDur)
+	}
+	return cpu.Compute(p.burst)
 }
 
 // Window is a half-open interval of simulated time.
@@ -112,14 +139,25 @@ func ScheduledLoop(burst sched.Work, asleep []Window) cpu.Program {
 			panic(fmt.Sprintf("workload: bad sleep window %v-%v", w.From, w.To))
 		}
 	}
-	return cpu.ProgramFunc(func(now sim.Time) cpu.Action {
-		for _, w := range asleep {
-			if now >= w.From && now < w.To {
-				return cpu.SleepUntil(w.To)
-			}
+	return &scheduledLoopProgram{burst: burst, asleep: asleep}
+}
+
+// scheduledLoopProgram has no mutable state — its behaviour depends only
+// on the current time — but being a named struct lets it participate in
+// checkpointing.
+type scheduledLoopProgram struct {
+	burst  sched.Work
+	asleep []Window
+}
+
+// Next implements cpu.Program.
+func (p *scheduledLoopProgram) Next(now sim.Time) cpu.Action {
+	for _, w := range p.asleep {
+		if now >= w.From && now < w.To {
+			return cpu.SleepUntil(w.To)
 		}
-		return cpu.Compute(burst)
-	})
+	}
+	return cpu.Compute(p.burst)
 }
 
 // Interactive models a think-compute loop: sleep for an exponentially
@@ -137,23 +175,39 @@ func (iv Interactive) Program() cpu.Program {
 	if iv.ThinkMean <= 0 || iv.BurstMean <= 0 || iv.Rand == nil {
 		panic("workload: Interactive misconfigured")
 	}
-	thinking := true
-	return cpu.ProgramFunc(func(now sim.Time) cpu.Action {
-		if thinking {
-			thinking = false
-			d := sim.Time(iv.Rand.ExpFloat64() * float64(iv.ThinkMean))
-			if d < 1 {
-				d = 1
-			}
-			return cpu.Sleep(d)
+	return &interactiveProgram{
+		thinkMean: iv.ThinkMean,
+		burstMean: iv.BurstMean,
+		rand:      iv.Rand,
+		thinking:  true,
+	}
+}
+
+// interactiveProgram is the think-compute loop; a struct so its phase and
+// RNG stream survive a checkpoint.
+type interactiveProgram struct {
+	thinkMean sim.Time
+	burstMean sched.Work
+	rand      *sim.Rand
+	thinking  bool
+}
+
+// Next implements cpu.Program.
+func (p *interactiveProgram) Next(now sim.Time) cpu.Action {
+	if p.thinking {
+		p.thinking = false
+		d := sim.Time(p.rand.ExpFloat64() * float64(p.thinkMean))
+		if d < 1 {
+			d = 1
 		}
-		thinking = true
-		w := sched.Work(iv.Rand.ExpFloat64() * float64(iv.BurstMean))
-		if w < 1 {
-			w = 1
-		}
-		return cpu.Compute(w)
-	})
+		return cpu.Sleep(d)
+	}
+	p.thinking = true
+	w := sched.Work(p.rand.ExpFloat64() * float64(p.burstMean))
+	if w < 1 {
+		w = 1
+	}
+	return cpu.Compute(w)
 }
 
 // Arrivals schedules spawn at Poisson arrival instants with the given

@@ -23,11 +23,11 @@ LOADTEST_WORKERS ?= 4
 # the whole budget is spent fuzzing, not shrinking interesting inputs.
 FUZZ_TIME ?= 30s
 
-.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest fuzz-smoke mesh-smoke checkpoint-smoke
+.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke
 
 all: build test
 
-check: build test vet sweep-smoke fuzz-smoke mesh-smoke checkpoint-smoke
+check: build test vet sweep-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,18 @@ checkpoint-smoke:
 	$(GO) build -o /tmp/hsfqdiff ./cmd/hsfqdiff
 	$(GO) run ./cmd/ckptsmoke -hsfqsim /tmp/hsfqsim -hsfqsweep /tmp/hsfqsweep \
 		-hsfqdiff /tmp/hsfqdiff -spec examples/sweeps/ckpt.json
+
+# Multicore machine end to end over real processes: hsfqsim -cores 1 must
+# be byte-identical to a coreless run while -cores 2 grows core-tagged
+# output (and svr4 under -policy steal is rejected up front), and a
+# verified cores x policy x migration-cost sweep must show one digest per
+# seed on the cores:1 plane, steal migrations off a packed core, and
+# throughput that scales with cores and drops under migration cost.
+smp-smoke:
+	$(GO) build -o /tmp/hsfqsim ./cmd/hsfqsim
+	$(GO) build -o /tmp/hsfqsweep ./cmd/hsfqsweep
+	$(GO) run ./cmd/smpsmoke -hsfqsim /tmp/hsfqsim -hsfqsweep /tmp/hsfqsweep \
+		-spec examples/sweeps/smp.json
 
 # Serial vs parallel wall clock of the full figure suite, recorded as
 # BENCH_PR2.json (before = -workers 1, after = -workers $(SWEEP_BENCH_WORKERS)).

@@ -71,6 +71,8 @@ func main() {
 		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart of the first second")
 		dotPath    = flag.String("dot", "", "write the scheduling structure in DOT format")
 		seed       = flag.Uint64("seed", 0, "override the config's random seed")
+		cores      = flag.Int("cores", 0, "override the config's core count (0: keep the config's)")
+		policy     = flag.String("policy", "", "override the config's multiprocessor policy: partitioned, global, or steal")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		ckptEvery  = flag.Duration("checkpoint-every", 0, "snapshot the simulation state at this simulated-time cadence (requires -checkpoint-out)")
@@ -100,6 +102,8 @@ func main() {
 		tracePath:  *tracePath,
 		dotPath:    *dotPath,
 		seed:       *seed,
+		cores:      *cores,
+		policy:     *policy,
 		gantt:      *gantt,
 		ckptEvery:  sim.Time(ckptEvery.Nanoseconds()),
 		ckptOut:    *ckptOut,
@@ -139,6 +143,8 @@ type runOptions struct {
 	tracePath  string
 	dotPath    string
 	seed       uint64
+	cores      int
+	policy     string
 	gantt      bool
 	ckptEvery  sim.Time
 	ckptOut    string
@@ -151,8 +157,8 @@ func run(o runOptions) error {
 	wantTrace := o.tracePath != "" || o.gantt
 
 	if o.resumePath != "" {
-		if o.configPath != "" || o.seed != 0 {
-			return fmt.Errorf("-resume carries its own config and seed; drop -config/-seed")
+		if o.configPath != "" || o.seed != 0 || o.cores != 0 || o.policy != "" {
+			return fmt.Errorf("-resume carries its own config and seed; drop -config/-seed/-cores/-policy")
 		}
 		data, err := os.ReadFile(o.resumePath)
 		if err != nil {
@@ -195,6 +201,12 @@ func run(o runOptions) error {
 		if err != nil {
 			return err
 		}
+		if o.cores != 0 {
+			cfg.Cores = o.cores
+		}
+		if o.policy != "" {
+			cfg.Policy = o.policy
+		}
 		if s, err = simconfig.Build(cfg, simconfig.BuildOptions{Seed: o.seed}); err != nil {
 			return err
 		}
@@ -215,22 +227,46 @@ func run(o runOptions) error {
 
 	s.Run()
 
-	fmt.Println("scheduling structure:")
-	fmt.Print(s.Structure.String())
+	nCores := s.Machine.NumCores()
+	if len(s.Structures) == 1 {
+		fmt.Println("scheduling structure:")
+		fmt.Print(s.Structure.String())
+	} else {
+		for c, st := range s.Structures {
+			fmt.Printf("scheduling structure (core %d):\n", c)
+			fmt.Print(st.String())
+		}
+	}
 	fmt.Println()
 
-	tbl := metrics.NewTable("thread", "leaf", "weight", "work", "share", "segments", "waited", "state")
+	cols := []string{"thread", "leaf", "weight", "work", "share", "segments", "waited", "state"}
+	if nCores > 1 {
+		cols = append(cols, "home")
+	}
+	tbl := metrics.NewTable(cols...)
 	total := float64(s.Machine.Stats().Work)
 	for _, th := range s.Threads {
-		leaf := s.Structure.LeafOf(th)
-		tbl.AddRow(th.Name, s.Structure.PathOf(leaf.ID()), th.Weight,
-			int64(th.Done), float64(th.Done)/total, th.Segments, th.Waited.String(), th.State.String())
+		st := s.StructureOf(th)
+		row := []any{th.Name, st.PathOf(st.LeafOf(th).ID()), th.Weight,
+			int64(th.Done), float64(th.Done) / total, th.Segments, th.Waited.String(), th.State.String()}
+		if nCores > 1 {
+			row = append(row, s.Machine.HomeCore(th))
+		}
+		tbl.AddRow(row...)
 	}
 	fmt.Print(tbl.String())
 
 	st := s.Machine.Stats()
 	fmt.Printf("\nmachine: %v of work, %d dispatches, %d preemptions, %d interrupts (%v stolen), idle %v\n",
 		st.Work, st.Dispatches, st.Preemptions, st.Interrupts, st.Stolen, st.Idle)
+	if nCores > 1 {
+		fmt.Printf("policy %s, %d migrations\n", s.Machine.Policy(), st.Migrations)
+		for c := 0; c < nCores; c++ {
+			cs := s.Machine.CoreStats(c)
+			fmt.Printf("core %d: %v of work, %d dispatches, %d preemptions, %d migrations, idle %v\n",
+				c, cs.Work, cs.Dispatches, cs.Preemptions, cs.Migrations, cs.Idle)
+		}
+	}
 
 	for name, p := range s.Periodics {
 		fmt.Printf("periodic %q: %d rounds, %d missed deadlines, min slack %v\n",

@@ -1,0 +1,295 @@
+// Command smpsmoke is the end-to-end harness for the multicore machine
+// abstraction. It proves the refactor's two headline contracts against
+// real processes and real files:
+//
+//  1. Compatibility: a single-core run is byte-identical to a run of the
+//     same config before the machine knew about cores — hsfqsim with
+//     -cores 1 must emit the same trace CSV and the same report as a run
+//     with no cores setting at all, and every cores:1 grid point of an
+//     hsfqsweep must produce one digest per seed no matter which policy
+//     or migration cost rides along. A leaf that cannot support the
+//     global dequeue protocol (svr4) must be rejected up front, not
+//     mid-simulation.
+//  2. Multicore behavior: a cores × policy × migration-cost sweep run
+//     under -verify must be deterministic; work stealing must actually
+//     migrate threads off their packed home core; migration cost must
+//     visibly reduce total throughput; and global/steal machines must
+//     scale throughput beyond one core.
+//
+// Usage:
+//
+//	smpsmoke -hsfqsim /tmp/hsfqsim -hsfqsweep /tmp/hsfqsweep \
+//	         -spec examples/sweeps/smp.json
+//
+// Exit status 0 when both legs hold, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"hsfq/internal/testutil"
+)
+
+func main() {
+	var (
+		simBin   = flag.String("hsfqsim", "", "path to an hsfqsim binary (required)")
+		sweepBin = flag.String("hsfqsweep", "", "path to an hsfqsweep binary (required)")
+		specPath = flag.String("spec", "examples/sweeps/smp.json", "cores x policy x migration-cost sweep spec for the grid leg")
+	)
+	flag.Parse()
+	if *simBin == "" || *sweepBin == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*simBin, *sweepBin, *specPath); err != nil {
+		fmt.Fprintln(os.Stderr, "smpsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(simBin, sweepBin, specPath string) error {
+	dir, err := os.MkdirTemp("", "smpsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	if err := serialIdentityLeg(simBin, dir); err != nil {
+		return fmt.Errorf("serial-identity leg: %w", err)
+	}
+	if err := gridLeg(sweepBin, specPath, dir); err != nil {
+		return fmt.Errorf("grid leg: %w", err)
+	}
+	return nil
+}
+
+// simConfig is shaped for the serial-identity leg: no cores setting, and
+// deliberately built on leaves from both capability classes — edf is
+// dequeue-safe, svr4 is partitioned-only — so the leg also proves that
+// legacy leaves still run untouched on one core and that the capability
+// gate fires before a multicore global/steal machine is ever built.
+const simConfig = `{
+  "rate_mips": 100,
+  "horizon": "2s",
+  "seed": 7,
+  "nodes": [
+    {"path": "/rt", "weight": 2, "leaf": "edf", "quantum": "5ms"},
+    {"path": "/be", "weight": 1, "leaf": "svr4"}
+  ],
+  "threads": [
+    {"name": "cam", "leaf": "/rt", "program": {"kind": "periodic", "period": "30ms", "cost": "5ms"}},
+    {"name": "hog", "leaf": "/be", "program": {"kind": "loop"}},
+    {"name": "chat", "leaf": "/be", "program": {"kind": "interactive", "think_mean": "50ms"}}
+  ],
+  "interrupts": [{"kind": "poisson", "rate_per_sec": 40, "service": "150us"}]
+}`
+
+// stripWroteLines drops hsfqsim's "wrote <path> ..." lines, which differ
+// between runs only because the output filenames do.
+func stripWroteLines(b []byte) []byte {
+	var out bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "wrote ") {
+			continue
+		}
+		out.Write(sc.Bytes())
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// serialIdentityLeg runs one config four ways through hsfqsim: with no
+// cores setting (the pre-SMP behavior), with -cores 1 (must be
+// byte-identical), with -cores 2 (must grow a core column and per-core
+// report lines), and with -cores 2 -policy steal (must be rejected,
+// because the config uses an svr4 leaf).
+func serialIdentityLeg(simBin, dir string) error {
+	cfgPath := filepath.Join(dir, "sim.json")
+	if err := os.WriteFile(cfgPath, []byte(simConfig), 0o644); err != nil {
+		return err
+	}
+
+	runSim := func(trace string, extra ...string) ([]byte, []byte, error) {
+		args := append([]string{"-config", cfgPath, "-trace", trace}, extra...)
+		cmd := exec.Command(simBin, args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, nil, fmt.Errorf("hsfqsim %v: %w\n%s", args, err, stderr.Bytes())
+		}
+		csv, err := os.ReadFile(trace)
+		return stdout.Bytes(), csv, err
+	}
+
+	refOut, refCSV, err := runSim(filepath.Join(dir, "ref.csv"))
+	if err != nil {
+		return err
+	}
+	oneOut, oneCSV, err := runSim(filepath.Join(dir, "one.csv"), "-cores", "1")
+	if err != nil {
+		return err
+	}
+	if d := testutil.DiffBytes(oneCSV, refCSV); d != "" {
+		return fmt.Errorf("-cores 1 trace differs from coreless run: %s", d)
+	}
+	if d := testutil.DiffBytes(stripWroteLines(oneOut), stripWroteLines(refOut)); d != "" {
+		return fmt.Errorf("-cores 1 report differs from coreless run: %s", d)
+	}
+	fmt.Printf("smpsmoke: serial identity ok: -cores 1 trace byte-identical to coreless run (%d bytes)\n", len(refCSV))
+
+	smpOut, smpCSV, err := runSim(filepath.Join(dir, "smp.csv"), "-cores", "2")
+	if err != nil {
+		return err
+	}
+	header, _, _ := bytes.Cut(smpCSV, []byte("\n"))
+	if !bytes.HasSuffix(header, []byte(",core")) {
+		return fmt.Errorf("-cores 2 trace header %q lacks the core column", header)
+	}
+	if refHeader, _, _ := bytes.Cut(refCSV, []byte("\n")); bytes.HasSuffix(refHeader, []byte(",core")) {
+		return fmt.Errorf("coreless trace header %q has a core column", refHeader)
+	}
+	if !bytes.Contains(smpOut, []byte("policy partitioned")) || !bytes.Contains(smpOut, []byte("core 1:")) {
+		return fmt.Errorf("-cores 2 report lacks policy/per-core lines:\n%s", smpOut)
+	}
+	fmt.Printf("smpsmoke: multicore trace ok: -cores 2 adds the core column and per-core report lines\n")
+
+	cmd := exec.Command(simBin, "-config", cfgPath, "-cores", "2", "-policy", "steal",
+		"-trace", filepath.Join(dir, "never-written.csv"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return fmt.Errorf("svr4 leaf under -policy steal was accepted:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("does not support")) {
+		return fmt.Errorf("svr4-under-steal rejection has the wrong message: %v\n%s", err, out)
+	}
+	fmt.Printf("smpsmoke: capability gate ok: svr4 leaf under -policy steal rejected up front\n")
+	return nil
+}
+
+// jobResult mirrors the JSONL rows hsfqsweep streams.
+type jobResult struct {
+	ID      int                `json:"id"`
+	Point   map[string]string  `json:"point"`
+	Rep     int                `json:"rep"`
+	Seed    uint64             `json:"seed"`
+	Digest  string             `json:"digest"`
+	Metrics map[string]float64 `json:"metrics"`
+	Error   string             `json:"error"`
+}
+
+func (r jobResult) cores() int {
+	n, _ := strconv.Atoi(r.Point["cores"])
+	return n
+}
+
+func (r jobResult) migrationCost() time.Duration {
+	d, _ := time.ParseDuration(r.Point["migration_cost"])
+	return d
+}
+
+// gridLeg runs the cores x policy x migration-cost sweep under -verify
+// and checks the grid's cross-point invariants on the streamed JSONL.
+func gridLeg(sweepBin, specPath, dir string) error {
+	outPath := filepath.Join(dir, "grid.jsonl")
+	out, err := exec.Command(sweepBin, "-spec", specPath, "-workers", "4", "-verify",
+		"-o", outPath, "-summary=false").CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("verified sweep: %w\n%s", err, out)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	var rows []jobResult
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		var r jobResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return fmt.Errorf("JSONL line %q: %w", sc.Text(), err)
+		}
+		if r.Error != "" {
+			return fmt.Errorf("job %d (%v) failed: %s", r.ID, r.Point, r.Error)
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("sweep streamed no results")
+	}
+	fmt.Printf("smpsmoke: grid ok: %d jobs, every job run twice with matching digests\n", len(rows))
+
+	// Compatibility: at one core, policy and migration cost must be
+	// invisible — one digest per seed across the whole cores:1 plane.
+	coreOneDigest := map[uint64]string{}
+	for _, r := range rows {
+		if r.cores() != 1 {
+			continue
+		}
+		if prev, ok := coreOneDigest[r.Seed]; !ok {
+			coreOneDigest[r.Seed] = r.Digest
+		} else if prev != r.Digest {
+			return fmt.Errorf("cores:1 digest varies with %v at seed %d", r.Point, r.Seed)
+		}
+	}
+	if len(coreOneDigest) == 0 {
+		return fmt.Errorf("spec has no cores:1 plane")
+	}
+	fmt.Printf("smpsmoke: cores:1 plane ok: one digest per seed across every policy and migration cost\n")
+
+	// Behavior: the spec packs every thread's home onto core 0, so steal
+	// machines must migrate; charging a migration cost must then cost
+	// real throughput; and shared-queue policies must scale past one core.
+	type pointKey struct {
+		policy string
+		cores  int
+		seed   uint64
+	}
+	work := map[pointKey]map[time.Duration]float64{}
+	migrated := 0
+	for _, r := range rows {
+		k := pointKey{r.Point["policy"], r.cores(), r.Seed}
+		if work[k] == nil {
+			work[k] = map[time.Duration]float64{}
+		}
+		work[k][r.migrationCost()] = r.Metrics["work_total"]
+		if k.policy == "steal" && k.cores > 1 {
+			if r.Metrics["migrations"] <= 0 {
+				return fmt.Errorf("steal at %v seed %d: no migrations off the packed core", r.Point, r.Seed)
+			}
+			migrated++
+		}
+	}
+	for k, byCost := range work {
+		if k.policy != "steal" || k.cores == 1 {
+			continue
+		}
+		free, costly := byCost[0], byCost[500*time.Microsecond]
+		if costly >= free {
+			return fmt.Errorf("steal cores:%d seed %d: work %v with 500µs migration cost, %v without",
+				k.cores, k.seed, costly, free)
+		}
+	}
+	for k, byCost := range work {
+		if k.cores == 1 || k.policy == "partitioned" {
+			continue
+		}
+		base := work[pointKey{"partitioned", 1, k.seed}][0]
+		if byCost[0] <= 1.3*base {
+			return fmt.Errorf("%s cores:%d seed %d: work %v did not scale past one core (%v)",
+				k.policy, k.cores, k.seed, byCost[0], base)
+		}
+	}
+	fmt.Printf("smpsmoke: multicore behavior ok: %d steal points migrated, migration cost reduces work, global/steal scale past one core\n", migrated)
+	return nil
+}

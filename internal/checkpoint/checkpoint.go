@@ -59,9 +59,10 @@ type Options struct {
 }
 
 // Snapshot appends the mutable-state delta — engine clock and counters,
-// machine, and scheduling structure — to e. Once e and the schedulers'
-// scratch buffers are warm it allocates nothing, so periodic
-// checkpointing does not disturb the zero-allocation scheduling spine.
+// machine, and every scheduling structure (one per core on a partitioned
+// or stealing multicore build) — to e. Once e and the schedulers' scratch
+// buffers are warm it allocates nothing, so periodic checkpointing does
+// not disturb the zero-allocation scheduling spine.
 func Snapshot(s *simconfig.Simulation, e *sim.Enc) error {
 	e.Time(s.Engine.Now())
 	e.U64(s.Engine.Seq())
@@ -69,7 +70,12 @@ func Snapshot(s *simconfig.Simulation, e *sim.Enc) error {
 	if err := s.Machine.SaveState(e); err != nil {
 		return err
 	}
-	return s.Structure.SaveState(e)
+	for _, st := range s.Structures {
+		if err := st.SaveState(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Save serializes the simulation into a framed checkpoint. It must be
@@ -196,6 +202,9 @@ func Restore(data []byte, opt Options) (*simconfig.Simulation, error) {
 		if !sc.hasTrace {
 			return nil, fmt.Errorf("checkpoint: no trace section; run the checkpointing side with tracing on")
 		}
+		// The trace encoding is core-tagged iff the machine was multicore;
+		// the recorder must know the layout before it decodes.
+		opt.Recorder.SetNumCores(cfg.NumCores())
 		if err := opt.Recorder.LoadState(sim.NewDec(sc.trace)); err != nil {
 			return nil, err
 		}
@@ -225,8 +234,10 @@ func RestoreState(s *simconfig.Simulation, state []byte) error {
 	if err := s.Machine.LoadState(d, resolve); err != nil {
 		return err
 	}
-	if err := s.Structure.LoadState(d, resolve); err != nil {
-		return err
+	for _, st := range s.Structures {
+		if err := st.LoadState(d, resolve); err != nil {
+			return err
+		}
 	}
 	if d.Remaining() != 0 {
 		return fmt.Errorf("checkpoint: %d trailing bytes in state section", d.Remaining())

@@ -33,9 +33,26 @@ func tinyConfig() simconfig.Config {
 	}
 }
 
+// tinySMPConfig is the multicore sibling of tinyConfig: two cores under
+// the stealing policy with both dispatch costs nonzero, so its
+// checkpoints carry the per-core state extension and core-tagged trace
+// rows for the fuzzer to mutate.
+func tinySMPConfig() simconfig.Config {
+	cfg := tinyConfig()
+	cfg.Cores = 2
+	cfg.Policy = "steal"
+	cfg.SwitchCost = simconfig.Duration(50 * sim.Microsecond)
+	cfg.MigrationCost = simconfig.Duration(100 * sim.Microsecond)
+	return cfg
+}
+
 func tinyCheckpoint(tb testing.TB, withTrace bool) []byte {
+	return checkpointOf(tb, tinyConfig(), withTrace)
+}
+
+func checkpointOf(tb testing.TB, cfg simconfig.Config, withTrace bool) []byte {
 	tb.Helper()
-	s, err := simconfig.Build(tinyConfig(), simconfig.BuildOptions{})
+	s, err := simconfig.Build(cfg, simconfig.BuildOptions{})
 	if err != nil {
 		tb.Fatalf("build: %v", err)
 	}
@@ -72,8 +89,13 @@ func reframe(payload []byte) []byte {
 func FuzzDecodeCheckpoint(f *testing.F) {
 	plain := tinyCheckpoint(f, false)
 	traced := tinyCheckpoint(f, true)
+	smp := checkpointOf(f, tinySMPConfig(), false)
+	smpTraced := checkpointOf(f, tinySMPConfig(), true)
 	f.Add(plain)
 	f.Add(traced)
+	f.Add(smp)
+	f.Add(smpTraced)
+	f.Add(smp[len(checkpoint.Magic)+sha256.Size:]) // bare multicore payload
 	f.Add(plain[:len(plain)-9])
 	f.Add([]byte(checkpoint.Magic))
 	f.Add(plain[len(checkpoint.Magic)+sha256.Size:]) // bare payload: re-framed branch decodes it fully
@@ -105,8 +127,15 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 // fuzz property that runs on every plain `go test`: systematic
 // truncations and bit flips of a real checkpoint must all fail cleanly.
 func TestDecodeCheckpointHostileInputs(t *testing.T) {
-	data := tinyCheckpoint(t, true)
+	for _, tc := range []struct {
+		name string
+		cfg  simconfig.Config
+	}{{"uniprocessor", tinyConfig()}, {"smp", tinySMPConfig()}} {
+		t.Run(tc.name, func(t *testing.T) { hostileInputs(t, checkpointOf(t, tc.cfg, true)) })
+	}
+}
 
+func hostileInputs(t *testing.T, data []byte) {
 	if _, err := checkpoint.Restore(data, checkpoint.Options{}); err != nil {
 		t.Fatalf("pristine checkpoint rejected: %v", err)
 	}

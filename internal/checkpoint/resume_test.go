@@ -119,6 +119,42 @@ func trialConfigs() []simconfig.Config {
 	}
 	cfgs = append(cfgs, hier)
 
+	// Multiprocessor variants: the same workloads ride on 2–3 cores under
+	// each placement policy with nonzero dispatch costs, so resume
+	// equivalence covers per-core segments, lastCore stamps, the
+	// checkpoint's multicore extension, and the core-tagged trace
+	// encoding.
+	part := flat("sfq", append([]simconfig.ThreadConfig(nil), mix...)...)
+	part.Cores = 2
+	part.Policy = "partitioned"
+	part.SwitchCost = dur(50 * sim.Microsecond)
+	cfgs = append(cfgs, part)
+
+	glob := flat("sfq", append([]simconfig.ThreadConfig(nil), mix...)...)
+	glob.Cores = 3
+	glob.Policy = "global"
+	glob.SwitchCost = dur(20 * sim.Microsecond)
+	glob.MigrationCost = dur(200 * sim.Microsecond)
+	glob.Interrupts = []simconfig.InterruptConfig{
+		{Kind: "poisson", RatePerSec: 120, Service: dur(150 * sim.Microsecond)},
+	}
+	cfgs = append(cfgs, glob)
+
+	pinned := 1
+	stealThreads := append([]simconfig.ThreadConfig(nil), mix...)
+	stealThreads[0].Affinity = &pinned
+	steal := flat("stride", stealThreads...)
+	steal.Cores = 2
+	steal.Policy = "steal"
+	steal.MigrationCost = dur(300 * sim.Microsecond)
+	cfgs = append(cfgs, steal)
+
+	hierSMP := hier
+	hierSMP.Cores = 2
+	hierSMP.Policy = "partitioned"
+	hierSMP.SwitchCost = dur(30 * sim.Microsecond)
+	cfgs = append(cfgs, hierSMP)
+
 	// A second hierarchy with the remaining leaf kinds under one root.
 	hier2 := simconfig.Config{
 		RateMIPS: 100,

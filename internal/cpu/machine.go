@@ -8,7 +8,9 @@ import (
 )
 
 // Listener observes scheduling events; internal/trace and the experiment
-// drivers implement it. Embed BaseListener to opt into a subset.
+// drivers implement it. Embed BaseListener to opt into a subset. A
+// listener that also implements SMPListener receives the core-tagged
+// variants of the dispatch/charge/idle events on multicore machines.
 type Listener interface {
 	OnDispatch(t *sched.Thread, now sim.Time)
 	OnCharge(t *sched.Thread, used sched.Work, now sim.Time, runnable bool)
@@ -17,6 +19,17 @@ type Listener interface {
 	OnExit(t *sched.Thread, now sim.Time)
 	OnInterrupt(now, service sim.Time)
 	OnIdle(now sim.Time)
+}
+
+// SMPListener is the multicore extension of Listener: events that happen
+// on a particular core carry its index. The machine calls these INSTEAD of
+// the corresponding Listener methods, and only when it has more than one
+// core — a single-core machine always uses the plain Listener surface, so
+// existing listeners observe byte-identical streams at cores: 1.
+type SMPListener interface {
+	OnDispatchCore(core int, t *sched.Thread, now sim.Time)
+	OnChargeCore(core int, t *sched.Thread, used sched.Work, now sim.Time, runnable bool)
+	OnIdleCore(core int, now sim.Time)
 }
 
 // BaseListener implements Listener with no-ops, for embedding.
@@ -43,7 +56,8 @@ func (BaseListener) OnInterrupt(sim.Time, sim.Time) {}
 // OnIdle implements Listener.
 func (BaseListener) OnIdle(sim.Time) {}
 
-// Stats aggregates machine-level counters.
+// Stats aggregates machine-level counters. The machine keeps one Stats per
+// core plus this aggregate; on a single-core machine the two coincide.
 type Stats struct {
 	Dispatches  int64    // run segments started
 	Preemptions int64    // segments cut short by a wakeup
@@ -52,9 +66,10 @@ type Stats struct {
 	SchedCost   sim.Time // CPU time consumed by scheduling decisions
 	Idle        sim.Time // CPU time with no runnable thread
 	Work        sched.Work
+	Migrations  int64 // dispatches on a different core than the last one
 }
 
-// segment is the state of the thread currently on the CPU.
+// segment is the state of a thread currently on a core.
 type segment struct {
 	ts       *tstate
 	left     sched.Work // work remaining before the segment ends
@@ -69,6 +84,8 @@ type tstate struct {
 	t         *sched.Thread
 	prog      Program
 	burstLeft sched.Work
+	core      int        // home core: where the thread is enqueued
+	lastCore  int        // core of the last dispatch, -1 before the first
 	start     *sim.Event // pending program-start event, nil once fired
 	wake      *sim.Event
 	wakeFn    func() // timed-wakeup callback, built once at Add
@@ -86,31 +103,54 @@ type intrState struct {
 	fire    func()
 }
 
-// Machine is a simulated uniprocessor.
-type Machine struct {
-	eng       *sim.Engine
-	rate      Rate
-	scheduler sched.Scheduler
-	threads   map[*sched.Thread]*tstate
-	listeners []Listener
+// coreCtx is one core's execution context: the scheduler it picks from,
+// the in-flight run segment, idle bookkeeping, and per-core counters.
+// Under PolicyGlobal every core shares one scheduler; otherwise each core
+// owns its own instance.
+type coreCtx struct {
+	id       int
+	sched    sched.Scheduler
+	seg      *segment
+	segbuf   segment // backing store for seg: one segment in flight per core
+	idleFrom sim.Time
+	idle     bool
+	stats    Stats
+	segEndFn func() // bound to this core once, so dispatch never allocates
+}
 
-	seg          *segment
-	segbuf       segment  // backing store for seg: one segment is in flight at a time
+// listenerEntry caches the SMPListener upgrade so the per-event notify
+// loops perform no type assertions.
+type listenerEntry struct {
+	l   Listener
+	smp SMPListener // non-nil only on a multicore machine
+}
+
+// Machine is a simulated machine of one or more identical cores sharing a
+// single event clock. Cores are always examined in fixed index order, so a
+// multicore run is exactly as deterministic as a uniprocessor one.
+type Machine struct {
+	eng     *sim.Engine
+	rate    Rate
+	policy  Policy
+	dequeue bool // running threads leave the runnable set (global/steal)
+	cores   []*coreCtx
+
+	switchCost    sim.Time // charged on every dispatch
+	migrationCost sim.Time // charged when a thread changes cores
+
+	threads   map[*sched.Thread]*tstate
+	listeners []listenerEntry
+
 	inCallback   int      // depth of program-callback nesting (see progNext)
-	intrUntil    sim.Time // CPU busy with interrupts until this time
+	intrUntil    sim.Time // core 0 busy with interrupts until this time
 	intrEnd      *sim.Event
 	intrs        []*intrState // registration order; part of the checkpoint canon
-	idleFrom     sim.Time
-	idle         bool
-	stats        Stats
+	stats        Stats        // aggregate across cores
 	nextID       int
 	dispatchCost func(t *sched.Thread) sim.Time
 
 	saveScratch []*tstate // reused by SaveState so snapshots stay alloc-free
 
-	// Method values are built once here; evaluating m.segmentEnd at each
-	// dispatch would allocate a fresh closure per run segment.
-	segEndFn   func()
 	intrDoneFn func()
 }
 
@@ -120,29 +160,10 @@ type Machine struct {
 // for free; without this the overhead experiments would be vacuous.
 func (m *Machine) SetDispatchCost(f func(t *sched.Thread) sim.Time) { m.dispatchCost = f }
 
-// NewMachine returns a machine executing on eng at the given rate under
-// scheduler. rate <= 0 selects DefaultRate.
+// NewMachine returns a single-core machine executing on eng at the given
+// rate under scheduler. rate <= 0 selects DefaultRate.
 func NewMachine(eng *sim.Engine, rate Rate, scheduler sched.Scheduler) *Machine {
-	if eng == nil {
-		panic("cpu: nil engine")
-	}
-	if scheduler == nil {
-		panic("cpu: nil scheduler")
-	}
-	if rate <= 0 {
-		rate = DefaultRate
-	}
-	m := &Machine{
-		eng:       eng,
-		rate:      rate,
-		scheduler: scheduler,
-		threads:   make(map[*sched.Thread]*tstate),
-		idle:      true,
-		nextID:    1,
-	}
-	m.segEndFn = m.segmentEnd
-	m.intrDoneFn = m.interruptDone
-	return m
+	return NewSMP(eng, rate, SMPConfig{Schedulers: []sched.Scheduler{scheduler}})
 }
 
 // Engine returns the simulation engine driving the machine.
@@ -151,14 +172,26 @@ func (m *Machine) Engine() *sim.Engine { return m.eng }
 // Rate returns the machine's instruction rate.
 func (m *Machine) Rate() Rate { return m.rate }
 
-// Scheduler returns the machine's scheduler.
-func (m *Machine) Scheduler() sched.Scheduler { return m.scheduler }
+// Scheduler returns core 0's scheduler: the machine's only scheduler on a
+// uniprocessor or under PolicyGlobal.
+func (m *Machine) Scheduler() sched.Scheduler { return m.cores[0].sched }
 
-// Stats returns a snapshot of the machine counters.
+// Stats returns a snapshot of the aggregate machine counters.
 func (m *Machine) Stats() Stats { return m.stats }
 
-// Listen registers a Listener.
-func (m *Machine) Listen(l Listener) { m.listeners = append(m.listeners, l) }
+// Listen registers a Listener. On a multicore machine a listener that also
+// implements SMPListener is upgraded to the core-tagged event variants,
+// and one implementing SetNumCores(int) is told the core count.
+func (m *Machine) Listen(l Listener) {
+	le := listenerEntry{l: l}
+	if s, ok := l.(SMPListener); ok && len(m.cores) > 1 {
+		le.smp = s
+	}
+	if s, ok := l.(interface{ SetNumCores(int) }); ok {
+		s.SetNumCores(len(m.cores))
+	}
+	m.listeners = append(m.listeners, le)
+}
 
 // Spawn creates a thread with a fresh ID, registers it, and starts its
 // program at startAt. It is the convenience path for flat schedulers; when
@@ -172,9 +205,20 @@ func (m *Machine) Spawn(name string, weight float64, prog Program, startAt sim.T
 	return t
 }
 
-// Add registers an externally created thread and starts its program at
-// startAt.
+// Add registers an externally created thread on core 0 and starts its
+// program at startAt.
 func (m *Machine) Add(t *sched.Thread, prog Program, startAt sim.Time) {
+	m.AddOn(t, prog, startAt, 0)
+}
+
+// AddOn registers an externally created thread with the given home core
+// and starts its program at startAt. The home core decides which scheduler
+// the thread is enqueued on; under PolicyGlobal all cores share one
+// scheduler and the home core only seeds wakeup placement.
+func (m *Machine) AddOn(t *sched.Thread, prog Program, startAt sim.Time, core int) {
+	if core < 0 || core >= len(m.cores) {
+		panic(fmt.Sprintf("cpu: thread %v on core %d of a %d-core machine", t, core, len(m.cores)))
+	}
 	if _, dup := m.threads[t]; dup {
 		panic(fmt.Sprintf("cpu: thread %v added twice", t))
 	}
@@ -184,7 +228,7 @@ func (m *Machine) Add(t *sched.Thread, prog Program, startAt sim.Time) {
 	if t.ID >= m.nextID {
 		m.nextID = t.ID + 1
 	}
-	ts := &tstate{t: t, prog: prog}
+	ts := &tstate{t: t, prog: prog, core: core, lastCore: -1}
 	ts.wakeFn = func() {
 		ts.wake = nil
 		ts.t.WokeAt = m.eng.Now()
@@ -211,6 +255,10 @@ func (m *Machine) stateOf(t *sched.Thread) *tstate {
 	}
 	return nil
 }
+
+// schedOf returns the scheduler that owns t's queue entry and tags: the
+// home core's. Under PolicyGlobal every core holds the same scheduler.
+func (m *Machine) schedOf(ts *tstate) sched.Scheduler { return m.cores[ts.core].sched }
 
 // AddInterrupts registers an interrupt source and schedules its first
 // arrival. The fire callback is reused for every arrival of this source;
@@ -251,11 +299,25 @@ func (m *Machine) progNext(ts *tstate, now sim.Time) Action {
 	return a
 }
 
-// kick dispatches if the machine is between steps and the CPU is free —
-// the catch-up for wakeups that arrived during a program callback.
+// kick dispatches every free core if the machine is between steps — the
+// catch-up for wakeups that arrived during a program callback.
 func (m *Machine) kick() {
-	if m.inCallback == 0 {
-		m.maybeDispatch()
+	if m.inCallback != 0 {
+		return
+	}
+	for _, c := range m.cores {
+		m.maybeDispatch(c)
+	}
+}
+
+// kickOthers gives every other free core a dispatch chance. On a
+// uniprocessor it is a no-op; on a multicore machine it is what places
+// wakeups deferred during a program callback onto sibling cores.
+func (m *Machine) kickOthers(c *coreCtx) {
+	for _, o := range m.cores {
+		if o != c {
+			m.maybeDispatch(o)
+		}
 	}
 }
 
@@ -299,7 +361,7 @@ func (m *Machine) advance(ts *tstate) {
 		case ActionExit:
 			ts.t.State = sched.StateExited
 			m.notifyExit(ts.t, now)
-			m.forget(ts.t)
+			m.forget(ts)
 			m.kick()
 			return
 		default:
@@ -315,12 +377,13 @@ func (m *Machine) block(ts *tstate, until sim.Time) {
 	ts.wake = m.eng.At(until, ts.wakeFn)
 }
 
-// makeRunnable enqueues the thread and resolves preemption/dispatch.
+// makeRunnable enqueues the thread on its home scheduler and resolves
+// preemption/dispatch.
 func (m *Machine) makeRunnable(ts *tstate) {
 	now := m.eng.Now()
 	ts.t.State = sched.StateRunnable
 	ts.t.ReadyAt = now
-	m.scheduler.Enqueue(ts.t, now)
+	m.schedOf(ts).Enqueue(ts.t, now)
 	m.notifyWake(ts.t, now)
 	if m.inCallback > 0 {
 		// Woken from inside another thread's program callback (e.g. a
@@ -331,44 +394,111 @@ func (m *Machine) makeRunnable(ts *tstate) {
 		// wakeups.
 		return
 	}
-	if m.seg != nil {
-		if m.scheduler.Preempts(m.seg.ts.t, ts.t, now) {
-			m.preempt()
-			m.maybeDispatch()
+	m.placeWoken(ts)
+}
+
+// placeWoken decides which core reacts to a fresh wakeup. Cores are always
+// scanned in index order, so placement is deterministic.
+func (m *Machine) placeWoken(ts *tstate) {
+	now := m.eng.Now()
+	h := m.cores[ts.core]
+	switch {
+	case len(m.cores) == 1 || m.policy == PolicyPartitioned:
+		// Uniprocessor protocol, per core: only the home core reacts.
+		if h.seg != nil {
+			if h.sched.Preempts(h.seg.ts.t, ts.t, now) {
+				m.preempt(h)
+				m.maybeDispatch(h)
+			}
+			return
 		}
-		return
+		m.maybeDispatch(h)
+		// While an interrupt is in progress the interrupt-end handler
+		// dispatches instead.
+	case m.policy == PolicyGlobal:
+		// Any idle core may serve the shared queue; failing that, the
+		// first core whose running thread the scheduler wants preempted.
+		for _, c := range m.cores {
+			if c.seg == nil && !m.coreIntrBusy(c) {
+				m.dispatch(c)
+				return
+			}
+		}
+		for _, c := range m.cores {
+			if c.seg != nil && c.sched.Preempts(c.seg.ts.t, ts.t, now) {
+				m.preempt(c)
+				m.maybeDispatch(c)
+				return
+			}
+		}
+	default: // PolicySteal
+		if h.seg == nil {
+			m.maybeDispatch(h)
+			return
+		}
+		// Preemption is meaningful only against a thread whose tags live
+		// in the same (home) structure; a stolen guest is left alone.
+		if h.seg.ts.core == ts.core && h.sched.Preempts(h.seg.ts.t, ts.t, now) {
+			m.preempt(h)
+			m.maybeDispatch(h)
+			return
+		}
+		// The home core is busy; the first idle sibling steals the wakeup.
+		for _, c := range m.cores {
+			if c != h && c.seg == nil && !m.coreIntrBusy(c) {
+				m.maybeDispatch(c)
+				return
+			}
+		}
 	}
-	m.maybeDispatch()
-	// While an interrupt is in progress the interrupt-end handler
-	// dispatches instead.
 }
 
-// maybeDispatch dispatches if the CPU is actually free.
-func (m *Machine) maybeDispatch() {
-	if m.seg == nil && !m.interruptBusy() {
-		m.dispatch()
+// maybeDispatch dispatches if the core is actually free.
+func (m *Machine) maybeDispatch(c *coreCtx) {
+	if c.seg == nil && !m.coreIntrBusy(c) {
+		m.dispatch(c)
 	}
 }
 
-// dispatch selects the next thread and starts a run segment. The CPU must
-// be free of both segments and interrupts.
-func (m *Machine) dispatch() {
-	if m.seg != nil || m.interruptBusy() {
+// dispatch selects the next thread for core c and starts a run segment.
+// The core must be free of both segments and interrupts.
+//
+// Under the dequeue policies (global, steal) a picked thread is
+// immediately charged zero work as not-runnable, which removes it from the
+// runnable set while it occupies the core: the no-double-run guard — no
+// other core can pick it until its segment is charged back in.
+func (m *Machine) dispatch(c *coreCtx) {
+	if c.seg != nil || m.coreIntrBusy(c) {
 		panic("cpu: dispatch while busy")
 	}
 	now := m.eng.Now()
-	t := m.scheduler.Pick(now)
+	t := c.sched.Pick(now)
+	if t != nil && m.dequeue {
+		c.sched.Charge(t, 0, now, false)
+	}
+	if t == nil && m.policy == PolicySteal {
+		// Work stealing: scan victims in fixed order starting after this
+		// core, so the choice is deterministic and load spreads.
+		for i := 1; i < len(m.cores); i++ {
+			v := m.cores[(c.id+i)%len(m.cores)]
+			if t = v.sched.Pick(now); t != nil {
+				v.sched.Charge(t, 0, now, false)
+				break
+			}
+		}
+	}
 	if t == nil {
-		if !m.idle {
-			m.idle = true
-			m.idleFrom = now
-			m.notifyIdle(now)
+		if !c.idle {
+			c.idle = true
+			c.idleFrom = now
+			m.notifyIdle(c, now)
 		}
 		return
 	}
-	if m.idle {
-		m.idle = false
-		m.stats.Idle += now - m.idleFrom
+	if c.idle {
+		c.idle = false
+		c.stats.Idle += now - c.idleFrom
+		m.stats.Idle += now - c.idleFrom
 	}
 	ts := m.stateOf(t)
 	if ts == nil {
@@ -377,7 +507,7 @@ func (m *Machine) dispatch() {
 	if ts.burstLeft <= 0 {
 		panic(fmt.Sprintf("cpu: scheduler picked thread %v with no work", t))
 	}
-	grant := m.rate.WorkFor(m.scheduler.Quantum(t, now))
+	grant := m.rate.WorkFor(m.schedOf(ts).Quantum(t, now))
 	if grant < 1 {
 		grant = 1
 	}
@@ -387,26 +517,38 @@ func (m *Machine) dispatch() {
 	var cost sim.Time
 	if m.dispatchCost != nil {
 		cost = m.dispatchCost(t)
+	}
+	cost += m.switchCost
+	if len(m.cores) > 1 && ts.lastCore >= 0 && ts.lastCore != c.id {
+		cost += m.migrationCost
+		c.stats.Migrations++
+		m.stats.Migrations++
+	}
+	if cost > 0 {
+		c.stats.SchedCost += cost
 		m.stats.SchedCost += cost
 	}
+	ts.lastCore = c.id
 	if now > t.ReadyAt {
 		t.Waited += now - t.ReadyAt
 	}
 	t.State = sched.StateRunning
-	// Reuse the machine's single segment buffer: dispatch requires the CPU
-	// to be free (m.seg == nil), so at most one segment is ever in flight
-	// and no reference to a previous segment outlives its charge.
-	m.segbuf = segment{ts: ts, left: grant, resumeAt: now + cost}
-	m.seg = &m.segbuf
-	m.seg.end = m.eng.After(cost+m.rate.TimeFor(grant), m.segEndFn)
+	// Reuse the core's single segment buffer: dispatch requires the core
+	// to be free (c.seg == nil), so at most one segment is ever in flight
+	// per core and no reference to a previous segment outlives its charge.
+	c.segbuf = segment{ts: ts, left: grant, resumeAt: now + cost}
+	c.seg = &c.segbuf
+	c.seg.end = m.eng.After(cost+m.rate.TimeFor(grant), c.segEndFn)
+	c.seg.end.Core = c.id
+	c.stats.Dispatches++
 	m.stats.Dispatches++
-	m.notifyDispatch(t, now)
+	m.notifyDispatch(c, t, now)
 }
 
-// progress charges the running segment for the time elapsed since it last
-// resumed and cancels its end event.
-func (m *Machine) progress() {
-	s := m.seg
+// progress charges core c's running segment for the time elapsed since it
+// last resumed and cancels its end event.
+func (m *Machine) progress(c *coreCtx) {
+	s := c.seg
 	if s.paused {
 		return
 	}
@@ -426,10 +568,10 @@ func (m *Machine) progress() {
 	s.ts.burstLeft -= w
 }
 
-// segmentEnd fires when the running segment's granted work is complete:
+// segmentEnd fires when a running segment's granted work is complete:
 // either the quantum expired or the burst finished.
-func (m *Machine) segmentEnd() {
-	s := m.seg
+func (m *Machine) segmentEnd(c *coreCtx) {
+	s := c.seg
 	now := m.eng.Now()
 	s.end = nil
 	// The event was scheduled for exactly the remaining work; rounding in
@@ -442,18 +584,19 @@ func (m *Machine) segmentEnd() {
 		// Quantum expiry: charge and compete again.
 		ts.t.State = sched.StateRunnable
 		ts.t.ReadyAt = now
-		m.charge(true)
-		m.dispatch()
+		m.charge(c, true)
+		m.dispatch(c)
+		m.kickOthers(c)
 		return
 	}
 	// Burst complete: the next program action decides what happens, and —
 	// as in the paper — the scheduler learns the actual quantum length
 	// only now.
-	m.finishBurst(ts)
+	m.finishBurst(c, ts)
 }
 
 // finishBurst processes the program action following a completed burst.
-func (m *Machine) finishBurst(ts *tstate) {
+func (m *Machine) finishBurst(c *coreCtx, ts *tstate) {
 	now := m.eng.Now()
 	const maxNoops = 1 << 20
 	for i := 0; ; i++ {
@@ -470,8 +613,9 @@ func (m *Machine) finishBurst(ts *tstate) {
 			ts.burstLeft = a.Work
 			ts.t.State = sched.StateRunnable
 			ts.t.ReadyAt = now
-			m.charge(true)
-			m.maybeDispatch()
+			m.charge(c, true)
+			m.maybeDispatch(c)
+			m.kickOthers(c)
 			return
 		case ActionSleep, ActionSleepUntil:
 			until := now + a.Duration
@@ -481,22 +625,25 @@ func (m *Machine) finishBurst(ts *tstate) {
 			if until <= now {
 				continue
 			}
-			m.charge(false)
+			m.charge(c, false)
 			m.block(ts, until)
-			m.maybeDispatch()
+			m.maybeDispatch(c)
+			m.kickOthers(c)
 			return
 		case ActionBlock:
-			m.charge(false)
+			m.charge(c, false)
 			ts.t.State = sched.StateBlocked
 			m.notifyBlock(ts.t, now)
-			m.maybeDispatch()
+			m.maybeDispatch(c)
+			m.kickOthers(c)
 			return
 		case ActionExit:
-			m.charge(false)
+			m.charge(c, false)
 			ts.t.State = sched.StateExited
 			m.notifyExit(ts.t, now)
-			m.forget(ts.t)
-			m.maybeDispatch()
+			m.forget(ts)
+			m.maybeDispatch(c)
+			m.kickOthers(c)
 			return
 		default:
 			panic(fmt.Sprintf("cpu: program of %v returned invalid action %v", ts.t, a.Kind))
@@ -504,65 +651,77 @@ func (m *Machine) finishBurst(ts *tstate) {
 	}
 }
 
-// forget lets the scheduler drop per-thread state for an exited thread,
-// so tag maps do not grow without bound in long simulations.
-func (m *Machine) forget(t *sched.Thread) {
-	if f, ok := m.scheduler.(interface{ Forget(*sched.Thread) }); ok {
-		f.Forget(t)
+// forget lets the thread's scheduler drop per-thread state for an exited
+// thread, so tag maps do not grow without bound in long simulations.
+func (m *Machine) forget(ts *tstate) {
+	if f, ok := m.schedOf(ts).(interface{ Forget(*sched.Thread) }); ok {
+		f.Forget(ts.t)
 	}
 }
 
-// charge closes the current segment and accounts it to the scheduler.
-func (m *Machine) charge(runnable bool) {
-	s := m.seg
+// charge closes core c's current segment and accounts it to the thread's
+// home scheduler (the one it was picked from: a stolen thread's tags live
+// in its home structure, which is what keeps stealing fair).
+func (m *Machine) charge(c *coreCtx, runnable bool) {
+	s := c.seg
 	if s == nil {
 		panic("cpu: charge with no segment")
 	}
 	now := m.eng.Now()
-	m.seg = nil
+	c.seg = nil
 	t := s.ts.t
 	t.Done += s.used
 	t.Segments++
+	c.stats.Work += s.used
 	m.stats.Work += s.used
-	m.scheduler.Charge(t, s.used, now, runnable)
-	m.notifyCharge(t, s.used, now, runnable)
+	sch := m.schedOf(s.ts)
+	if m.dequeue {
+		// The thread left the runnable set at dispatch; re-enter it so the
+		// charge can stamp fresh tags (and drop it again if it blocked).
+		sch.Enqueue(t, now)
+	}
+	sch.Charge(t, s.used, now, runnable)
+	m.notifyCharge(c, t, s.used, now, runnable)
 }
 
-// preempt cuts the running segment short after a wakeup the scheduler
+// preempt cuts core c's running segment short after a wakeup the scheduler
 // wants to act on. If the wakeup landed at the exact instant the burst
 // completed, the burst is finished instead — the thread must not stay
 // runnable with no work.
-func (m *Machine) preempt() {
-	s := m.seg
-	m.progress()
+func (m *Machine) preempt(c *coreCtx) {
+	s := c.seg
+	m.progress(c)
+	c.stats.Preemptions++
 	m.stats.Preemptions++
 	if s.ts.burstLeft == 0 {
-		m.finishBurst(s.ts)
+		m.finishBurst(c, s.ts)
 		return
 	}
 	s.ts.t.State = sched.StateRunnable
 	s.ts.t.ReadyAt = m.eng.Now()
-	m.charge(true)
+	m.charge(c, true)
 }
 
-// Flush charges the in-flight run segment for the work completed so far,
+// Flush charges every in-flight run segment for the work completed so far,
 // so that accounting is exact at a measurement horizon instead of
 // quantized at whole quanta. The machine stays consistent and may keep
 // running afterwards.
 func (m *Machine) Flush() {
-	if m.seg == nil {
-		return
+	for _, c := range m.cores {
+		if c.seg == nil {
+			continue
+		}
+		s := c.seg
+		m.progress(c)
+		if s.ts.burstLeft == 0 {
+			m.finishBurst(c, s.ts)
+			continue
+		}
+		s.ts.t.State = sched.StateRunnable
+		s.ts.t.ReadyAt = m.eng.Now()
+		m.charge(c, true)
+		m.maybeDispatch(c)
 	}
-	s := m.seg
-	m.progress()
-	if s.ts.burstLeft == 0 {
-		m.finishBurst(s.ts)
-		return
-	}
-	s.ts.t.State = sched.StateRunnable
-	s.ts.t.ReadyAt = m.eng.Now()
-	m.charge(true)
-	m.maybeDispatch()
 }
 
 // Wake makes a blocked thread runnable immediately: the counterpart of
@@ -586,22 +745,27 @@ func (m *Machine) Wake(t *sched.Thread) bool {
 	return true
 }
 
-// interrupt services a hardware interrupt: the running thread is paused
-// and the CPU is consumed until the service time elapses. Overlapping
-// interrupts queue back to back.
+// interrupt services a hardware interrupt. Interrupts are delivered to
+// core 0 only — the boot-CPU convention — so only core 0's running thread
+// is paused and only its time is consumed. Overlapping interrupts queue
+// back to back.
 func (m *Machine) interrupt(service sim.Time) {
 	now := m.eng.Now()
+	c0 := m.cores[0]
+	c0.stats.Interrupts++
 	m.stats.Interrupts++
+	c0.stats.Stolen += service
 	m.stats.Stolen += service
 	m.notifyInterrupt(now, service)
-	if m.idle {
-		// The CPU is busy with the handler now, even with no thread ready.
-		m.idle = false
-		m.stats.Idle += now - m.idleFrom
+	if c0.idle {
+		// The core is busy with the handler now, even with no thread ready.
+		c0.idle = false
+		c0.stats.Idle += now - c0.idleFrom
+		m.stats.Idle += now - c0.idleFrom
 	}
-	if m.seg != nil && !m.seg.paused {
-		m.progress()
-		m.seg.paused = true
+	if c0.seg != nil && !c0.seg.paused {
+		m.progress(c0)
+		c0.seg.paused = true
 	}
 	if m.intrUntil < now {
 		m.intrUntil = now
@@ -615,21 +779,27 @@ func (m *Machine) interrupt(service sim.Time) {
 
 func (m *Machine) interruptDone() {
 	m.intrEnd = nil
-	if m.seg != nil {
-		if !m.seg.paused {
+	c0 := m.cores[0]
+	if c0.seg != nil {
+		if !c0.seg.paused {
 			panic("cpu: running segment during interrupt")
 		}
-		s := m.seg
+		s := c0.seg
 		s.paused = false
 		s.resumeAt = m.eng.Now()
-		s.end = m.eng.After(m.rate.TimeFor(s.left), m.segEndFn)
+		s.end = m.eng.After(m.rate.TimeFor(s.left), c0.segEndFn)
+		s.end.Core = c0.id
 		return
 	}
 	// Wakeups or preemption charges may have arrived during the
 	// interrupt; dispatch decides whether anything can run (and records
 	// the transition back to idle if not).
-	m.dispatch()
+	m.dispatch(c0)
 }
+
+// coreIntrBusy reports whether c is consumed by interrupt handling, which
+// can only ever be true of core 0.
+func (m *Machine) coreIntrBusy(c *coreCtx) bool { return c.id == 0 && m.intrEnd != nil }
 
 func (m *Machine) interruptBusy() bool { return m.intrEnd != nil }
 
@@ -637,38 +807,50 @@ func (m *Machine) interruptBusy() bool { return m.intrEnd != nil }
 // thread has waited since it last became ready.
 func (m *Machine) Latency(t *sched.Thread) sim.Time { return m.eng.Now() - t.ReadyAt }
 
-func (m *Machine) notifyDispatch(t *sched.Thread, now sim.Time) {
-	for _, l := range m.listeners {
-		l.OnDispatch(t, now)
+func (m *Machine) notifyDispatch(c *coreCtx, t *sched.Thread, now sim.Time) {
+	for _, le := range m.listeners {
+		if le.smp != nil {
+			le.smp.OnDispatchCore(c.id, t, now)
+		} else {
+			le.l.OnDispatch(t, now)
+		}
 	}
 }
-func (m *Machine) notifyCharge(t *sched.Thread, used sched.Work, now sim.Time, runnable bool) {
-	for _, l := range m.listeners {
-		l.OnCharge(t, used, now, runnable)
+func (m *Machine) notifyCharge(c *coreCtx, t *sched.Thread, used sched.Work, now sim.Time, runnable bool) {
+	for _, le := range m.listeners {
+		if le.smp != nil {
+			le.smp.OnChargeCore(c.id, t, used, now, runnable)
+		} else {
+			le.l.OnCharge(t, used, now, runnable)
+		}
 	}
 }
 func (m *Machine) notifyWake(t *sched.Thread, now sim.Time) {
-	for _, l := range m.listeners {
-		l.OnWake(t, now)
+	for _, le := range m.listeners {
+		le.l.OnWake(t, now)
 	}
 }
 func (m *Machine) notifyBlock(t *sched.Thread, now sim.Time) {
-	for _, l := range m.listeners {
-		l.OnBlock(t, now)
+	for _, le := range m.listeners {
+		le.l.OnBlock(t, now)
 	}
 }
 func (m *Machine) notifyExit(t *sched.Thread, now sim.Time) {
-	for _, l := range m.listeners {
-		l.OnExit(t, now)
+	for _, le := range m.listeners {
+		le.l.OnExit(t, now)
 	}
 }
 func (m *Machine) notifyInterrupt(now, service sim.Time) {
-	for _, l := range m.listeners {
-		l.OnInterrupt(now, service)
+	for _, le := range m.listeners {
+		le.l.OnInterrupt(now, service)
 	}
 }
-func (m *Machine) notifyIdle(now sim.Time) {
-	for _, l := range m.listeners {
-		l.OnIdle(now)
+func (m *Machine) notifyIdle(c *coreCtx, now sim.Time) {
+	for _, le := range m.listeners {
+		if le.smp != nil {
+			le.smp.OnIdleCore(c.id, now)
+		} else {
+			le.l.OnIdle(now)
+		}
 	}
 }

@@ -37,10 +37,11 @@ func saveEvent(e *sim.Enc, ev *sim.Event) {
 // rearm is one pending event to be rescheduled after decode. set stores
 // the fresh handle wherever the machine tracks it.
 type rearm struct {
-	seq uint64
-	at  sim.Time
-	fn  func()
-	set func(*sim.Event)
+	seq  uint64
+	at   sim.Time
+	core int // observability tag re-applied to the fresh handle
+	fn   func()
+	set  func(*sim.Event)
 }
 
 // loadEvent reads a descriptor written by saveEvent.
@@ -51,27 +52,74 @@ func loadEvent(d *sim.Dec) (ok bool, at sim.Time, seq uint64) {
 	return d.Err() == nil, d.Time(), d.U64()
 }
 
+// saveSegment appends one core's in-flight run segment (or its absence).
+func saveSegment(e *sim.Enc, s *segment) {
+	if s == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Int(s.ts.t.ID)
+	e.I64(int64(s.left))
+	e.I64(int64(s.used))
+	e.Time(s.resumeAt)
+	e.Bool(s.paused)
+	saveEvent(e, s.end)
+}
+
+// saveStats appends one Stats block in field order. The legacy (core 0 /
+// aggregate) slot predates the Migrations counter and omits it so a
+// single-core machine's encoding is byte-identical to the uniprocessor
+// format; the multicore extension records all fields.
+func saveStats(e *sim.Enc, s *Stats, withMigrations bool) {
+	e.I64(s.Dispatches)
+	e.I64(s.Preemptions)
+	e.I64(s.Interrupts)
+	e.Time(s.Stolen)
+	e.Time(s.SchedCost)
+	e.Time(s.Idle)
+	e.I64(int64(s.Work))
+	if withMigrations {
+		e.I64(s.Migrations)
+	}
+}
+
+func loadStats(d *sim.Dec, s *Stats, withMigrations bool) {
+	s.Dispatches = d.I64()
+	s.Preemptions = d.I64()
+	s.Interrupts = d.I64()
+	s.Stolen = d.Time()
+	s.SchedCost = d.Time()
+	s.Idle = d.Time()
+	s.Work = sched.Work(d.I64())
+	if withMigrations {
+		s.Migrations = d.I64()
+	}
+}
+
 // SaveState serializes the machine's entire mutable state: counters,
-// per-thread accounting and program positions, the in-flight run segment,
+// per-thread accounting and program positions, the in-flight run segments,
 // interrupt bookkeeping, and a descriptor for every pending event the
-// machine owns (thread starts, timed wakeups, segment end, interrupt end,
+// machine owns (thread starts, timed wakeups, segment ends, interrupt end,
 // interrupt arrivals). Threads are emitted sorted by ID so the encoding is
 // canonical — the same state always produces the same bytes. It must be
 // called at an event boundary (never from inside a program callback).
+//
+// The layout is the uniprocessor format followed, only when the machine
+// has more than one core, by a multicore extension (per-core counters and
+// segments, per-thread last-run cores). A single-core machine therefore
+// produces byte-identical checkpoints to the pre-SMP encoding, and the
+// decoder knows whether the extension is present from the core count of
+// the rebuilt machine.
 func (m *Machine) SaveState(e *sim.Enc) error {
 	if m.inCallback != 0 {
 		return fmt.Errorf("cpu: SaveState from inside a program callback")
 	}
-	e.I64(m.stats.Dispatches)
-	e.I64(m.stats.Preemptions)
-	e.I64(m.stats.Interrupts)
-	e.Time(m.stats.Stolen)
-	e.Time(m.stats.SchedCost)
-	e.Time(m.stats.Idle)
-	e.I64(int64(m.stats.Work))
+	c0 := m.cores[0]
+	saveStats(e, &m.stats, false)
 	e.Int(m.nextID)
-	e.Bool(m.idle)
-	e.Time(m.idleFrom)
+	e.Bool(c0.idle)
+	e.Time(c0.idleFrom)
 	e.Time(m.intrUntil)
 
 	m.saveScratch = m.saveScratch[:0]
@@ -103,17 +151,7 @@ func (m *Machine) SaveState(e *sim.Enc) error {
 		p.SaveState(e)
 	}
 
-	if s := m.seg; s != nil {
-		e.Bool(true)
-		e.Int(s.ts.t.ID)
-		e.I64(int64(s.left))
-		e.I64(int64(s.used))
-		e.Time(s.resumeAt)
-		e.Bool(s.paused)
-		saveEvent(e, s.end)
-	} else {
-		e.Bool(false)
-	}
+	saveSegment(e, c0.seg)
 	saveEvent(e, m.intrEnd)
 
 	e.Int(len(m.intrs))
@@ -126,33 +164,93 @@ func (m *Machine) SaveState(e *sim.Enc) error {
 		}
 		s.SaveState(e)
 	}
+
+	if len(m.cores) > 1 {
+		for _, c := range m.cores {
+			saveStats(e, &c.stats, true)
+			e.Bool(c.idle)
+			e.Time(c.idleFrom)
+		}
+		e.I64(m.stats.Migrations)
+		for _, c := range m.cores[1:] {
+			saveSegment(e, c.seg)
+		}
+		for _, ts := range m.saveScratch {
+			e.Int(ts.lastCore)
+		}
+	}
 	return nil
 }
 
+// loadSegment decodes one core's segment slot written by saveSegment and
+// queues the end-event rearm. Core 0 is the only core interrupts can
+// pause, so a paused segment on any other core is rejected.
+func (m *Machine) loadSegment(d *sim.Dec, c *coreCtx, resolve func(id int) *sched.Thread, seen map[int]bool, rearms *[]rearm) error {
+	if !d.Bool() {
+		return d.Err()
+	}
+	id := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	t := resolve(id)
+	if t == nil {
+		return fmt.Errorf("cpu: segment references unknown thread %d", id)
+	}
+	ts := m.stateOf(t)
+	if ts == nil {
+		return fmt.Errorf("cpu: segment thread %d not registered", id)
+	}
+	if seen[id] {
+		return fmt.Errorf("cpu: thread %d running on two cores", id)
+	}
+	seen[id] = true
+	c.segbuf = segment{
+		ts:       ts,
+		left:     sched.Work(d.I64()),
+		used:     sched.Work(d.I64()),
+		resumeAt: d.Time(),
+		paused:   d.Bool(),
+	}
+	c.seg = &c.segbuf
+	hasEnd, at, seq := loadEvent(d)
+	if hasEnd {
+		core := c
+		*rearms = append(*rearms, rearm{seq, at, c.id, c.segEndFn, func(ev *sim.Event) { core.segbuf.end = ev }})
+	}
+	if d.Err() == nil {
+		if c.segbuf.paused == hasEnd {
+			return fmt.Errorf("cpu: segment paused=%v with end-event=%v", c.segbuf.paused, hasEnd)
+		}
+		if c.segbuf.paused && c.id != 0 {
+			return fmt.Errorf("cpu: paused segment on core %d", c.id)
+		}
+		if t.State != sched.StateRunning {
+			return fmt.Errorf("cpu: segment thread %d in state %v, want running", id, t.State)
+		}
+	}
+	return d.Err()
+}
+
 // LoadState restores state saved by SaveState into a freshly built
-// machine: same thread set (resolved by ID), same interrupt sources in the
-// same registration order, and an engine already Reset to the checkpoint's
-// clock and sequence counter (so the build's initial events are gone).
-// Pending events are re-armed under their original sequence numbers
-// (Engine.AtSeq), so the restored engine is indistinguishable from the
-// saved one: same-instant orderings are preserved exactly and
-// save→restore→save is a byte-level fixed point — the properties the
-// resume-equivalence and canonicality tests pin down.
+// machine: same thread set (resolved by ID), same core count and policy,
+// same interrupt sources in the same registration order, and an engine
+// already Reset to the checkpoint's clock and sequence counter (so the
+// build's initial events are gone). Pending events are re-armed under
+// their original sequence numbers (Engine.AtSeq), so the restored engine
+// is indistinguishable from the saved one: same-instant orderings are
+// preserved exactly and save→restore→save is a byte-level fixed point —
+// the properties the resume-equivalence and canonicality tests pin down.
 func (m *Machine) LoadState(d *sim.Dec, resolve func(id int) *sched.Thread) error {
 	if m.eng.Pending() != 0 {
 		return fmt.Errorf("cpu: LoadState with %d events still pending; Reset the engine first", m.eng.Pending())
 	}
 	now := m.eng.Now()
-	m.stats.Dispatches = d.I64()
-	m.stats.Preemptions = d.I64()
-	m.stats.Interrupts = d.I64()
-	m.stats.Stolen = d.Time()
-	m.stats.SchedCost = d.Time()
-	m.stats.Idle = d.Time()
-	m.stats.Work = sched.Work(d.I64())
+	c0 := m.cores[0]
+	loadStats(d, &m.stats, false)
 	m.nextID = d.Int()
-	m.idle = d.Bool()
-	m.idleFrom = d.Time()
+	c0.idle = d.Bool()
+	c0.idleFrom = d.Time()
 	m.intrUntil = d.Time()
 
 	// The engine reset discarded the build's pending events; drop the now
@@ -160,12 +258,20 @@ func (m *Machine) LoadState(d *sim.Dec, resolve func(id int) *sched.Thread) erro
 	for _, ts := range m.threads {
 		ts.start, ts.wake = nil, nil
 	}
-	m.seg, m.intrEnd = nil, nil
+	for _, c := range m.cores {
+		c.seg = nil
+	}
+	m.intrEnd = nil
 	for _, is := range m.intrs {
 		is.next = nil
 	}
+	if len(m.cores) == 1 {
+		// Single core: the aggregate and the core's counters coincide.
+		c0.stats = m.stats
+	}
 
 	var rearms []rearm
+	m.saveScratch = m.saveScratch[:0]
 	n := d.Count(1)
 	if d.Err() == nil && n != len(m.threads) {
 		return fmt.Errorf("cpu: checkpoint has %d threads, machine has %d", n, len(m.threads))
@@ -188,6 +294,7 @@ func (m *Machine) LoadState(d *sim.Dec, resolve func(id int) *sched.Thread) erro
 		if ts == nil {
 			return fmt.Errorf("cpu: thread %d not registered with this machine", id)
 		}
+		m.saveScratch = append(m.saveScratch, ts)
 		t.Weight = d.F64()
 		t.Priority = d.Int()
 		t.Period = d.Time()
@@ -204,10 +311,10 @@ func (m *Machine) LoadState(d *sim.Dec, resolve func(id int) *sched.Thread) erro
 		t.Waited = d.Time()
 		ts.burstLeft = sched.Work(d.I64())
 		if ok, at, seq := loadEvent(d); ok {
-			rearms = append(rearms, rearm{seq, at, ts.startFn, func(ev *sim.Event) { ts.start = ev }})
+			rearms = append(rearms, rearm{seq, at, 0, ts.startFn, func(ev *sim.Event) { ts.start = ev }})
 		}
 		if ok, at, seq := loadEvent(d); ok {
-			rearms = append(rearms, rearm{seq, at, ts.wakeFn, func(ev *sim.Event) { ts.wake = ev }})
+			rearms = append(rearms, rearm{seq, at, 0, ts.wakeFn, func(ev *sim.Event) { ts.wake = ev }})
 		}
 		p, ok := ts.prog.(Stater)
 		if !ok {
@@ -221,47 +328,17 @@ func (m *Machine) LoadState(d *sim.Dec, resolve func(id int) *sched.Thread) erro
 		}
 	}
 
-	if d.Bool() {
-		id := d.Int()
-		if d.Err() != nil {
-			return d.Err()
-		}
-		t := resolve(id)
-		if t == nil {
-			return fmt.Errorf("cpu: segment references unknown thread %d", id)
-		}
-		ts := m.stateOf(t)
-		if ts == nil {
-			return fmt.Errorf("cpu: segment thread %d not registered", id)
-		}
-		m.segbuf = segment{
-			ts:       ts,
-			left:     sched.Work(d.I64()),
-			used:     sched.Work(d.I64()),
-			resumeAt: d.Time(),
-			paused:   d.Bool(),
-		}
-		m.seg = &m.segbuf
-		hasEnd, at, seq := loadEvent(d)
-		if hasEnd {
-			rearms = append(rearms, rearm{seq, at, m.segEndFn, func(ev *sim.Event) { m.segbuf.end = ev }})
-		}
-		if d.Err() == nil {
-			if m.segbuf.paused == hasEnd {
-				return fmt.Errorf("cpu: segment paused=%v with end-event=%v", m.segbuf.paused, hasEnd)
-			}
-			if t.State != sched.StateRunning {
-				return fmt.Errorf("cpu: segment thread %d in state %v, want running", id, t.State)
-			}
-		}
+	seen := map[int]bool{}
+	if err := m.loadSegment(d, c0, resolve, seen, &rearms); err != nil {
+		return err
 	}
 
 	hadIntrEnd := false
 	if ok, at, seq := loadEvent(d); ok {
 		hadIntrEnd = true
-		rearms = append(rearms, rearm{seq, at, m.intrDoneFn, func(ev *sim.Event) { m.intrEnd = ev }})
+		rearms = append(rearms, rearm{seq, at, 0, m.intrDoneFn, func(ev *sim.Event) { m.intrEnd = ev }})
 	}
-	if d.Err() == nil && m.seg != nil && m.segbuf.paused && !hadIntrEnd {
+	if d.Err() == nil && c0.seg != nil && c0.segbuf.paused && !hadIntrEnd {
 		return fmt.Errorf("cpu: paused segment with no interrupt in flight")
 	}
 
@@ -272,7 +349,7 @@ func (m *Machine) LoadState(d *sim.Dec, resolve func(id int) *sched.Thread) erro
 	for i := 0; i < cnt; i++ {
 		is := m.intrs[i]
 		if ok, at, seq := loadEvent(d); ok {
-			rearms = append(rearms, rearm{seq, at, is.fire, func(ev *sim.Event) { is.next = ev }})
+			rearms = append(rearms, rearm{seq, at, 0, is.fire, func(ev *sim.Event) { is.next = ev }})
 		}
 		is.service = d.Time()
 		s, ok := is.src.(Stater)
@@ -284,6 +361,27 @@ func (m *Machine) LoadState(d *sim.Dec, resolve func(id int) *sched.Thread) erro
 		}
 		if d.Err() != nil {
 			return d.Err()
+		}
+	}
+
+	if len(m.cores) > 1 {
+		for _, c := range m.cores {
+			loadStats(d, &c.stats, true)
+			c.idle = d.Bool()
+			c.idleFrom = d.Time()
+		}
+		m.stats.Migrations = d.I64()
+		for _, c := range m.cores[1:] {
+			if err := m.loadSegment(d, c, resolve, seen, &rearms); err != nil {
+				return err
+			}
+		}
+		for _, ts := range m.saveScratch {
+			lc := d.Int()
+			if d.Err() == nil && (lc < -1 || lc >= len(m.cores)) {
+				return fmt.Errorf("cpu: thread %d last ran on core %d of a %d-core machine", ts.t.ID, lc, len(m.cores))
+			}
+			ts.lastCore = lc
 		}
 	}
 	if d.Err() != nil {
@@ -312,7 +410,9 @@ func (m *Machine) LoadState(d *sim.Dec, resolve func(id int) *sched.Thread) erro
 		if i > 0 && r.seq == rearms[i-1].seq {
 			return fmt.Errorf("cpu: two pending events share seq %d", r.seq)
 		}
-		r.set(m.eng.AtSeq(r.at, r.seq, r.fn))
+		ev := m.eng.AtSeq(r.at, r.seq, r.fn)
+		ev.Core = r.core
+		r.set(ev)
 	}
 	return nil
 }

@@ -82,6 +82,50 @@ func TestContractPickCharge(t *testing.T) {
 	}
 }
 
+// TestContractSMPDequeueProtocol: every leaf kind declared SMPSafe must
+// survive the multicore dequeue-on-dispatch protocol — Pick, zero-work
+// blocking Charge (removal), then Enqueue followed by a position-
+// independent Charge of the segment — without panicking or losing
+// threads. The capability list must also cover every registered leaf,
+// so a newly registered scheduler makes an explicit safe/unsafe call.
+func TestContractSMPDequeueProtocol(t *testing.T) {
+	schedulers := allSchedulers()
+	for _, name := range Names() {
+		if _, ok := schedulers[name]; !ok {
+			t.Errorf("registered leaf %q missing from allSchedulers", name)
+		}
+	}
+	for name, mk := range schedulers {
+		if !SMPSafe(name) {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			threads := testThreads(4)
+			for _, th := range threads {
+				s.Enqueue(th, 0)
+			}
+			now := sim.Time(1)
+			for i := 0; i < 100; i++ {
+				p := s.Pick(now)
+				if p == nil {
+					t.Fatal("Pick returned nil with runnable threads")
+				}
+				s.Charge(p, 0, now, false) // dequeue: remove at dispatch
+				if s.Len() != len(threads)-1 {
+					t.Fatalf("Len=%d with one thread dispatched", s.Len())
+				}
+				now += sim.Millisecond
+				s.Enqueue(p, now)
+				s.Charge(p, 1_000_000, now, true) // segment-end re-stamp
+				if s.Len() != len(threads) {
+					t.Fatalf("Len=%d after requeue", s.Len())
+				}
+			}
+		})
+	}
+}
+
 // TestContractRemove: removing a runnable (not picked) thread shrinks the
 // set and the thread is never served again.
 func TestContractRemove(t *testing.T) {

@@ -73,6 +73,40 @@ func Known(name string) bool {
 	return ok
 }
 
+// smpSafe lists the leaf kinds whose Charge re-stamps ANY enqueued
+// thread: their accounting depends only on the thread's entry, never on
+// a remembered pick or a queue-head position. The multicore global and
+// stealing policies rely on that property — they remove a thread from
+// the shared hierarchy at dispatch (so no sibling core can pick it) and
+// re-enqueue it immediately before charging the segment, which reaches
+// Charge with no outstanding Pick. Leaves that track the picked thread
+// (svr4, lottery, eevdf, reserves) or charge only the queue head (rr,
+// fifo) panic under that protocol and are restricted to single-core and
+// partitioned machines, where the picked thread stays in place between
+// Pick and Charge.
+var smpSafe = map[string]bool{
+	"sfq":      true,
+	"stride":   true,
+	"priority": true,
+	"edf":      true,
+	"rm":       true,
+}
+
+// SMPSafe reports whether the named leaf scheduler supports the
+// multicore dequeue-on-dispatch protocol used by the global and
+// stealing placement policies.
+func SMPSafe(name string) bool { return smpSafe[name] }
+
+// SMPSafeNames returns the dequeue-safe leaf names, sorted.
+func SMPSafeNames() []string {
+	names := make([]string, 0, len(smpSafe))
+	for name := range smpSafe {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Names returns the registered leaf-scheduler names, sorted.
 func Names() []string {
 	names := make([]string, 0, len(leafCtors))

@@ -13,10 +13,15 @@ import (
 // drop their reference at that point. Cancelled is meaningful only until
 // the handle's event is recycled.
 type Event struct {
-	At  Time
-	Fn  func()
-	seq uint64
-	idx int // heap index, -1 once popped or cancelled
+	At Time
+	Fn func()
+	// Core tags the event with the CPU core it concerns, for observability
+	// on multicore machines (0 on a uniprocessor). It does not affect
+	// ordering and is not part of the engine's checkpointed state; owners
+	// re-set it when re-arming restored events.
+	Core int
+	seq  uint64
+	idx  int // heap index, -1 once popped or cancelled
 }
 
 // Cancelled reports whether the event has been removed from the queue
@@ -97,7 +102,7 @@ func (e *Engine) At(at Time, fn func()) *Event {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.At, ev.Fn, ev.seq = at, fn, e.seq
+		ev.At, ev.Fn, ev.Core, ev.seq = at, fn, 0, e.seq
 	} else {
 		ev = &Event{At: at, Fn: fn, seq: e.seq, idx: -1}
 	}
@@ -125,7 +130,7 @@ func (e *Engine) AtSeq(at Time, seq uint64, fn func()) *Event {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.At, ev.Fn, ev.seq = at, fn, seq
+		ev.At, ev.Fn, ev.Core, ev.seq = at, fn, 0, seq
 	} else {
 		ev = &Event{At: at, Fn: fn, seq: seq, idx: -1}
 	}

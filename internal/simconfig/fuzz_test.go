@@ -32,6 +32,14 @@ func FuzzParseConfig(f *testing.F) {
 		  "threads": [{"name": "a", "leaf": "/soft", "program": {"kind": "loop"}}]}`,
 		`{"nodes": [{"path": "/a", "leaf": "sfq"}], "unknown_field": 1}`,
 		"{\"horizon\": \"10éms\"}",
+		`{"cores": -2, "nodes": [{"path": "/a", "leaf": "sfq"}]}`,
+		`{"cores": 2, "policy": "gang", "nodes": [{"path": "/a", "leaf": "sfq"}]}`,
+		`{"cores": 2, "policy": "steal", "switch_cost": "-1ms", "nodes": [{"path": "/a", "leaf": "sfq"}]}`,
+		`{"cores": 2, "migration_cost": "-5us", "nodes": [{"path": "/a", "leaf": "sfq"}]}`,
+		`{"cores": 2, "nodes": [{"path": "/a", "leaf": "sfq"}],
+		  "threads": [{"name": "t", "leaf": "/a", "affinity": 5}]}`,
+		`{"cores": 3, "policy": "global", "nodes": [{"path": "/a", "leaf": "sfq"}],
+		  "threads": [{"name": "t", "leaf": "/a", "affinity": -1}]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

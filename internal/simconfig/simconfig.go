@@ -69,6 +69,22 @@ type Config struct {
 	Horizon Duration `json:"horizon"`
 	// Seed drives all randomness; same seed, same run.
 	Seed uint64 `json:"seed"`
+	// Cores is the machine's core count; 0 means 1. The new multicore
+	// fields all carry omitempty so that single-core configs marshal to
+	// exactly the pre-SMP JSON — checkpoint embeddings and sweep job keys
+	// are unchanged.
+	Cores int `json:"cores,omitempty"`
+	// Policy selects how cores share scheduling state: "partitioned"
+	// (default; one hierarchy per core, static placement), "global" (one
+	// shared hierarchy feeding all cores), or "steal" (partitioned plus
+	// work stealing). Ignored at cores <= 1.
+	Policy string `json:"policy,omitempty"`
+	// SwitchCost is CPU time charged on every dispatch; MigrationCost is
+	// charged additionally when the dispatched thread last ran on a
+	// different core. Both default to 0, the paper's free-dispatch
+	// idealization.
+	SwitchCost    Duration `json:"switch_cost,omitempty"`
+	MigrationCost Duration `json:"migration_cost,omitempty"`
 	// Nodes describe the scheduling structure; parents are created
 	// implicitly with weight 1 (override by listing them first).
 	Nodes []NodeConfig `json:"nodes"`
@@ -102,6 +118,9 @@ type ThreadConfig struct {
 	// "reserves" leaf: ReserveCost of CPU time every ReservePeriod.
 	ReserveCost   Duration `json:"reserve_cost"`
 	ReservePeriod Duration `json:"reserve_period"`
+	// Affinity pins the thread to a home core on a multicore machine;
+	// unset threads are placed round-robin (thread index mod cores).
+	Affinity *int `json:"affinity,omitempty"`
 }
 
 // ProgramConfig describes a thread's behaviour.
@@ -144,11 +163,17 @@ type InterruptConfig struct {
 
 // Simulation is a ready-to-run build of a Config.
 type Simulation struct {
-	Config    Config
-	Engine    *sim.Engine
-	Machine   *cpu.Machine
+	Config  Config
+	Engine  *sim.Engine
+	Machine *cpu.Machine
+	// Structure is Structures[0]: the machine's only scheduling structure
+	// on a single-core build or under the global policy.
 	Structure *core.Structure
-	Threads   []*sched.Thread
+	// Structures holds every scheduling structure the build created — one
+	// per core for the partitioned and steal policies, one shared
+	// otherwise. All of them are part of a checkpoint's mutable state.
+	Structures []*core.Structure
+	Threads    []*sched.Thread
 	// Periodics exposes deadline-tracking programs by thread name.
 	Periodics map[string]*workload.Periodic
 	// Decoders exposes frame-counting programs by thread name.
@@ -209,6 +234,18 @@ func (c Config) Validate() error {
 	if c.Horizon < 0 {
 		return fieldErr("horizon", "negative horizon %d", c.Horizon)
 	}
+	if c.Cores < 0 {
+		return fieldErr("cores", "negative core count %d", c.Cores)
+	}
+	if _, err := cpu.ParsePolicy(c.Policy); err != nil {
+		return fieldErr("policy", "unknown policy %q (have partitioned, global, steal)", c.Policy)
+	}
+	if c.SwitchCost < 0 {
+		return fieldErr("switch_cost", "negative switch cost %d", c.SwitchCost)
+	}
+	if c.MigrationCost < 0 {
+		return fieldErr("migration_cost", "negative migration cost %d", c.MigrationCost)
+	}
 	leaves := map[string]bool{}
 	for i, nc := range c.Nodes {
 		if nc.Path == "" {
@@ -223,6 +260,14 @@ func (c Config) Validate() error {
 		if nc.Leaf != "" {
 			if !sched.Known(nc.Leaf) {
 				return fieldErr(fmt.Sprintf("nodes[%d].leaf", i), "node %q: unknown leaf scheduler %q (have %v)", nc.Path, nc.Leaf, sched.Names())
+			}
+			// The global and stealing policies remove a running thread
+			// from the shared hierarchy and re-enqueue it before charging;
+			// only position-independent leaves survive that protocol.
+			if c.NumCores() > 1 && c.Policy != "" && c.Policy != "partitioned" && !sched.SMPSafe(nc.Leaf) {
+				return fieldErr(fmt.Sprintf("nodes[%d].leaf", i),
+					"node %q: leaf %q does not support the %q policy (dequeue-safe leaves: %v); use partitioned placement",
+					nc.Path, nc.Leaf, c.Policy, sched.SMPSafeNames())
 			}
 			leaves[nc.Path] = true
 		}
@@ -254,6 +299,9 @@ func (c Config) Validate() error {
 		if tc.ReserveCost > 0 && tc.ReservePeriod <= 0 {
 			return fieldErr(fmt.Sprintf("threads[%d].reserve_period", i), "thread %q: reserve cost without a positive period", tc.Name)
 		}
+		if tc.Affinity != nil && (*tc.Affinity < 0 || *tc.Affinity >= c.NumCores()) {
+			return fieldErr(fmt.Sprintf("threads[%d].affinity", i), "thread %q: affinity %d outside [0, %d)", tc.Name, *tc.Affinity, c.NumCores())
+		}
 		if !programKinds[tc.Program.Kind] {
 			return fieldErr(fmt.Sprintf("threads[%d].program.kind", i), "thread %q: unknown program %q", tc.Name, tc.Program.Kind)
 		}
@@ -283,6 +331,25 @@ func (c Config) Validate() error {
 			}
 		default:
 			return fieldErr(fmt.Sprintf("interrupts[%d].kind", i), "unknown interrupt kind %q", ic.Kind)
+		}
+	}
+	return nil
+}
+
+// NumCores returns the effective core count: Cores, with 0 meaning 1.
+func (c Config) NumCores() int {
+	if c.Cores <= 0 {
+		return 1
+	}
+	return c.Cores
+}
+
+// StructureOf returns the structure t is attached to, or nil for a thread
+// the build does not know.
+func (s *Simulation) StructureOf(t *sched.Thread) *core.Structure {
+	for _, st := range s.Structures {
+		if st.LeafOf(t) != nil {
+			return st
 		}
 	}
 	return nil
@@ -341,56 +408,95 @@ func Build(c Config, opt BuildOptions) (*Simulation, error) {
 	}
 	rate := cpu.MIPS(c.RateMIPS)
 	eng := sim.NewEngine()
-	s := core.NewStructure()
 	rng := sim.NewRand(c.Seed)
-
-	leaves := map[string]core.NodeID{}
-	svr4s := map[string]*sched.SVR4{}
-	reserves := map[string]*sched.Reserves{}
-	for _, nc := range c.Nodes {
-		w := nc.Weight
-		if w == 0 {
-			w = 1
-		}
-		var leaf sched.Scheduler
-		if nc.Leaf != "" {
-			var err error
-			leaf, err = sched.New(nc.Leaf, sched.LeafConfig{
-				Quantum: nc.Quantum.Time(),
-				IPS:     int64(rate),
-				RNG:     rng,
-			})
+	nCores := c.NumCores()
+	policy, err := cpu.ParsePolicy(c.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("simconfig: %w", err)
+	}
+	// One structure per core under partitioned/steal, one shared structure
+	// under global or on a uniprocessor. Structures are built in core
+	// order, nodes in config order, so every leaf RNG fork is drawn in a
+	// deterministic sequence — and a single-core build draws exactly the
+	// pre-SMP sequence.
+	nStructs := nCores
+	if policy == cpu.PolicyGlobal || nCores == 1 {
+		nStructs = 1
+	}
+	structures := make([]*core.Structure, nStructs)
+	leaves := make([]map[string]core.NodeID, nStructs)
+	svr4s := make([]map[string]*sched.SVR4, nStructs)
+	reserves := make([]map[string]*sched.Reserves, nStructs)
+	for k := 0; k < nStructs; k++ {
+		s := core.NewStructure()
+		structures[k] = s
+		leaves[k] = map[string]core.NodeID{}
+		svr4s[k] = map[string]*sched.SVR4{}
+		reserves[k] = map[string]*sched.Reserves{}
+		for _, nc := range c.Nodes {
+			w := nc.Weight
+			if w == 0 {
+				w = 1
+			}
+			var leaf sched.Scheduler
+			if nc.Leaf != "" {
+				var err error
+				leaf, err = sched.New(nc.Leaf, sched.LeafConfig{
+					Quantum: nc.Quantum.Time(),
+					IPS:     int64(rate),
+					RNG:     rng,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("simconfig: node %q: %w", nc.Path, err)
+				}
+			}
+			id, err := s.MknodPath(nc.Path, w, leaf)
 			if err != nil {
 				return nil, fmt.Errorf("simconfig: node %q: %w", nc.Path, err)
 			}
-		}
-		id, err := s.MknodPath(nc.Path, w, leaf)
-		if err != nil {
-			return nil, fmt.Errorf("simconfig: node %q: %w", nc.Path, err)
-		}
-		if leaf != nil {
-			leaves[nc.Path] = id
-			if v, ok := leaf.(*sched.SVR4); ok {
-				svr4s[nc.Path] = v
-			}
-			if v, ok := leaf.(*sched.Reserves); ok {
-				reserves[nc.Path] = v
+			if leaf != nil {
+				leaves[k][nc.Path] = id
+				if v, ok := leaf.(*sched.SVR4); ok {
+					svr4s[k][nc.Path] = v
+				}
+				if v, ok := leaf.(*sched.Reserves); ok {
+					reserves[k][nc.Path] = v
+				}
 			}
 		}
 	}
 
-	m := cpu.NewMachine(eng, rate, s)
+	scheds := make([]sched.Scheduler, nStructs)
+	for k, s := range structures {
+		scheds[k] = s
+	}
+	m := cpu.NewSMP(eng, rate, cpu.SMPConfig{
+		Cores:         nCores,
+		Policy:        policy,
+		Schedulers:    scheds,
+		SwitchCost:    c.SwitchCost.Time(),
+		MigrationCost: c.MigrationCost.Time(),
+	})
 	simn := &Simulation{
-		Config:    c,
-		Engine:    eng,
-		Machine:   m,
-		Structure: s,
-		Periodics: map[string]*workload.Periodic{},
-		Decoders:  map[string]*workload.Decoder{},
+		Config:     c,
+		Engine:     eng,
+		Machine:    m,
+		Structure:  structures[0],
+		Structures: structures,
+		Periodics:  map[string]*workload.Periodic{},
+		Decoders:   map[string]*workload.Decoder{},
 	}
 
 	for i, tc := range c.Threads {
-		id, ok := leaves[tc.Leaf]
+		home := i % nCores
+		if tc.Affinity != nil {
+			home = *tc.Affinity
+		}
+		sidx := home
+		if nStructs == 1 {
+			sidx = 0
+		}
+		id, ok := leaves[sidx][tc.Leaf]
 		if !ok {
 			return nil, fmt.Errorf("simconfig: thread %q: no leaf %q", tc.Name, tc.Leaf)
 		}
@@ -404,14 +510,14 @@ func Build(c Config, opt BuildOptions) (*Simulation, error) {
 			return nil, err
 		}
 		if tc.RTPriority != nil {
-			v, ok := svr4s[tc.Leaf]
+			v, ok := svr4s[sidx][tc.Leaf]
 			if !ok {
 				return nil, fmt.Errorf("simconfig: thread %q: rt_priority needs an svr4 leaf", tc.Name)
 			}
 			v.SetRealTime(th, *tc.RTPriority)
 		}
 		if tc.ReserveCost > 0 || tc.ReservePeriod > 0 {
-			v, ok := reserves[tc.Leaf]
+			v, ok := reserves[sidx][tc.Leaf]
 			if !ok {
 				return nil, fmt.Errorf("simconfig: thread %q: reserve needs a reserves leaf", tc.Name)
 			}
@@ -420,10 +526,10 @@ func Build(c Config, opt BuildOptions) (*Simulation, error) {
 			}
 			v.SetReserve(th, rate.WorkFor(tc.ReserveCost.Time()), tc.ReservePeriod.Time())
 		}
-		if err := s.Attach(th, id); err != nil {
+		if err := structures[sidx].Attach(th, id); err != nil {
 			return nil, fmt.Errorf("simconfig: thread %q: %w", tc.Name, err)
 		}
-		m.Add(th, prog, tc.Start.Time())
+		m.AddOn(th, prog, tc.Start.Time(), home)
 		simn.Threads = append(simn.Threads, th)
 	}
 

@@ -262,6 +262,12 @@ func TestValidateFieldPaths(t *testing.T) {
 		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"periodic"}]}`, "interrupts[0].period"},
 		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"poisson","rate_per_sec":-3,"service":"1ms"}]}`, "interrupts[0].rate_per_sec"},
 		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"interrupts":[{"kind":"burst","period":"1ms","service":"1us"}]}`, "interrupts[0]"},
+		{`{"cores":-2,"nodes":[{"path":"/a","leaf":"sfq"}]}`, "cores"},
+		{`{"cores":2,"policy":"gang","nodes":[{"path":"/a","leaf":"sfq"}]}`, "policy"},
+		{`{"cores":2,"switch_cost":-1,"nodes":[{"path":"/a","leaf":"sfq"}]}`, "switch_cost"},
+		{`{"cores":2,"migration_cost":-1,"nodes":[{"path":"/a","leaf":"sfq"}]}`, "migration_cost"},
+		{`{"cores":2,"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","affinity":5}]}`, "threads[0].affinity"},
+		{`{"nodes":[{"path":"/a","leaf":"sfq"}],"threads":[{"name":"t","leaf":"/a","affinity":-1}]}`, "threads[0].affinity"},
 	}
 	for _, tc := range cases {
 		cfg, err := Parse(strings.NewReader(tc.js))

@@ -21,6 +21,16 @@ func Canonical(s *simconfig.Simulation) string {
 	st := s.Machine.Stats()
 	fmt.Fprintf(&b, "machine work=%d dispatches=%d preemptions=%d interrupts=%d stolen=%d idle=%d\n",
 		int64(st.Work), st.Dispatches, st.Preemptions, st.Interrupts, int64(st.Stolen), int64(st.Idle))
+	// Per-core lines appear only on multicore machines so single-core
+	// digests stay byte-identical to the pre-SMP format.
+	if n := s.Machine.NumCores(); n > 1 {
+		fmt.Fprintf(&b, "machine migrations=%d\n", st.Migrations)
+		for c := 0; c < n; c++ {
+			cs := s.Machine.CoreStats(c)
+			fmt.Fprintf(&b, "core %d work=%d dispatches=%d preemptions=%d migrations=%d idle=%d\n",
+				c, int64(cs.Work), cs.Dispatches, cs.Preemptions, cs.Migrations, int64(cs.Idle))
+		}
+	}
 	for _, th := range s.Threads {
 		fmt.Fprintf(&b, "thread %s done=%d segments=%d waited=%d state=%s\n",
 			th.Name, int64(th.Done), th.Segments, int64(th.Waited), th.State)
@@ -83,6 +93,18 @@ func Metrics(s *simconfig.Simulation) map[string]float64 {
 	m["preemptions"] = float64(st.Preemptions)
 	m["idle_ns"] = float64(st.Idle)
 	m["stolen_ns"] = float64(st.Stolen)
+	if n := s.Machine.NumCores(); n > 1 {
+		m["migrations"] = float64(st.Migrations)
+		span := float64(s.Config.Horizon.Time())
+		for c := 0; c < n; c++ {
+			cs := s.Machine.CoreStats(c)
+			m[fmt.Sprintf("core%d:work", c)] = float64(cs.Work)
+			m[fmt.Sprintf("core%d:idle_ns", c)] = float64(cs.Idle)
+			if span > 0 {
+				m[fmt.Sprintf("core%d:util", c)] = 1 - float64(cs.Idle)/span
+			}
+		}
+	}
 	total := float64(st.Work)
 	for _, th := range s.Threads {
 		m["work:"+th.Name] = float64(th.Done)

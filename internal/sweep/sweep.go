@@ -36,6 +36,7 @@ import (
 	"strconv"
 	"time"
 
+	"hsfq/internal/cpu"
 	"hsfq/internal/sched"
 	"hsfq/internal/simconfig"
 )
@@ -53,6 +54,10 @@ const (
 	ParamInterruptPeriod  = "interrupt_period"  // Interrupts[index].Period (durations)
 	ParamInterruptService = "interrupt_service" // Interrupts[index].Service (durations)
 	ParamInterruptRate    = "interrupt_rate"    // Interrupts[index].RatePerSec (numbers)
+	ParamCores            = "cores"             // Config.Cores (numbers)
+	ParamPolicy           = "policy"            // Config.Policy (strings)
+	ParamSwitchCost       = "switch_cost"       // Config.SwitchCost (durations)
+	ParamMigrationCost    = "migration_cost"    // Config.MigrationCost (durations)
 )
 
 // Axis is one swept parameter and the values it takes.
@@ -342,6 +347,41 @@ func makeChoice(ax Axis, key string, raw json.RawMessage) (choice, error) {
 			c.Interrupts[index].RatePerSec = n
 			return nil
 		}}, nil
+	case ParamCores:
+		n, err := number()
+		if err != nil {
+			return choice{}, err
+		}
+		return choice{key, fmtNum(n), func(c *simconfig.Config) error {
+			c.Cores = int(n)
+			return nil
+		}}, nil
+	case ParamPolicy:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return choice{}, fmt.Errorf("value %s is not a string", raw)
+		}
+		if _, err := cpu.ParsePolicy(s); err != nil {
+			return choice{}, err
+		}
+		return choice{key, s, func(c *simconfig.Config) error {
+			c.Policy = s
+			return nil
+		}}, nil
+	case ParamSwitchCost, ParamMigrationCost:
+		d, err := duration()
+		if err != nil {
+			return choice{}, err
+		}
+		param := ax.Param
+		return choice{key, fmtDur(d), func(c *simconfig.Config) error {
+			if param == ParamSwitchCost {
+				c.SwitchCost = d
+			} else {
+				c.MigrationCost = d
+			}
+			return nil
+		}}, nil
 	default:
 		return choice{}, fmt.Errorf("unknown param %q", ax.Param)
 	}
@@ -366,6 +406,10 @@ func cloneConfig(c simconfig.Config) simconfig.Config {
 		if tc.RTPriority != nil {
 			v := *tc.RTPriority
 			c.Threads[i].RTPriority = &v
+		}
+		if tc.Affinity != nil {
+			v := *tc.Affinity
+			c.Threads[i].Affinity = &v
 		}
 	}
 	return c

@@ -15,6 +15,11 @@ import (
 //
 //	sensor  |##....##....##....
 //	decoder |..####..####..####
+//
+// Spans from a multicore machine (any span with Core > 0) are grouped
+// into one lane per core, each lane holding the per-thread rows of the
+// threads that ran there; a thread migrating between cores shows up in
+// every lane it visited. Single-core output is unchanged.
 func Gantt(w io.Writer, spans []RunSpan, from, to sim.Time, columns int) error {
 	if columns < 1 {
 		columns = 80
@@ -26,7 +31,47 @@ func Gantt(w io.Writer, spans []RunSpan, from, to sim.Time, columns int) error {
 	if bucket < 1 {
 		bucket = 1
 	}
+	if len(spans) == 0 {
+		_, err := io.WriteString(w, "(no spans)\n")
+		return err
+	}
+	maxCore := 0
+	width := 0
+	for _, sp := range spans {
+		if sp.Core > maxCore {
+			maxCore = sp.Core
+		}
+		if len(sp.Thread) > width {
+			width = len(sp.Thread)
+		}
+	}
 
+	var b strings.Builder
+	if maxCore == 0 {
+		ganttLane(&b, spans, from, to, bucket, columns, width)
+	} else {
+		byCore := make([][]RunSpan, maxCore+1)
+		for _, sp := range spans {
+			byCore[sp.Core] = append(byCore[sp.Core], sp)
+		}
+		for c, lane := range byCore {
+			fmt.Fprintf(&b, "core %d\n", c)
+			if len(lane) == 0 {
+				fmt.Fprintf(&b, "%-*s |%s\n", width, "(idle)", strings.Repeat(" ", columns))
+				continue
+			}
+			ganttLane(&b, lane, from, to, bucket, columns, width)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s +%s\n", width, "", strings.Repeat("-", columns))
+	fmt.Fprintf(&b, "%-*s  %v%s%v\n", width, "", from, strings.Repeat(" ", maxInt(columns-len(from.String())-len(to.String()), 1)), to)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ganttLane renders one lane: the per-thread occupancy rows of the given
+// spans, name-sorted, at a fixed label width.
+func ganttLane(b *strings.Builder, spans []RunSpan, from, to, bucket sim.Time, columns, width int) {
 	// Stable thread order: by first appearance.
 	var names []string
 	index := map[string]int{}
@@ -35,10 +80,6 @@ func Gantt(w io.Writer, spans []RunSpan, from, to sim.Time, columns int) error {
 			index[sp.Thread] = len(names)
 			names = append(names, sp.Thread)
 		}
-	}
-	if len(names) == 0 {
-		_, err := io.WriteString(w, "(no spans)\n")
-		return err
 	}
 	// occupancy[thread][col] = time the thread ran in that bucket.
 	occ := make([][]sim.Time, len(names))
@@ -67,19 +108,11 @@ func Gantt(w io.Writer, spans []RunSpan, from, to sim.Time, columns int) error {
 			t += seg
 		}
 	}
-
-	width := 0
-	for _, n := range names {
-		if len(n) > width {
-			width = len(n)
-		}
-	}
 	sorted := append([]string(nil), names...)
 	sort.Strings(sorted)
-	var b strings.Builder
 	for _, name := range sorted {
 		row := occ[index[name]]
-		fmt.Fprintf(&b, "%-*s |", width, name)
+		fmt.Fprintf(b, "%-*s |", width, name)
 		for _, d := range row {
 			switch {
 			case d > bucket/2:
@@ -92,10 +125,6 @@ func Gantt(w io.Writer, spans []RunSpan, from, to sim.Time, columns int) error {
 		}
 		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "%-*s +%s\n", width, "", strings.Repeat("-", columns))
-	fmt.Fprintf(&b, "%-*s  %v%s%v\n", width, "", from, strings.Repeat(" ", maxInt(columns-len(from.String())-len(to.String()), 1)), to)
-	_, err := io.WriteString(w, b.String())
-	return err
 }
 
 func maxInt(a, b int) int {

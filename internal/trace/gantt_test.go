@@ -79,6 +79,74 @@ func TestGanttZeroLengthSpans(t *testing.T) {
 	}
 }
 
+// TestGanttMultiCoreZeroMigration: threads that never migrate each
+// appear in exactly one core lane, and a core with no spans renders an
+// explicit idle row.
+func TestGanttMultiCoreZeroMigration(t *testing.T) {
+	spans := []RunSpan{
+		{Thread: "a", TID: 1, Core: 0, Start: 0, End: sim.Second},
+		{Thread: "b", TID: 2, Core: 2, Start: 0, End: 500 * sim.Millisecond},
+	}
+	var buf strings.Builder
+	if err := Gantt(&buf, spans, 0, sim.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	want := []string{
+		"core 0",
+		"a |##########",
+		"core 1",
+		"(idle) |          ",
+		"core 2",
+		"b |#####     ",
+	}
+	if len(lines) != len(want)+2 { // lanes + axis + labels
+		t.Fatalf("lines:\n%s", buf.String())
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d: got %q, want %q", i, lines[i], w)
+		}
+	}
+	if !strings.HasPrefix(lines[len(want)], "  +----------") {
+		t.Errorf("axis line %q", lines[len(want)])
+	}
+}
+
+// TestGanttMultiCoreMigrationHeavy: a thread ping-ponging between cores
+// shows up in every lane it visited, with its occupancy split across
+// them, while a pinned thread stays whole in its home lane.
+func TestGanttMultiCoreMigrationHeavy(t *testing.T) {
+	q := 250 * sim.Millisecond
+	spans := []RunSpan{
+		{Thread: "p", TID: 1, Core: 0, Start: 0, End: sim.Second},
+		{Thread: "m", TID: 2, Core: 0, Start: 0, End: q},
+		{Thread: "m", TID: 2, Core: 1, Start: q, End: 2 * q},
+		{Thread: "m", TID: 2, Core: 0, Start: 2 * q, End: 3 * q},
+		{Thread: "m", TID: 2, Core: 1, Start: 3 * q, End: 4 * q},
+	}
+	var buf strings.Builder
+	if err := Gantt(&buf, spans, 0, sim.Second, 8); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	want := []string{
+		"core 0",
+		"m |##  ##  ",
+		"p |########",
+		"core 1",
+		"m |  ##  ##",
+	}
+	if len(lines) != len(want)+2 {
+		t.Fatalf("lines:\n%s", buf.String())
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d: got %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
 func TestGanttEdgeCases(t *testing.T) {
 	var buf strings.Builder
 	if err := Gantt(&buf, nil, 0, sim.Second, 10); err != nil {

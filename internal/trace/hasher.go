@@ -18,17 +18,36 @@ import (
 // any event boundary.
 type Hasher struct {
 	cpu.BaseListener
-	h    hash.Hash
-	rows int
-	buf  []byte
+	h        hash.Hash
+	numCores int
+	rows     int
+	buf      []byte
 }
 
 // NewHasher returns an empty stream hasher.
-func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+func NewHasher() *Hasher { return &Hasher{h: sha256.New(), numCores: 1} }
+
+// SetNumCores tells the hasher how many cores feed it; Machine.Listen
+// calls it automatically. Rows from a multicore machine gain a trailing
+// core field, so single-core digests are unchanged.
+func (s *Hasher) SetNumCores(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.numCores = n
+}
 
 func (s *Hasher) row(at sim.Time, kind Kind, thread string, tid int, used sched.Work, runnable bool, service sim.Time) {
+	s.coreRow(0, at, kind, thread, tid, used, runnable, service)
+}
+
+func (s *Hasher) coreRow(core int, at sim.Time, kind Kind, thread string, tid int, used sched.Work, runnable bool, service sim.Time) {
 	s.buf = s.buf[:0]
-	s.buf = fmt.Appendf(s.buf, "%d,%s,%s,%d,%d,%t,%d\n", int64(at), kind, thread, tid, int64(used), runnable, int64(service))
+	s.buf = fmt.Appendf(s.buf, "%d,%s,%s,%d,%d,%t,%d", int64(at), kind, thread, tid, int64(used), runnable, int64(service))
+	if s.numCores > 1 {
+		s.buf = fmt.Appendf(s.buf, ",%d", core)
+	}
+	s.buf = append(s.buf, '\n')
 	s.h.Write(s.buf)
 	s.rows++
 }
@@ -66,6 +85,21 @@ func (s *Hasher) OnInterrupt(now, service sim.Time) {
 // OnIdle implements cpu.Listener.
 func (s *Hasher) OnIdle(now sim.Time) {
 	s.row(now, Idle, "", 0, 0, false, 0)
+}
+
+// OnDispatchCore implements cpu.SMPListener.
+func (s *Hasher) OnDispatchCore(core int, t *sched.Thread, now sim.Time) {
+	s.coreRow(core, now, Dispatch, t.Name, t.ID, 0, false, 0)
+}
+
+// OnChargeCore implements cpu.SMPListener.
+func (s *Hasher) OnChargeCore(core int, t *sched.Thread, used sched.Work, now sim.Time, runnable bool) {
+	s.coreRow(core, now, Charge, t.Name, t.ID, used, runnable, 0)
+}
+
+// OnIdleCore implements cpu.SMPListener.
+func (s *Hasher) OnIdleCore(core int, now sim.Time) {
+	s.coreRow(core, now, Idle, "", 0, 0, false, 0)
 }
 
 // Rows returns how many events have been hashed.

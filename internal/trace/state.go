@@ -9,7 +9,11 @@ import (
 
 // SaveState captures the recorder's event log so a resumed run emits the
 // FULL trace of the logical run, not just the tail after the restore
-// point — the property the checkpoint smoke test byte-compares.
+// point — the property the checkpoint smoke test byte-compares. A
+// recorder fed by a multicore machine (numCores > 1) appends each event's
+// core; the single-core encoding is byte-identical to the pre-SMP format,
+// and the decoder learns the layout from SetNumCores, which checkpoint
+// restore derives from the rebuilt config before calling LoadState.
 func (r *Recorder) SaveState(e *sim.Enc) {
 	e.Int(r.drops)
 	e.Int(len(r.events))
@@ -21,6 +25,9 @@ func (r *Recorder) SaveState(e *sim.Enc) {
 		e.I64(int64(ev.Used))
 		e.Bool(ev.Runnable)
 		e.Time(ev.Service)
+		if r.numCores > 1 {
+			e.Int(ev.Core)
+		}
 	}
 }
 
@@ -51,6 +58,12 @@ func (r *Recorder) LoadState(d *sim.Dec) error {
 			Used:     sched.Work(d.I64()),
 			Runnable: d.Bool(),
 			Service:  d.Time(),
+		}
+		if r.numCores > 1 {
+			ev.Core = d.Int()
+			if d.Err() == nil && (ev.Core < 0 || ev.Core >= r.numCores) {
+				return fmt.Errorf("trace: event on core %d of a %d-core machine", ev.Core, r.numCores)
+			}
 		}
 		if err := d.Err(); err != nil {
 			return err

@@ -38,20 +38,41 @@ type Event struct {
 	Used     sched.Work `json:"used,omitempty"`
 	Runnable bool       `json:"runnable,omitempty"`
 	Service  sim.Time   `json:"service,omitempty"`
+	// Core is the core the event happened on. It is recorded (and emitted
+	// in the CSV as an extra trailing column) only for multicore machines,
+	// so single-core traces are byte-identical to the pre-SMP format.
+	Core int `json:"core,omitempty"`
 }
 
-// Recorder implements cpu.Listener and stores events, optionally bounded
+// Recorder implements cpu.Listener (and cpu.SMPListener, for core-tagged
+// events from multicore machines) and stores events, optionally bounded
 // to the most recent max events (0 = unbounded).
 type Recorder struct {
 	cpu.BaseListener
-	max    int
-	events []Event
-	drops  int
+	max      int
+	numCores int // >1 switches the CSV and checkpoint encodings to core-tagged rows
+	events   []Event
+	drops    int
 }
 
 // NewRecorder returns a recorder keeping at most max events; max <= 0
 // keeps everything.
-func NewRecorder(max int) *Recorder { return &Recorder{max: max} }
+func NewRecorder(max int) *Recorder { return &Recorder{max: max, numCores: 1} }
+
+// SetNumCores tells the recorder how many cores feed it. Machine.Listen
+// calls it automatically; checkpoint restore calls it before LoadState so
+// the decoder knows whether rows carry a core column. n > 1 adds a "core"
+// column to WriteCSV and a core field to the checkpoint encoding; n <= 1
+// keeps both byte-identical to the single-core format.
+func (r *Recorder) SetNumCores(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.numCores = n
+}
+
+// NumCores returns the core count the recorder was configured for.
+func (r *Recorder) NumCores() int { return r.numCores }
 
 func (r *Recorder) add(e Event) {
 	if r.max > 0 && len(r.events) >= r.max {
@@ -98,6 +119,21 @@ func (r *Recorder) OnIdle(now sim.Time) {
 	r.add(Event{At: now, Kind: Idle})
 }
 
+// OnDispatchCore implements cpu.SMPListener.
+func (r *Recorder) OnDispatchCore(core int, t *sched.Thread, now sim.Time) {
+	r.add(Event{At: now, Kind: Dispatch, Thread: t.Name, ThreadID: t.ID, Core: core})
+}
+
+// OnChargeCore implements cpu.SMPListener.
+func (r *Recorder) OnChargeCore(core int, t *sched.Thread, used sched.Work, now sim.Time, runnable bool) {
+	r.add(Event{At: now, Kind: Charge, Thread: t.Name, ThreadID: t.ID, Used: used, Runnable: runnable, Core: core})
+}
+
+// OnIdleCore implements cpu.SMPListener.
+func (r *Recorder) OnIdleCore(core int, now sim.Time) {
+	r.add(Event{At: now, Kind: Idle, Core: core})
+}
+
 // Events returns the recorded events, oldest first.
 func (r *Recorder) Events() []Event {
 	out := make([]Event, len(r.events))
@@ -123,10 +159,16 @@ func (r *Recorder) Filter(kinds ...Kind) []Event {
 	return out
 }
 
-// WriteCSV emits the events as CSV with a header row.
+// WriteCSV emits the events as CSV with a header row. Recorders fed by a
+// multicore machine append a trailing "core" column; the single-core
+// format is unchanged.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"at_ns", "kind", "thread", "tid", "used", "runnable", "service_ns"}); err != nil {
+	header := []string{"at_ns", "kind", "thread", "tid", "used", "runnable", "service_ns"}
+	if r.numCores > 1 {
+		header = append(header, "core")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, e := range r.events {
@@ -138,6 +180,9 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(int64(e.Used), 10),
 			strconv.FormatBool(e.Runnable),
 			strconv.FormatInt(int64(e.Service), 10),
+		}
+		if r.numCores > 1 {
+			rec = append(rec, strconv.Itoa(e.Core))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -161,18 +206,21 @@ type RunSpan struct {
 	Start  sim.Time
 	End    sim.Time
 	Used   sched.Work
+	Core   int
 }
 
 // Spans extracts run spans from the recorded events. A span opens at a
 // dispatch and closes at the next charge of the same thread; interrupts in
-// between lengthen the span's wall time, not its Used work.
+// between lengthen the span's wall time, not its Used work. A thread runs
+// on at most one core at a time, so keying open spans by thread is sound
+// on multicore traces too.
 func (r *Recorder) Spans() []RunSpan {
 	var out []RunSpan
 	open := make(map[int]*RunSpan)
 	for _, e := range r.events {
 		switch e.Kind {
 		case Dispatch:
-			open[e.ThreadID] = &RunSpan{Thread: e.Thread, TID: e.ThreadID, Start: e.At}
+			open[e.ThreadID] = &RunSpan{Thread: e.Thread, TID: e.ThreadID, Start: e.At, Core: e.Core}
 		case Charge:
 			if sp, ok := open[e.ThreadID]; ok {
 				sp.End = e.At

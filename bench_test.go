@@ -20,7 +20,7 @@ import (
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Run(id, experiments.Options{Seed: 42})
+		res, err := experiments.Run(id, experiments.Options{Seed: 42, EventQueue: *benchQueue})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,8 +4,21 @@
 //
 //	BenchmarkName/sub-4   1000000   123.4 ns/op   16 B/op   2 allocs/op
 //
+// plus the custom whole-run throughput metric some benchmarks report:
+//
+//	BenchmarkSimThroughput/heap-4   10   1.2e7 ns/op   825.1 sim_ns/wall_ns
+//
 // and aggregates repeated counts of the same benchmark by median, which is
 // what benchstat reports as the center.
+//
+// Schema (version 2): the report carries a schema_version field, machine
+// metadata (go version, GOOS/GOARCH, GOMAXPROCS, CPU count) describing
+// where benchjson ran — in the make bench workflow, the same machine that
+// ran the benchmarks — and a "throughput" section listing the
+// simulated-ns-per-wall-ns medians for every benchmark that reports one.
+// Version-1 files (BENCH_PR1/PR2) have no schema_version, no machine, and
+// no throughput section; their "benchmarks" entries read identically (see
+// DESIGN.md's compatibility note).
 //
 // Usage:
 //
@@ -18,15 +31,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 )
 
+// schemaVersion gates encoding changes to the report layout. Bump it when
+// renaming or re-interpreting fields, not when adding optional sections.
+const schemaVersion = 2
+
 type sample struct {
 	nsPerOp  []float64
 	bPerOp   []float64
 	allocsOp []float64
+	simPerNs []float64 // the sim_ns/wall_ns throughput metric
 }
 
 type result struct {
@@ -40,10 +59,33 @@ type result struct {
 	AfterAllocsOp  float64 `json:"after_allocs_op"`
 }
 
+// throughput is one benchmark's whole-run speed: how many nanoseconds of
+// simulated time one nanosecond of wall clock buys. Bigger is faster.
+type throughput struct {
+	Name     string  `json:"name"`
+	Before   float64 `json:"before_sim_ns_per_wall_ns"`
+	After    float64 `json:"after_sim_ns_per_wall_ns"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// machineInfo records where the comparison ran, so historical BENCH files
+// are interpretable: a throughput regression on a different core count is
+// not a regression.
+type machineInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
 type report struct {
-	Unit       string   `json:"unit"`
-	Center     string   `json:"center"`
-	Benchmarks []result `json:"benchmarks"`
+	SchemaVersion int          `json:"schema_version"`
+	Unit          string       `json:"unit"`
+	Center        string       `json:"center"`
+	Machine       machineInfo  `json:"machine"`
+	Benchmarks    []result     `json:"benchmarks"`
+	Throughput    []throughput `json:"throughput,omitempty"`
 }
 
 func main() {
@@ -76,7 +118,18 @@ func main() {
 	}
 	sort.Strings(names)
 
-	rep := report{Unit: "ns/op", Center: "median"}
+	rep := report{
+		SchemaVersion: schemaVersion,
+		Unit:          "ns/op",
+		Center:        "median",
+		Machine: machineInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
+	}
 	for _, name := range names {
 		b, a := before[name], after[name]
 		bn, an := median(b.nsPerOp), median(a.nsPerOp)
@@ -90,6 +143,14 @@ func main() {
 			BeforeAllocsOp: median(b.allocsOp),
 			AfterAllocsOp:  median(a.allocsOp),
 		})
+		if len(b.simPerNs) > 0 || len(a.simPerNs) > 0 {
+			bt, at := median(b.simPerNs), median(a.simPerNs)
+			tp := throughput{Name: name, Before: bt, After: at}
+			if bt != 0 {
+				tp.DeltaPct = round2((at - bt) / bt * 100)
+			}
+			rep.Throughput = append(rep.Throughput, tp)
+		}
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -144,6 +205,8 @@ func parseFile(path string) (map[string]*sample, error) {
 				s.bPerOp = append(s.bPerOp, v)
 			case "allocs/op":
 				s.allocsOp = append(s.allocsOp, v)
+			case "sim_ns/wall_ns":
+				s.simPerNs = append(s.simPerNs, v)
 			}
 		}
 	}

@@ -23,7 +23,7 @@ func runAblationEBF(opt Options) *Result {
 	r := &Result{}
 	const horizon = 60 * sim.Second
 	quantum := 10 * sim.Millisecond
-	eng := sim.NewEngine()
+	eng := opt.Engine()
 	leaf := sched.NewSFQ(quantum)
 	m := cpu.NewMachine(eng, rate, leaf)
 	rng := sim.NewRand(opt.Seed)

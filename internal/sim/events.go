@@ -21,7 +21,10 @@ type Event struct {
 	// re-set it when re-arming restored events.
 	Core int
 	seq  uint64
-	idx  int // heap index, -1 once popped or cancelled
+	idx  int // queue position marker, -1 once popped or cancelled
+	// qnext/qprev thread the event into a timing-wheel bucket list; the
+	// heap queue leaves them nil. Only the owning queue touches them.
+	qnext, qprev *Event
 }
 
 // Cancelled reports whether the event has been removed from the queue
@@ -41,19 +44,28 @@ func (e *Event) HeapLess(o *Event) bool {
 func (e *Event) HeapIndex() *int { return &e.idx }
 
 // Engine is the discrete-event simulation loop. The zero value is not
-// usable; create one with NewEngine.
+// usable; create one with NewEngine or NewEngineWith.
 type Engine struct {
 	now    Time
-	queue  Heap[*Event]
+	queue  EventQueue
 	free   []*Event // fired/cancelled events awaiting reuse
 	seq    uint64
 	fired  uint64
 	halted bool
 }
 
-// NewEngine returns an engine whose clock starts at zero.
+// NewEngine returns an engine whose clock starts at zero, backed by the
+// default binary-heap event queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineWith(new(heapQueue))
+}
+
+// NewEngineWith returns an engine running on the given event queue. The
+// queue must be empty and is owned by the engine from here on. Any
+// conforming EventQueue (see the interface's ordering contract) yields
+// byte-identical simulations; the choice only changes speed.
+func NewEngineWith(q EventQueue) *Engine {
+	return &Engine{queue: q}
 }
 
 // Now returns the current simulated time.
@@ -63,25 +75,35 @@ func (e *Engine) Now() Time { return e.now }
 // and determinism probe for tests.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Seq returns the next sequence number the engine will assign. Together
-// with Now and Fired it is the engine's whole mutable state apart from the
-// queue itself; checkpoints capture it so that restored runs hand out the
-// same FIFO tie-break ordering the original run would have.
+// Seq returns the next sequence number this engine will assign — the
+// engine-side counter, not any event's own number (for that, see
+// Event.Seq). Together with Now and Fired it is the engine's whole
+// mutable state apart from the pending events themselves; checkpoints
+// capture it so that restored runs hand out the same FIFO tie-break
+// ordering the original run would have.
 func (e *Engine) Seq() uint64 { return e.seq }
 
-// Seq returns the event's scheduling sequence number, the FIFO tie-break
-// among events at the same instant. Checkpoints record it so pending
-// events can be re-armed in their original relative order on restore.
+// Seq returns this event's already-assigned scheduling sequence number —
+// the FIFO tie-break among events at the same instant, drawn from the
+// engine counter Engine.Seq reports the next value of. Checkpoints
+// record it per pending event so restores can re-arm events under their
+// original numbers (Engine.AtSeq) and reproduce the exact pop order.
 func (e *Event) Seq() uint64 { return e.seq }
 
 // Reset discards every pending event (returning the handles to the pool)
 // and forces the clock and counters, clearing any halt. It exists for
 // checkpoint restore: a freshly built simulation carries the build's
 // initial events, which Reset drops before the restored pending events are
-// re-armed. Holders of outstanding event handles must drop them.
+// re-armed. Holders of outstanding event handles must drop them. The
+// drain goes through the EventQueue interface, so any queue
+// implementation restores identically; queues that anchor bucket math to
+// a current time are re-anchored to the forced clock afterwards.
 func (e *Engine) Reset(now Time, seq, fired uint64) {
 	for e.queue.Len() > 0 {
 		e.release(e.queue.Pop())
+	}
+	if r, ok := e.queue.(timeResetter); ok {
+		r.resetTime(now)
 	}
 	e.now, e.seq, e.fired, e.halted = now, seq, fired, false
 }
@@ -150,7 +172,7 @@ func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.idx == -1 {
 		return
 	}
-	e.queue.Remove(ev.idx)
+	e.queue.Remove(ev)
 	e.release(ev)
 }
 
@@ -166,7 +188,12 @@ func (e *Engine) Step() bool {
 	if e.queue.Len() == 0 {
 		return false
 	}
-	ev := e.queue.Pop()
+	e.fire(e.queue.Pop())
+	return true
+}
+
+// fire executes one popped event and recycles its handle.
+func (e *Engine) fire(ev *Event) {
 	e.now = ev.At
 	e.fired++
 	fn := ev.Fn
@@ -174,23 +201,40 @@ func (e *Engine) Step() bool {
 	// Recycle only after the callback: the handle stays stable while its
 	// own callback runs, so holders can clear their reference inside it.
 	e.release(ev)
-	return true
 }
 
-// Run executes events until the queue is empty or Halt is called.
+// Run executes events until the queue is empty or Halt is called. All
+// events at one instant dispatch as a batch: the outer loop reads the
+// batch's time once and the inner loop drains events at exactly that
+// time, which keeps the queue's minimum hot (a timing wheel serves a
+// same-tick run from one bucket in O(1) per event). Events stay queued
+// until individually popped, so a callback cancelling a later
+// same-instant event still prevents it from firing, exactly as under
+// one-at-a-time stepping.
 func (e *Engine) Run() {
 	e.halted = false
-	for !e.halted && e.Step() {
+	for !e.halted && e.queue.Len() > 0 {
+		at := e.queue.Min().At
+		for !e.halted && e.queue.Len() > 0 && e.queue.Min().At == at {
+			e.fire(e.queue.Pop())
+		}
 	}
 }
 
 // RunUntil executes events with At <= deadline, then advances the clock to
 // the deadline (even if no event lies exactly there). Events scheduled at
-// the deadline do fire.
+// the deadline do fire. Same-instant events dispatch as a batch, checking
+// the deadline once per instant rather than once per event.
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
-	for !e.halted && e.queue.Len() > 0 && e.queue.Min().At <= deadline {
-		e.Step()
+	for !e.halted && e.queue.Len() > 0 {
+		at := e.queue.Min().At
+		if at > deadline {
+			break
+		}
+		for !e.halted && e.queue.Len() > 0 && e.queue.Min().At == at {
+			e.fire(e.queue.Pop())
+		}
 	}
 	if !e.halted && e.now < deadline {
 		e.now = deadline

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventQueue is the engine's pluggable pending-event store. The engine
+// owns event handles and their pooling; a queue only orders them.
+//
+// The ordering contract: Pop and Min select the event that HeapLess
+// ranks first — strictly ascending At, and among events at the same
+// instant, strictly ascending Seq. Because At panics on past times and
+// AtSeq forbids reused sequence numbers, (At, Seq) is a strict total
+// order, so the minimum is unique and every conforming implementation
+// yields the identical pop sequence for the identical push sequence.
+// That equivalence is what keeps simulation output independent of the
+// queue choice; TestEventQueueDifferential and FuzzEventQueueDiff pin it
+// between the heap and the timing wheel.
+//
+// Push may assume the event's At is not below the time of the last event
+// popped (the engine's clock only moves forward, and it validates At
+// against the clock before pushing). Pop and Min panic on an empty
+// queue, like indexing a slice out of range; callers gate on Len. An
+// implementation must maintain the event's intrusive index field
+// (HeapIndex): any non-negative value while queued, -1 once popped or
+// removed — Event.Cancelled and Engine.Cancel read it.
+type EventQueue interface {
+	// Push adds a detached event to the queue.
+	Push(*Event)
+	// Pop removes and returns the (At, Seq)-minimal event.
+	Pop() *Event
+	// Min returns the (At, Seq)-minimal event without removing it.
+	Min() *Event
+	// Remove detaches a currently queued event (cancellation). Calling
+	// it with an event that is not queued is a bug in the caller.
+	Remove(*Event)
+	// Len returns the number of queued events.
+	Len() int
+}
+
+// timeResetter is implemented by queues that anchor their bucket math to
+// a notion of current time; Engine.Reset re-anchors them after forcing
+// the clock (checkpoint restore), once the queue has been drained.
+type timeResetter interface {
+	resetTime(now Time)
+}
+
+// eventQueues registers the queue implementations by config name.
+var eventQueues = map[string]func() EventQueue{
+	"heap":  func() EventQueue { return new(heapQueue) },
+	"wheel": func() EventQueue { return NewWheel() },
+}
+
+// NewEventQueue constructs a queue implementation by name. The empty
+// name selects the default binary heap; unknown names are an error (the
+// config layer reports them with a field path, so this is the single
+// source of truth for what exists).
+func NewEventQueue(kind string) (EventQueue, error) {
+	if kind == "" {
+		kind = "heap"
+	}
+	mk, ok := eventQueues[kind]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown event queue %q (have %v)", kind, EventQueueNames())
+	}
+	return mk(), nil
+}
+
+// KnownEventQueue reports whether kind names a registered queue
+// implementation. The empty string is known: it means the default.
+func KnownEventQueue(kind string) bool {
+	if kind == "" {
+		return true
+	}
+	_, ok := eventQueues[kind]
+	return ok
+}
+
+// EventQueueNames returns the registered queue names, sorted.
+func EventQueueNames() []string {
+	names := make([]string, 0, len(eventQueues))
+	for name := range eventQueues {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// heapQueue is the default EventQueue: the intrusive binary min-heap
+// that has backed the engine since PR 1. O(log n) push and pop with
+// excellent constants at the small pending-event counts typical of
+// machine simulations; the timing wheel (wheel.go) overtakes it when
+// thousands of timers are outstanding.
+type heapQueue struct {
+	h Heap[*Event]
+}
+
+func (q *heapQueue) Push(ev *Event)   { q.h.Push(ev) }
+func (q *heapQueue) Pop() *Event      { return q.h.Pop() }
+func (q *heapQueue) Min() *Event      { return q.h.Min() }
+func (q *heapQueue) Remove(ev *Event) { q.h.Remove(ev.idx) }
+func (q *heapQueue) Len() int         { return q.h.Len() }

@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the EventQueue equivalence contract at the engine level:
+// for any workload of schedules, cancels, and checkpoint-style AtSeq
+// re-arms — same-instant bursts included — an Engine on the heap and an
+// Engine on the wheel must fire the identical event sequence. The
+// queue-level twin-pop test (wheel_test.go) checks the structures in
+// isolation; here the workload flows through the full Engine surface the
+// simulator actually uses (At, After, AtSeq, Cancel, Step, Run,
+// RunUntil), including callbacks that schedule and cancel while firing.
+
+// diffHarness drives one engine and records its firing trace.
+type diffHarness struct {
+	eng  *Engine
+	log  []string
+	live map[int]*Event // tag -> handle, for cancels
+	next int            // next tag to assign
+}
+
+func newDiffHarness(t *testing.T, kind string) *diffHarness {
+	t.Helper()
+	q, err := NewEventQueue(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &diffHarness{eng: NewEngineWith(q), live: map[int]*Event{}}
+}
+
+// schedule arms one event at the given time and returns its tag.
+func (h *diffHarness) schedule(at Time) int {
+	tag := h.next
+	h.next++
+	h.live[tag] = h.eng.At(at, func() {
+		h.log = append(h.log, fmt.Sprintf("%d@%d", tag, h.eng.Now()))
+		delete(h.live, tag)
+	})
+	return tag
+}
+
+// cancel removes the event with the given tag if it is still pending.
+func (h *diffHarness) cancel(tag int) {
+	if ev, ok := h.live[tag]; ok {
+		h.eng.Cancel(ev)
+		delete(h.live, tag)
+	}
+}
+
+// digest hashes the firing trace.
+func (h *diffHarness) digest() [sha256.Size]byte {
+	hs := sha256.New()
+	for _, line := range h.log {
+		hs.Write([]byte(line))
+		hs.Write([]byte{'\n'})
+	}
+	var out [sha256.Size]byte
+	copy(out[:], hs.Sum(nil))
+	return out
+}
+
+// compare fails the test at the first divergence between the two traces.
+func compareTraces(t *testing.T, ctx string, heap, wheel *diffHarness) {
+	t.Helper()
+	n := len(heap.log)
+	if len(wheel.log) < n {
+		n = len(wheel.log)
+	}
+	for i := 0; i < n; i++ {
+		if heap.log[i] != wheel.log[i] {
+			t.Fatalf("%s: firing %d diverges: heap %s, wheel %s", ctx, i, heap.log[i], wheel.log[i])
+		}
+	}
+	if len(heap.log) != len(wheel.log) {
+		t.Fatalf("%s: heap fired %d events, wheel %d", ctx, len(heap.log), len(wheel.log))
+	}
+	if heap.digest() != wheel.digest() {
+		t.Fatalf("%s: trace digests diverge", ctx)
+	}
+}
+
+// TestEventQueueDifferential replays seeded random workloads through both
+// engines: schedules at mixed horizons (same-instant bursts through
+// far-future cascade fodder), interleaved cancels, and stepped/batched
+// dispatch, with callbacks themselves scheduling follow-on work.
+func TestEventQueueDifferential(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		heap, wheel := newDiffHarness(t, "heap"), newDiffHarness(t, "wheel")
+		both := []*diffHarness{heap, wheel}
+
+		for round := 0; round < 300; round++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // one event at a mixed horizon
+				var delta Time
+				switch rng.Intn(4) {
+				case 0:
+					delta = 0
+				case 1:
+					delta = Time(rng.Intn(100))
+				case 2:
+					delta = Time(rng.Intn(1_000_000))
+				default:
+					delta = Time(rng.Int63n(int64(1) << uint(20+rng.Intn(25))))
+				}
+				for _, h := range both {
+					h.schedule(h.eng.Now() + delta)
+				}
+			case 3: // same-instant burst
+				delta := Time(rng.Intn(50_000))
+				k := 2 + rng.Intn(6)
+				for _, h := range both {
+					at := h.eng.Now() + delta
+					for j := 0; j < k; j++ {
+						h.schedule(at)
+					}
+				}
+			case 4: // self-rescheduling event: callback schedules more
+				delta := Time(rng.Intn(200_000))
+				hops := 1 + rng.Intn(3)
+				for _, h := range both {
+					h := h
+					tag := h.next
+					h.next++
+					var arm func(at Time, hop int)
+					arm = func(at Time, hop int) {
+						h.live[tag] = h.eng.At(at, func() {
+							h.log = append(h.log, fmt.Sprintf("%d.%d@%d", tag, hop, h.eng.Now()))
+							delete(h.live, tag)
+							if hop < hops {
+								arm(h.eng.Now()+delta/2+1, hop+1)
+							}
+						})
+					}
+					arm(h.eng.Now()+delta, 0)
+				}
+			case 5, 6: // cancel a random pending tag
+				if len(heap.live) == 0 {
+					continue
+				}
+				tags := make([]int, 0, len(heap.live))
+				for tag := range heap.live {
+					tags = append(tags, tag)
+				}
+				// map order is random; pick deterministically by value
+				min := tags[0]
+				for _, tg := range tags {
+					if tg < min {
+						min = tg
+					}
+				}
+				victim := min + rng.Intn(heap.next-min)
+				for _, h := range both {
+					h.cancel(victim)
+				}
+			case 7, 8: // step a few events
+				k := 1 + rng.Intn(4)
+				for _, h := range both {
+					for j := 0; j < k; j++ {
+						h.eng.Step()
+					}
+				}
+			default: // run to a deadline: batched same-tick dispatch
+				delta := Time(rng.Intn(500_000))
+				for _, h := range both {
+					h.eng.RunUntil(h.eng.Now() + delta)
+				}
+			}
+			if heap.eng.Pending() != wheel.eng.Pending() {
+				t.Fatalf("seed %d round %d: pending diverges: heap %d, wheel %d",
+					seed, round, heap.eng.Pending(), wheel.eng.Pending())
+			}
+		}
+		for _, h := range both {
+			h.eng.Run()
+		}
+		compareTraces(t, fmt.Sprintf("seed %d", seed), heap, wheel)
+		if heap.eng.Now() != wheel.eng.Now() || heap.eng.Fired() != wheel.eng.Fired() {
+			t.Fatalf("seed %d: final state diverges: heap now=%v fired=%d, wheel now=%v fired=%d",
+				seed, heap.eng.Now(), heap.eng.Fired(), wheel.eng.Now(), wheel.eng.Fired())
+		}
+	}
+}
+
+// TestEventQueueDifferentialRestore pins the checkpoint-restore pattern:
+// Reset to a forced clock and seq counter, re-arm a pending set through
+// AtSeq under explicit (shuffled, same-instant-heavy) sequence numbers,
+// and require identical firing order — the path that dirties wheel
+// buckets and triggers the seq re-sort.
+func TestEventQueueDifferentialRestore(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		heap, wheel := newDiffHarness(t, "heap"), newDiffHarness(t, "wheel")
+
+		// A synthetic checkpoint: n pending events at few distinct instants
+		// (forcing same-instant seq ordering) under shuffled original seqs.
+		n := 5 + rng.Intn(60)
+		base := Time(rng.Int63n(1_000_000_000))
+		instants := make([]Time, 1+rng.Intn(8))
+		for i := range instants {
+			instants[i] = base + Time(rng.Int63n(int64(1)<<uint(10+rng.Intn(30))))
+		}
+		seqs := rng.Perm(n)
+		type arm struct {
+			at  Time
+			seq uint64
+		}
+		arms := make([]arm, n)
+		for i := range arms {
+			arms[i] = arm{at: instants[rng.Intn(len(instants))], seq: uint64(seqs[i])}
+		}
+
+		for _, h := range []*diffHarness{heap, wheel} {
+			h := h
+			h.eng.Reset(base, uint64(n), 0)
+			for _, a := range arms {
+				a := a
+				h.eng.AtSeq(a.at, a.seq, func() {
+					h.log = append(h.log, fmt.Sprintf("s%d@%d", a.seq, h.eng.Now()))
+				})
+			}
+			h.eng.Run()
+		}
+		compareTraces(t, fmt.Sprintf("restore seed %d", seed), heap, wheel)
+	}
+}
+
+// FuzzEventQueueDiff interprets arbitrary bytes as an op script driven
+// through both engines and requires identical firing traces. Each op is
+// two bytes: an opcode selector and an argument.
+func FuzzEventQueueDiff(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 0, 10, 2, 2, 0, 0})                     // twin instants, step
+	f.Add([]byte{0, 200, 1, 3, 3, 1, 2, 8})                     // far push, burst, cancel, steps
+	f.Add([]byte{1, 9, 1, 9, 4, 50, 2, 40})                     // bursts, run-until, drain
+	f.Add([]byte{0, 255, 0, 1, 0, 0, 3, 0, 3, 1, 2, 9, 4, 255}) // cancel-heavy
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q1, _ := NewEventQueue("heap")
+		q2, _ := NewEventQueue("wheel")
+		engines := []*Engine{NewEngineWith(q1), NewEngineWith(q2)}
+		logs := make([][]uint64, 2)
+		var live [2][]*Event
+
+		schedule := func(i int, at Time) {
+			ev := engines[i].At(at, func() {
+				logs[i] = append(logs[i], uint64(engines[i].Now()))
+			})
+			live[i] = append(live[i], ev)
+		}
+		for p := 0; p+1 < len(data); p += 2 {
+			op, arg := data[p], int64(data[p+1])
+			switch op % 5 {
+			case 0: // schedule at a spread-out horizon (arg scales the span)
+				for i := range engines {
+					schedule(i, engines[i].Now()+Time(arg*arg*arg))
+				}
+			case 1: // same-instant burst of arg%7+2 events
+				for i := range engines {
+					at := engines[i].Now() + Time(arg*17)
+					for j := int64(0); j < arg%7+2; j++ {
+						schedule(i, at)
+					}
+				}
+			case 2: // step up to arg%5+1 events
+				for i := range engines {
+					for j := int64(0); j < arg%5+1; j++ {
+						engines[i].Step()
+					}
+				}
+			case 3: // cancel the (arg mod len)-th scheduled handle
+				if len(live[0]) == 0 {
+					continue
+				}
+				k := int(arg) % len(live[0])
+				for i := range engines {
+					engines[i].Cancel(live[i][k])
+					live[i] = append(live[i][:k], live[i][k+1:]...)
+				}
+			case 4: // batched dispatch to a deadline
+				for i := range engines {
+					engines[i].RunUntil(engines[i].Now() + Time(arg*1000))
+				}
+			}
+			if engines[0].Pending() != engines[1].Pending() {
+				t.Fatalf("pending diverges: heap %d, wheel %d", engines[0].Pending(), engines[1].Pending())
+			}
+		}
+		for i := range engines {
+			engines[i].Run()
+		}
+		h1, h2 := sha256.New(), sha256.New()
+		var buf [8]byte
+		for _, v := range logs[0] {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h1.Write(buf[:])
+		}
+		for _, v := range logs[1] {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h2.Write(buf[:])
+		}
+		if string(h1.Sum(nil)) != string(h2.Sum(nil)) {
+			n := len(logs[0])
+			if len(logs[1]) < n {
+				n = len(logs[1])
+			}
+			for i := 0; i < n; i++ {
+				if logs[0][i] != logs[1][i] {
+					t.Fatalf("firing %d diverges: heap t=%d, wheel t=%d", i, logs[0][i], logs[1][i])
+				}
+			}
+			t.Fatalf("heap fired %d events, wheel %d", len(logs[0]), len(logs[1]))
+		}
+		if engines[0].Now() != engines[1].Now() {
+			t.Fatalf("final clocks diverge: heap %v, wheel %v", engines[0].Now(), engines[1].Now())
+		}
+	})
+}

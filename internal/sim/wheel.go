@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements EventQueue as a hashed hierarchical timing wheel,
+// the O(1)-amortized alternative to the binary heap for the simulator's
+// mostly-monotonic timer workload (Brown's calendar-queue observation:
+// event-driven simulators schedule overwhelmingly near-future, roughly
+// sorted work, so a bucketed structure beats a comparison-based one).
+//
+// Geometry: wheelLevels levels of wheelSlots buckets each. A bucket at
+// level k spans 64^k nanoseconds, so level 0 buckets are exact one-tick
+// buckets and level k covers times up to 64^(k+1) past the wheel's
+// current time. With 11 levels the top spans 2^66 ns — beyond the int64
+// time range — so every schedulable instant lands in some level and
+// there is no separate unbounded-overflow list; far-future events simply
+// enter a high level and cascade down ("overflow cascading") as the
+// wheel's time approaches them.
+//
+// Placement: an event at time t goes to the lowest level k at which t
+// and the wheel's current time agree in all bit positions at and above
+// 6*(k+1) — i.e. the lowest level whose current span contains t. Its
+// slot is bits [6k, 6k+6) of t. Two consequences make the search cheap:
+//
+//   - No wraparound. Events at level k share the wheel time's level-(k+1)
+//     prefix, so their level-k slots are all >= the wheel time's own
+//     slot; a per-level occupancy bitmap plus TrailingZeros64 finds the
+//     earliest non-empty bucket in a few instructions.
+//   - Level order is time order. Every event at level k precedes every
+//     event at any higher level, so the earliest event always lives in
+//     the lowest occupied level's lowest occupied slot.
+//
+// Exactness: a level-0 bucket holds events of a single instant, and
+// lists keep push order, which for At-scheduled events is seq order —
+// so popping a level-0 bucket front to back yields the documented
+// (At, Seq) order with no comparisons at all. The one way a bucket can
+// go out of seq order is checkpoint restore re-arming events through
+// AtSeq with explicit, non-monotone sequence numbers; pushes detect any
+// inversion against the bucket's tail and mark the bucket dirty, and a
+// dirty level-0 bucket is insertion-sorted by seq once before it is
+// drained. Steady-state operation never sorts.
+//
+// Push, Pop, Min, and Remove allocate nothing: buckets are intrusive
+// doubly-linked lists threaded through the Event handles the engine
+// already pools (alloc_guard_test.go enforces this).
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64 buckets per level
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11 // 6*11 = 66 bits: all of int64 time, no overflow list
+)
+
+// wheelBucket is one intrusive event list. dirty records that an AtSeq
+// push inverted the list's seq order somewhere; it is sticky until the
+// bucket is cascaded (re-detected downstream) or sorted at level 0.
+type wheelBucket struct {
+	head, tail *Event
+	dirty      bool
+}
+
+// Wheel is the hierarchical timing-wheel EventQueue. The zero value is
+// not usable; construct with NewWheel (or sim.NewEventQueue("wheel")).
+type Wheel struct {
+	cur   Time // wheel time: no queued event is earlier
+	count int
+	min   *Event // cached (At, Seq) minimum; nil means recompute
+	occ   [wheelLevels]uint64
+	slots [wheelLevels][wheelSlots]wheelBucket
+}
+
+// NewWheel returns an empty wheel anchored at time zero.
+func NewWheel() *Wheel {
+	return &Wheel{}
+}
+
+// Len implements EventQueue.
+func (w *Wheel) Len() int { return w.count }
+
+// Push implements EventQueue.
+func (w *Wheel) Push(ev *Event) {
+	if ev.At < w.cur {
+		panic(fmt.Sprintf("sim: wheel push at %v, before wheel time %v", ev.At, w.cur))
+	}
+	w.place(ev)
+	w.count++
+	// Keep the cached minimum exact. A nil cache on a non-empty wheel
+	// means "invalidated, recompute lazily" — seeding it from the pushed
+	// event there would shadow an earlier event already queued.
+	if w.count == 1 {
+		w.min = ev
+	} else if w.min != nil && ev.HeapLess(w.min) {
+		w.min = ev
+	}
+}
+
+// place links ev into the bucket its time selects relative to w.cur,
+// preserving push order and flagging seq inversions. It is shared by
+// Push and by cascading, so relative order of same-instant events — and
+// the dirty detection that guards it — survives every level change.
+func (w *Wheel) place(ev *Event) {
+	k := 0
+	if x := uint64(ev.At ^ w.cur); x != 0 {
+		k = (63 - bits.LeadingZeros64(x)) / wheelBits
+	}
+	s := int(ev.At>>(uint(k)*wheelBits)) & wheelMask
+	b := &w.slots[k][s]
+	ev.qprev = b.tail
+	ev.qnext = nil
+	if b.tail != nil {
+		b.tail.qnext = ev
+		if ev.HeapLess(b.tail) {
+			b.dirty = true
+		}
+	} else {
+		b.head = ev
+	}
+	b.tail = ev
+	w.occ[k] |= 1 << uint(s)
+	ev.idx = k*wheelSlots + s
+}
+
+// Min implements EventQueue. It never moves the wheel's time: the
+// engine's contract only promises that pushes stay at or after the last
+// POPPED time, so peeking at a future minimum must not commit the wheel
+// to it. Min only reads — plus the one-off seq sort of a dirty level-0
+// bucket, a reorganization that changes no observable ordering.
+func (w *Wheel) Min() *Event {
+	if w.min != nil {
+		return w.min
+	}
+	if w.count == 0 {
+		panic("sim: Min of an empty wheel")
+	}
+	k, s := w.lowest()
+	b := &w.slots[k][s]
+	if k == 0 {
+		if b.dirty {
+			sortBucketBySeq(b)
+		}
+		w.min = b.head
+		return w.min
+	}
+	// A level >= 1 bucket spans many instants, so the head is not
+	// necessarily first: scan the list for the (At, Seq) minimum. The
+	// scan's cost is repaid by the Pop that follows, which empties the
+	// bucket by cascading it one or more levels down.
+	min := b.head
+	for ev := b.head.qnext; ev != nil; ev = ev.qnext {
+		if ev.HeapLess(min) {
+			min = ev
+		}
+	}
+	w.min = min
+	return min
+}
+
+// lowest returns the lowest occupied level and its lowest occupied slot —
+// by the placement invariants, the bucket holding the earliest events.
+// The caller guarantees the wheel is non-empty.
+func (w *Wheel) lowest() (k, s int) {
+	for k = 0; k < wheelLevels; k++ {
+		if w.occ[k] != 0 {
+			return k, bits.TrailingZeros64(w.occ[k])
+		}
+	}
+	panic("sim: lowest of an empty wheel")
+}
+
+// Pop implements EventQueue.
+func (w *Wheel) Pop() *Event {
+	ev := w.min
+	if ev == nil {
+		ev = w.Min()
+	}
+	// ev is the strict (At, Seq) minimum, so every remaining event's time
+	// is >= ev.At and moving the wheel time to it keeps every event at or
+	// after cur. Prefix agreement at the levels above an event's own also
+	// survives: cur moves toward the event's time, and a shared prefix is
+	// shared by everything in between.
+	w.cur = ev.At
+	k, s := ev.idx/wheelSlots, ev.idx&wheelMask
+	b := &w.slots[k][s]
+	w.unlink(ev, b)
+	w.count--
+	if k == 0 {
+		// Same-tick fast path: a clean level-0 bucket is a single instant
+		// in seq order, so its new head is the next global minimum — the
+		// batch of co-scheduled events the engine dispatches costs O(1)
+		// per event.
+		if b.head != nil && !b.dirty {
+			w.min = b.head
+		} else {
+			w.min = nil
+		}
+		return ev
+	}
+	// cur just moved inside a level-k bucket's span, so that bucket's
+	// remaining events now belong one or more levels lower ("overflow
+	// cascading"). Cascading them immediately is what keeps level order
+	// equal to time order for the next lowest() scan. Levels below k were
+	// empty — k held the minimum — so no other bucket's span contains cur,
+	// and re-placing relative to the new cur is strictly lowering.
+	rest := b.head
+	b.head, b.tail, b.dirty = nil, nil, false
+	w.occ[k] &^= 1 << uint(s)
+	for rest != nil {
+		next := rest.qnext
+		w.place(rest)
+		rest = next
+	}
+	w.min = nil
+	return ev
+}
+
+// Remove implements EventQueue.
+func (w *Wheel) Remove(ev *Event) {
+	k := ev.idx / wheelSlots
+	w.unlink(ev, &w.slots[k][ev.idx&wheelMask])
+	w.count--
+	if w.min == ev {
+		w.min = nil
+	}
+}
+
+// unlink detaches ev from its bucket, clearing the occupancy bit when
+// the bucket empties.
+func (w *Wheel) unlink(ev *Event, b *wheelBucket) {
+	if ev.qprev != nil {
+		ev.qprev.qnext = ev.qnext
+	} else {
+		b.head = ev.qnext
+	}
+	if ev.qnext != nil {
+		ev.qnext.qprev = ev.qprev
+	} else {
+		b.tail = ev.qprev
+	}
+	if b.head == nil {
+		w.occ[ev.idx/wheelSlots] &^= 1 << uint(ev.idx&wheelMask)
+		b.dirty = false
+	}
+	ev.qnext, ev.qprev = nil, nil
+	ev.idx = -1
+}
+
+// resetTime re-anchors an empty wheel for Engine.Reset: checkpoint
+// restore forces the clock to the snapshot instant, which may lie before
+// the times the drain walked past.
+func (w *Wheel) resetTime(now Time) {
+	if w.count != 0 {
+		panic("sim: resetTime of a non-empty wheel")
+	}
+	w.cur = now
+	w.min = nil
+}
+
+// sortBucketBySeq insertion-sorts a level-0 bucket's list by sequence
+// number. All events in such a bucket share one instant, so seq order is
+// full (At, Seq) order. Only checkpoint restore can dirty a bucket, so
+// this never runs in steady state; it allocates nothing either way.
+func sortBucketBySeq(b *wheelBucket) {
+	var head, tail *Event
+	for ev := b.head; ev != nil; {
+		next := ev.qnext
+		// Walk the sorted list from the tail: inputs are mostly sorted
+		// runs, so insertion near the end is the common case.
+		at := tail
+		for at != nil && ev.seq < at.seq {
+			at = at.qprev
+		}
+		if at == nil { // new head
+			ev.qprev, ev.qnext = nil, head
+			if head != nil {
+				head.qprev = ev
+			} else {
+				tail = ev
+			}
+			head = ev
+		} else {
+			ev.qprev, ev.qnext = at, at.qnext
+			if at.qnext != nil {
+				at.qnext.qprev = ev
+			} else {
+				tail = ev
+			}
+			at.qnext = ev
+		}
+		ev = next
+	}
+	b.head, b.tail = head, tail
+	b.dirty = false
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// newTestEvent fabricates a detached event the way the engine would.
+func newTestEvent(at Time, seq uint64) *Event {
+	return &Event{At: at, seq: seq, idx: -1}
+}
+
+// drain pops q empty, asserting the (At, seq) stream is strictly
+// increasing in the queue order contract.
+func drain(t *testing.T, q EventQueue) []*Event {
+	t.Helper()
+	var out []*Event
+	for q.Len() > 0 {
+		min := q.Min()
+		ev := q.Pop()
+		if ev != min {
+			t.Fatalf("Pop returned %v/%d but Min promised %v/%d", ev.At, ev.seq, min.At, min.seq)
+		}
+		if ev.idx != -1 {
+			t.Fatalf("popped event still marked queued (idx %d)", ev.idx)
+		}
+		if n := len(out); n > 0 {
+			prev := out[n-1]
+			if ev.At < prev.At || (ev.At == prev.At && ev.seq <= prev.seq) {
+				t.Fatalf("pop order violated: %v/%d after %v/%d", ev.At, ev.seq, prev.At, prev.seq)
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestWheelMatchesHeapRandom pushes an identical random workload into the
+// wheel and the heap and requires identical pop streams — the
+// queue-level form of the engine equivalence contract.
+func TestWheelMatchesHeapRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := NewWheel(), new(heapQueue)
+		var seq uint64
+		var now Time
+		var wheelLive, heapLive []*Event
+		for op := 0; op < 2000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 6: // push a pair of twins
+				// Mix near-future, same-instant, and far-future times so
+				// every wheel level and the cascade path get traffic.
+				var at Time
+				switch rng.Intn(4) {
+				case 0:
+					at = now // same-instant burst
+				case 1:
+					at = now + Time(rng.Intn(64))
+				case 2:
+					at = now + Time(rng.Intn(100_000))
+				default:
+					at = now + Time(rng.Int63n(int64(1)<<uint(20+rng.Intn(30))))
+				}
+				we, he := newTestEvent(at, seq), newTestEvent(at, seq)
+				seq++
+				w.Push(we)
+				h.Push(he)
+				wheelLive = append(wheelLive, we)
+				heapLive = append(heapLive, he)
+			case r < 8: // pop from both
+				if w.Len() == 0 {
+					continue
+				}
+				we, he := w.Pop(), h.Pop()
+				if we.At != he.At || we.seq != he.seq {
+					t.Fatalf("seed %d: wheel popped %v/%d, heap %v/%d", seed, we.At, we.seq, he.At, he.seq)
+				}
+				if we.At < now {
+					t.Fatalf("seed %d: pop went backwards: %v < %v", seed, we.At, now)
+				}
+				now = we.At
+				wheelLive = removeLive(wheelLive, we)
+				heapLive = removeLive(heapLive, he)
+			default: // cancel the same random live event in both
+				if len(wheelLive) == 0 {
+					continue
+				}
+				i := rng.Intn(len(wheelLive))
+				w.Remove(wheelLive[i])
+				h.Remove(heapLive[i])
+				wheelLive = append(wheelLive[:i], wheelLive[i+1:]...)
+				heapLive = append(heapLive[:i], heapLive[i+1:]...)
+			}
+			if w.Len() != h.Len() {
+				t.Fatalf("seed %d: lengths diverge: wheel %d heap %d", seed, w.Len(), h.Len())
+			}
+		}
+		ws, hs := drain(t, w), drain(t, h)
+		for i := range ws {
+			if ws[i].At != hs[i].At || ws[i].seq != hs[i].seq {
+				t.Fatalf("seed %d: drain[%d]: wheel %v/%d heap %v/%d",
+					seed, i, ws[i].At, ws[i].seq, hs[i].At, hs[i].seq)
+			}
+		}
+	}
+}
+
+func removeLive(live []*Event, ev *Event) []*Event {
+	for i, e := range live {
+		if e == ev {
+			return append(live[:i], live[i+1:]...)
+		}
+	}
+	return live
+}
+
+// TestWheelFarFutureCascade plants events across every wheel level —
+// including times that only fit in the top levels — and checks they
+// cascade out in exact time order.
+func TestWheelFarFutureCascade(t *testing.T) {
+	w := NewWheel()
+	var seq uint64
+	times := []Time{
+		0, 1, 63, 64, 65, 4095, 4096, 1 << 20, 1<<20 + 1,
+		1 << 30, 1 << 40, 1 << 50, 1 << 60, 1<<62 + 12345,
+	}
+	// Push in reverse so nothing arrives pre-sorted.
+	for i := len(times) - 1; i >= 0; i-- {
+		w.Push(newTestEvent(times[i], seq))
+		seq++
+	}
+	got := drain(t, w)
+	if len(got) != len(times) {
+		t.Fatalf("drained %d events, want %d", len(got), len(times))
+	}
+	for i, ev := range got {
+		if ev.At != times[i] {
+			t.Fatalf("pop %d at %v, want %v", i, ev.At, times[i])
+		}
+	}
+}
+
+// TestWheelSameInstantFIFO checks that a large same-tick burst pops in
+// push (seq) order even after the burst cascades down from a high level.
+func TestWheelSameInstantFIFO(t *testing.T) {
+	w := NewWheel()
+	const at = Time(1<<30 + 777) // starts several levels up
+	for s := uint64(0); s < 500; s++ {
+		w.Push(newTestEvent(at, s))
+	}
+	for want := uint64(0); want < 500; want++ {
+		if ev := w.Pop(); ev.seq != want {
+			t.Fatalf("same-instant pop got seq %d, want %d", ev.seq, want)
+		}
+	}
+}
+
+// TestWheelDirtyBucketSort pushes same-instant events with explicitly
+// out-of-order sequence numbers — the AtSeq checkpoint-restore pattern —
+// and checks the wheel still pops them in seq order.
+func TestWheelDirtyBucketSort(t *testing.T) {
+	for _, at := range []Time{5, 1 << 25} {
+		w := NewWheel()
+		for _, s := range []uint64{7, 2, 9, 4, 4_000, 1, 8, 0} {
+			w.Push(newTestEvent(at, s))
+		}
+		w.Push(newTestEvent(at+1, 3)) // neighbor instant interleaved
+		var prev *Event
+		for w.Len() > 0 {
+			ev := w.Pop()
+			if prev != nil && !prev.HeapLess(ev) {
+				t.Fatalf("at=%v: popped %v/%d after %v/%d", at, ev.At, ev.seq, prev.At, prev.seq)
+			}
+			prev = ev
+		}
+	}
+}
+
+// TestWheelMinIsStable checks Min returns the same event repeatedly
+// without consuming it, across cascades.
+func TestWheelMinIsStable(t *testing.T) {
+	w := NewWheel()
+	w.Push(newTestEvent(1<<33, 0))
+	w.Push(newTestEvent(10, 1))
+	for i := 0; i < 3; i++ {
+		if min := w.Min(); min.At != 10 {
+			t.Fatalf("Min #%d at %v, want 10", i, min.At)
+		}
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Min consumed events: len %d", w.Len())
+	}
+	if ev := w.Pop(); ev.At != 10 {
+		t.Fatalf("popped %v, want 10", ev.At)
+	}
+	if min := w.Min(); min.At != 1<<33 {
+		t.Fatalf("second Min at %v, want %v", min.At, Time(1<<33))
+	}
+}
+
+// TestWheelRemoveMin removes the cached minimum and checks the next Min
+// is recomputed correctly.
+func TestWheelRemoveMin(t *testing.T) {
+	w := NewWheel()
+	a, b, c := newTestEvent(5, 0), newTestEvent(5, 1), newTestEvent(900_000, 2)
+	w.Push(a)
+	w.Push(b)
+	w.Push(c)
+	if w.Min() != a {
+		t.Fatal("min is not the first same-instant event")
+	}
+	w.Remove(a)
+	if w.Min() != b {
+		t.Fatalf("after removing min, Min is %v/%d, want 5/1", w.Min().At, w.Min().seq)
+	}
+	w.Remove(b)
+	if w.Min() != c {
+		t.Fatal("after removing both, Min is not the far event")
+	}
+	if w.Len() != 1 {
+		t.Fatalf("len %d, want 1", w.Len())
+	}
+}
+
+// TestWheelResetTime re-anchors an empty wheel backwards, the checkpoint
+// restore pattern (drain walked past the snapshot instant), and checks
+// re-armed events order correctly.
+func TestWheelResetTime(t *testing.T) {
+	w := NewWheel()
+	w.Push(newTestEvent(1_000_000, 0))
+	w.Pop() // cur is now 1_000_000
+	w.resetTime(500)
+	w.Push(newTestEvent(600, 5))
+	w.Push(newTestEvent(500, 9))
+	if ev := w.Pop(); ev.At != 500 {
+		t.Fatalf("after resetTime, popped %v, want 500", ev.At)
+	}
+	if ev := w.Pop(); ev.At != 600 {
+		t.Fatalf("after resetTime, popped %v, want 600", ev.At)
+	}
+}
+
+// TestWheelPushPastPanics pins the defensive check: scheduling before
+// the wheel's current time is an engine bug, never valid input.
+func TestWheelPushPastPanics(t *testing.T) {
+	w := NewWheel()
+	w.Push(newTestEvent(100, 0))
+	w.Pop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push before wheel time did not panic")
+		}
+	}()
+	w.Push(newTestEvent(50, 1))
+}
+
+// TestWheelEmptyPanics pins Min/Pop behavior on an empty wheel: a panic,
+// like the heap's out-of-range index.
+func TestWheelEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min of empty wheel did not panic")
+		}
+	}()
+	NewWheel().Min()
+}

@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hsfq/internal/simconfig"
+)
+
+// TestExecuteConfigQueueInvariant is the whole-run form of the event-queue
+// equivalence contract: the same config executed under the heap and under
+// the timing wheel must produce the identical outcome digest and metrics.
+// The digest covers per-thread work, segments, machine counters, and
+// deadline/frame accounting, so any divergence in event ordering anywhere
+// in a run surfaces here.
+func TestExecuteConfigQueueInvariant(t *testing.T) {
+	cfg, err := simconfig.Parse(strings.NewReader(`{
+	  "rate_mips": 100,
+	  "horizon": "3s",
+	  "seed": 11,
+	  "nodes": [
+	    {"path": "/rt", "weight": 3},
+	    {"path": "/rt/hard", "weight": 2, "leaf": "edf"},
+	    {"path": "/rt/soft", "weight": 1, "leaf": "sfq", "quantum": "5ms"},
+	    {"path": "/be", "weight": 1, "leaf": "svr4"}
+	  ],
+	  "threads": [
+	    {"name": "sensor", "leaf": "/rt/hard",
+	     "program": {"kind": "periodic", "period": "20ms", "cost": "3ms"}},
+	    {"name": "dec", "leaf": "/rt/soft", "weight": 3,
+	     "program": {"kind": "mpeg", "frames": 90, "loop": true}},
+	    {"name": "editor", "leaf": "/rt/soft",
+	     "program": {"kind": "interactive", "think_mean": "50ms"}},
+	    {"name": "make", "leaf": "/be",
+	     "program": {"kind": "dhrystone", "fault_every": 60, "fault_sleep": "2ms"}}
+	  ],
+	  "interrupts": [
+	    {"kind": "periodic", "period": "10ms", "service": "200us"},
+	    {"kind": "poisson", "rate_per_sec": 80, "service": "300us"}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 7, 42} {
+		heapCfg, wheelCfg := cfg, cfg
+		heapCfg.EventQueue = "heap"
+		wheelCfg.EventQueue = "wheel"
+		hd, hm, err := ExecuteConfig(heapCfg, seed)
+		if err != nil {
+			t.Fatalf("seed %d: heap run: %v", seed, err)
+		}
+		wd, wm, err := ExecuteConfig(wheelCfg, seed)
+		if err != nil {
+			t.Fatalf("seed %d: wheel run: %v", seed, err)
+		}
+		if hd != wd {
+			t.Fatalf("seed %d: digests diverge: heap %s, wheel %s", seed, hd, wd)
+		}
+		if !reflect.DeepEqual(hm, wm) {
+			t.Fatalf("seed %d: metrics diverge:\nheap:  %v\nwheel: %v", seed, hm, wm)
+		}
+	}
+}
+
+// TestEventQueueAxis checks the sweep axis: an event_queue axis expands
+// into per-queue grid points whose jobs carry the selection into the
+// config, and every point of the pair digests identically.
+func TestEventQueueAxis(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{
+	  "seeds": 2,
+	  "base": {
+	    "horizon": "500ms",
+	    "nodes": [{"path": "/run", "weight": 1, "leaf": "sfq", "quantum": "5ms"}],
+	    "threads": [
+	      {"name": "a", "leaf": "/run", "program": {"kind": "loop"}},
+	      {"name": "b", "leaf": "/run", "weight": 2, "program": {"kind": "onoff", "bursts": 3, "off": "20ms"}}
+	    ]
+	  },
+	  "axes": [{"param": "event_queue", "values": ["heap", "wheel"]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 { // 2 queues x 2 seeds
+		t.Fatalf("expanded %d jobs, want 4", len(jobs))
+	}
+	digests := map[uint64]map[string]string{} // seed -> queue -> digest
+	for _, job := range jobs {
+		q := job.Point["event_queue"]
+		if job.Config.EventQueue != q {
+			t.Fatalf("job %s: config queue %q, point %q", JobKey(job.Config, job.Seed), job.Config.EventQueue, q)
+		}
+		d, _, err := ExecuteConfig(job.Config, job.Seed)
+		if err != nil {
+			t.Fatalf("job %s: %v", JobKey(job.Config, job.Seed), err)
+		}
+		if digests[job.Seed] == nil {
+			digests[job.Seed] = map[string]string{}
+		}
+		digests[job.Seed][q] = d
+	}
+	for seed, byQueue := range digests {
+		if byQueue["heap"] != byQueue["wheel"] {
+			t.Fatalf("seed %d: axis digests diverge: heap %s, wheel %s", seed, byQueue["heap"], byQueue["wheel"])
+		}
+	}
+}

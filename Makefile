@@ -19,6 +19,14 @@ LOADTEST_C ?= 64
 LOADTEST_QUEUE ?= 16
 LOADTEST_WORKERS ?= 4
 
+# Tenant smoke shape: the weighted leg splits TENANT_SMOKE_C client
+# goroutines across the tenants for TENANT_SMOKE_DURATION per phase
+# against TENANT_SMOKE_WORKERS daemon workers — few enough workers that
+# the pool saturates and the SFQ tree decides dispatch order.
+TENANT_SMOKE_C ?= 32
+TENANT_SMOKE_WORKERS ?= 2
+TENANT_SMOKE_DURATION ?= 3s
+
 # Fuzz-smoke budget per target. Minimization is capped at one attempt so
 # the whole budget is spent fuzzing, not shrinking interesting inputs.
 FUZZ_TIME ?= 30s
@@ -27,11 +35,11 @@ FUZZ_TIME ?= 30s
 # smoke only needs a real sim_ns/wall_ns sample, not a stable median.
 BENCH_SMOKE_TIME ?= 50ms
 
-.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke queue-bench
+.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest tenant-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke queue-bench
 
 all: build test
 
-check: build test vet sweep-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke
+check: build test vet sweep-smoke tenant-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -64,6 +72,28 @@ loadtest:
 	$(GO) build -o /tmp/hsfqd ./cmd/hsfqd
 	$(GO) run ./cmd/hsfqload -hsfqd /tmp/hsfqd -n $(LOADTEST_N) -c $(LOADTEST_C) \
 		-queue $(LOADTEST_QUEUE) -workers $(LOADTEST_WORKERS)
+
+# Multi-tenant serving end to end over real processes, three legs against
+# a policy-carrying daemon:
+#   1. classic header-less traffic must behave exactly as before the
+#      tenant scheduler existed (byte-identical bodies, legacy /metrics
+#      schema intact, clean drain);
+#   2. gold:4 vs bronze:1 under saturation must complete requests in
+#      proportion to weight within the fairness tolerance, with a shared
+#      scenario byte-identical across tenants;
+#   3. a one-tenant flood must leave the victim tenant's p99 within the
+#      configured bound of its p99 alone.
+# hsfqload exits non-zero on any violated invariant.
+tenant-smoke:
+	$(GO) build -o /tmp/hsfqd ./cmd/hsfqd
+	$(GO) run ./cmd/hsfqload -hsfqd /tmp/hsfqd -policy examples/policies/tenants.json \
+		-n $(LOADTEST_N) -c $(LOADTEST_C) -queue $(LOADTEST_QUEUE) -workers $(LOADTEST_WORKERS)
+	$(GO) run ./cmd/hsfqload -hsfqd /tmp/hsfqd -policy examples/policies/tenants.json \
+		-tenants gold:4,bronze:1 -duration $(TENANT_SMOKE_DURATION) -c $(TENANT_SMOKE_C) \
+		-queue 64 -workers $(TENANT_SMOKE_WORKERS)
+	$(GO) run ./cmd/hsfqload -hsfqd /tmp/hsfqd -policy examples/policies/tenants.json \
+		-tenants victim:1,flood:1 -flood flood -duration 2s \
+		-queue 64 -workers $(TENANT_SMOKE_WORKERS)
 
 # Short coverage-guided runs of each fuzz target on top of the checked-in
 # corpora: config intake must never panic, content addresses must survive

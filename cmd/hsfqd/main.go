@@ -16,6 +16,13 @@
 // SIGTERM/SIGINT drain gracefully: /readyz flips to 503, the listener
 // stops accepting, in-flight requests (and their jobs) finish, then the
 // process exits 0.
+//
+// With -policy, requests are scheduled per tenant (X-Tenant / X-API-Key
+// headers) by a weighted hierarchical SFQ tree instead of a global FIFO:
+// the policy file sets per-tenant weights, admission quotas, and API
+// keys, and SIGHUP reloads it in place (a bad file logs and keeps the
+// old policy). Without -policy all traffic shares the default tenant and
+// behaves exactly like the FIFO it replaced.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"hsfq/internal/server"
+	"hsfq/internal/tenantsched"
 )
 
 func main() {
@@ -48,9 +56,19 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 256, "max jobs per POST /v1/jobs claim")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		policyPath   = flag.String("policy", "", "tenant policy JSON (weights, quotas, API keys); SIGHUP reloads it")
 	)
 	flag.Parse()
 
+	var pol *tenantsched.Policy
+	if *policyPath != "" {
+		p, err := tenantsched.LoadPolicy(*policyPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hsfqd:", err)
+			os.Exit(1)
+		}
+		pol = p
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -62,12 +80,33 @@ func main() {
 		MaxBatch:       *maxBatch,
 		RequestTimeout: *timeout,
 		CheckpointDir:  *ckptDir,
+		Policy:         pol,
 	})
+	if *policyPath != "" {
+		hupCh := make(chan os.Signal, 1)
+		signal.Notify(hupCh, syscall.SIGHUP)
+		go reloadPolicy(srv, *policyPath, hupCh)
+	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	if err := serve(&http.Server{Addr: *addr, Handler: srv}, srv, sigCh, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "hsfqd:", err)
 		os.Exit(1)
+	}
+}
+
+// reloadPolicy re-reads the policy file on each SIGHUP and hot-swaps it
+// into the running server; a file that fails to load or validate keeps
+// the current policy, so a botched edit cannot take the daemon down.
+func reloadPolicy(srv *server.Server, path string, hupCh <-chan os.Signal) {
+	for range hupCh {
+		p, err := tenantsched.LoadPolicy(path)
+		if err != nil {
+			log.Printf("hsfqd: SIGHUP: %v (keeping current policy)", err)
+			continue
+		}
+		srv.SetPolicy(p)
+		log.Printf("hsfqd: SIGHUP: reloaded tenant policy from %s (%d tenant(s))", path, len(p.TenantNames()))
 	}
 }
 

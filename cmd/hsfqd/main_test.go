@@ -4,7 +4,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
@@ -57,6 +59,52 @@ func TestServeAndDrain(t *testing.T) {
 	// The listener is really closed: new connections are refused.
 	if _, err := http.Get(addr + "/healthz"); err == nil {
 		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestReloadPolicy drives the SIGHUP handler directly: a reload swaps
+// the live policy (observable as identity enforcement flipping on), and
+// a subsequent bad file keeps the last good policy instead of failing
+// open.
+func TestReloadPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "policy.json")
+	srv := server.New(server.Config{Workers: 1, QueueDepth: 2})
+	defer srv.Drain()
+	hupCh := make(chan os.Signal)
+	go reloadPolicy(srv, path, hupCh)
+	defer close(hupCh)
+
+	status := func(tenant string) int {
+		req := httptest.NewRequest("POST", "/v1/simulate", strings.NewReader("{}"))
+		req.Header.Set("X-Tenant", tenant)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	// Open default policy: unknown tenants are admitted (the empty body
+	// then fails validation with 400).
+	if got := status("stranger"); got != 400 {
+		t.Fatalf("before reload: %d, want 400", got)
+	}
+	if err := os.WriteFile(path, []byte(`{"strict": true, "tenants": {"acme": {"weight": 2}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hupCh <- syscall.SIGHUP
+	deadline := time.Now().Add(5 * time.Second)
+	for status("stranger") != 403 {
+		if time.Now().After(deadline) {
+			t.Fatal("strict policy never took effect after SIGHUP")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A corrupt file on the next SIGHUP keeps the strict policy.
+	if err := os.WriteFile(path, []byte(`{"strict": `), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hupCh <- syscall.SIGHUP
+	time.Sleep(50 * time.Millisecond)
+	if got := status("stranger"); got != 403 {
+		t.Errorf("after bad reload: %d, want 403 (last good policy)", got)
 	}
 }
 

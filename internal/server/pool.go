@@ -1,46 +1,65 @@
 package server
 
 import (
-	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hsfq/internal/tenantsched"
 )
 
-// ErrQueueFull rejects a submission when the admission queue is at
-// capacity. Handlers translate it to 429 + Retry-After: shedding the
-// excess request outright keeps queueing delay bounded for everyone
-// already admitted, instead of degrading all requests together.
-var ErrQueueFull = errors.New("server: queue full")
+// ErrQueueFull rejects a submission when the submitting tenant's admission
+// quota is exhausted. Handlers translate it to 429 + Retry-After: shedding
+// the excess request outright keeps queueing delay bounded for everyone
+// already admitted, instead of degrading all requests together. It aliases
+// tenantsched.ErrShed, so errors.As can still recover the *ShedError with
+// the tenant's own backlog and retry estimate.
+var ErrQueueFull = tenantsched.ErrShed
 
 // ErrDraining rejects submissions once Close has begun.
-var ErrDraining = errors.New("server: draining")
+var ErrDraining = tenantsched.ErrDraining
 
-// pool is a fixed set of worker goroutines behind a bounded admission
-// queue. Submit never blocks: a request is either admitted (queued or
-// picked up immediately) or refused with ErrQueueFull/ErrDraining, so
-// admission control happens at the door rather than by silent queueing.
+// pool is a fixed set of worker goroutines consuming a multi-tenant
+// request queue whose dispatch order is a weighted hierarchical SFQ tree
+// (internal/tenantsched) rather than a single FIFO channel. Submit never
+// blocks: a request is either admitted (queued under its tenant) or
+// refused with ErrQueueFull/ErrDraining, so admission control happens at
+// the door — and per tenant — rather than by silent queueing. Each
+// worker measures its task's wall-clock service time and charges it back
+// to the tenant's class, which is what advances the tree's virtual time.
 type pool struct {
-	queue   chan func()
+	q       *tenantsched.Queue
 	workers int
-
-	mu     sync.RWMutex
-	closed bool
-	wg     sync.WaitGroup
+	depth   int
+	wg      sync.WaitGroup
 
 	inFlight atomic.Int64
 	done     atomic.Int64
 }
 
-// newPool starts workers goroutines consuming a queue of the given depth.
-func newPool(workers, depth int) *pool {
-	p := &pool{queue: make(chan func(), depth), workers: workers}
+// newPool starts workers goroutines consuming a tenant-scheduled queue.
+// depth is the per-tenant fallback quota; with no policy (all traffic on
+// the default tenant) it reproduces the old global FIFO's admission
+// behaviour exactly.
+func newPool(workers, depth int, policy *tenantsched.Policy) *pool {
+	p := &pool{
+		q:       tenantsched.NewQueue(policy, tenantsched.Options{Workers: workers, FallbackQuota: depth}),
+		workers: workers,
+		depth:   depth,
+	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
-			for f := range p.queue {
+			for {
+				task, finish, ok := p.q.Next()
+				if !ok {
+					return
+				}
 				p.inFlight.Add(1)
-				f()
+				start := time.Now()
+				task()
+				finish(time.Since(start))
 				p.inFlight.Add(-1)
 				p.done.Add(1)
 			}
@@ -49,26 +68,23 @@ func newPool(workers, depth int) *pool {
 	return p
 }
 
-// Submit enqueues f without blocking.
-func (p *pool) Submit(f func()) error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
-		return ErrDraining
-	}
-	select {
-	case p.queue <- f:
-		return nil
-	default:
-		return ErrQueueFull
-	}
+// Submit enqueues f under the tenant's class without blocking.
+func (p *pool) Submit(tenant, class string, f func()) error {
+	return p.q.Submit(tenant, class, f)
 }
 
-// Depth is the number of admitted tasks not yet picked up by a worker.
-func (p *pool) Depth() int { return len(p.queue) }
+// SetPolicy hot-swaps tenant weights and quotas.
+func (p *pool) SetPolicy(pol *tenantsched.Policy) { p.q.SetPolicy(pol) }
 
-// Capacity is the admission queue's size.
-func (p *pool) Capacity() int { return cap(p.queue) }
+// Queue exposes the scheduling queue for metrics snapshots.
+func (p *pool) Queue() *tenantsched.Queue { return p.q }
+
+// Depth is the number of admitted tasks not yet picked up by a worker.
+func (p *pool) Depth() int { return p.q.Backlog() }
+
+// Capacity is the per-tenant fallback admission quota (the old global
+// queue size; kept under its original metrics name for compatibility).
+func (p *pool) Capacity() int { return p.depth }
 
 // InFlight is the number of tasks currently executing.
 func (p *pool) InFlight() int64 { return p.inFlight.Load() }
@@ -83,13 +99,6 @@ func (p *pool) Workers() int { return p.workers }
 // the workers to finish — the drain step of graceful shutdown. Safe to
 // call more than once.
 func (p *pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
-	p.closed = true
-	close(p.queue)
-	p.mu.Unlock()
+	p.q.Close()
 	p.wg.Wait()
 }

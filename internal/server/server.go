@@ -15,6 +15,15 @@
 // Admission control is load shedding, not backpressure: when the queue is
 // full, new work is refused with 429 + Retry-After while admitted work
 // keeps its latency, rather than every request degrading together.
+//
+// The worker pool's dispatch order is itself hierarchical SFQ
+// (internal/tenantsched): requests are queued per tenant (X-Tenant
+// header; header-less traffic is the "default" tenant) and dispatched by
+// a weighted SFQ tree whose virtual time advances by measured request
+// service time, so the daemon schedules its own serving traffic with the
+// paper's algorithm. Admission quotas, shed decisions, and Retry-After
+// estimates are per tenant; weights and quotas come from a JSON policy
+// (Config.Policy, hot-swappable via SetPolicy on SIGHUP).
 package server
 
 import (
@@ -29,12 +38,14 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hsfq/internal/simconfig"
 	"hsfq/internal/sweep"
+	"hsfq/internal/tenantsched"
 )
 
 // maxRequestBytes bounds request bodies; a scenario or sweep spec is KBs.
@@ -71,6 +82,11 @@ type Config struct {
 	// final states. Response bytes are unchanged by the store — resume
 	// equivalence — so it composes with the result cache and the mesh.
 	CheckpointDir string
+	// Policy sets per-tenant weights, admission quotas, and API keys for
+	// the tenant-scheduled worker pool; nil is the open zero policy
+	// (every tenant at weight 1, quota QueueDepth), under which
+	// header-less traffic behaves exactly like the pre-tenant FIFO.
+	Policy *tenantsched.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -106,11 +122,16 @@ type Server struct {
 	cache *Cache
 	mux   *http.ServeMux
 	ready atomic.Bool
+	pol   atomic.Pointer[tenantsched.Policy]
+	watch *watchHub
 
 	simulateStats *endpointStats
 	sweepStats    *endpointStats
 	jobsStats     *endpointStats
 	batchStats    *endpointStats
+
+	tenantMu    sync.Mutex
+	tenantStats map[string]*endpointStats
 
 	shed      atomic.Int64
 	coalesced atomic.Int64
@@ -151,20 +172,27 @@ func New(cfg Config) *Server {
 			cfg.CacheDir = ""
 		}
 	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = &tenantsched.Policy{}
+	}
 	s := &Server{
 		cfg:           cfg,
-		pool:          newPool(cfg.Workers, cfg.QueueDepth),
+		pool:          newPool(cfg.Workers, cfg.QueueDepth, pol),
 		cache:         newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheDir),
+		watch:         newWatchHub(),
 		simulateStats: newEndpointStats(),
 		sweepStats:    newEndpointStats(),
 		jobsStats:     newEndpointStats(),
 		batchStats:    newEndpointStats(),
+		tenantStats:   map[string]*endpointStats{},
 		verifyRng:     rand.New(rand.NewSource(1)),
 		verifySem:     make(chan struct{}, 1),
 		flights:       map[string]*flight{},
 		execute:       sweep.ExecuteConfig,
 		runSweep:      sweep.Run,
 	}
+	s.pol.Store(pol)
 	if cfg.CheckpointDir != "" {
 		if store, err := sweep.NewStore(cfg.CheckpointDir); err != nil {
 			log.Printf("server: checkpoint dir %s: %v (checkpoint reuse disabled)", cfg.CheckpointDir, err)
@@ -196,27 +224,73 @@ func New(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // SetReady flips the /readyz signal; shutdown flips it false first so
-// load balancers stop routing before the listener closes.
-func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+// load balancers stop routing before the listener closes. Going not-ready
+// also ends every SSE watch stream (with a final "draining" status), so
+// the HTTP server's Shutdown is not held open by long-lived streams.
+func (s *Server) SetReady(ok bool) {
+	s.ready.Store(ok)
+	if ok {
+		s.watch.reopen()
+	} else {
+		s.watch.shutdown()
+	}
+}
 
-// Drain marks the server not ready, stops pool admission, and waits for
-// every queued and in-flight job, including background cache
-// verifications. Call after the HTTP listener has stopped accepting
-// requests; submissions racing the drain get 503.
+// SetPolicy hot-swaps the tenant policy (SIGHUP reload): identity checks
+// use it immediately, existing tenants take their new weights and quotas,
+// and tenants first seen later are created under it. A nil policy resets
+// to the open defaults.
+func (s *Server) SetPolicy(p *tenantsched.Policy) {
+	if p == nil {
+		p = &tenantsched.Policy{}
+	}
+	s.pol.Store(p)
+	s.pool.SetPolicy(p)
+}
+
+// Drain marks the server not ready, closes watch streams, stops pool
+// admission, and waits for every queued and in-flight job, including
+// background cache verifications. Call after the HTTP listener has
+// stopped accepting requests; submissions racing the drain get 503.
 func (s *Server) Drain() {
 	s.ready.Store(false)
+	s.watch.shutdown()
 	s.pool.Close()
 	s.verifyWG.Wait()
 }
 
-// instrument wraps a handler that reports the status it wrote, recording
-// count, errors, and wall latency per endpoint.
-func (s *Server) instrument(st *endpointStats, fn func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+// instrument wraps a handler, resolving the request's tenant identity
+// first (X-Tenant / X-API-Key against the current policy; identity
+// failures never reach the handler) and recording count, errors, and wall
+// latency both per endpoint and per tenant.
+func (s *Server) instrument(st *endpointStats, fn func(http.ResponseWriter, *http.Request, string) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		status := fn(w, r)
-		st.observe(float64(time.Since(start))/float64(time.Millisecond), status >= 400)
+		tenant, aerr := s.pol.Load().Identify(r.Header.Get("X-Tenant"), r.Header.Get("X-API-Key"))
+		var status int
+		if aerr != nil {
+			status = writeError(w, aerr.Status, aerr)
+		} else {
+			status = fn(w, r, tenant)
+		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		st.observe(ms, status >= 400)
+		if aerr == nil {
+			s.statsFor(tenant).observe(ms, status >= 400)
+		}
 	}
+}
+
+// statsFor returns (creating on first contact) a tenant's latency stats.
+func (s *Server) statsFor(tenant string) *endpointStats {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	st, ok := s.tenantStats[tenant]
+	if !ok {
+		st = newEndpointStats()
+		s.tenantStats[tenant] = st
+	}
+	return st
 }
 
 // simulateResponse is the body of POST /v1/simulate and GET /v1/jobs/{key}
@@ -253,7 +327,7 @@ type internalError struct{ err error }
 func (e *internalError) Error() string { return e.err.Error() }
 func (e *internalError) Unwrap() error { return e.err }
 
-func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request, tenant string) int {
 	cfg, err := simconfig.Parse(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err)
@@ -273,10 +347,10 @@ func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request) int {
 		}
 		return b, true, nil
 	}
-	return s.serveComputed(w, r, key, recompute)
+	return s.serveComputed(w, r, tenant, "simulate", key, recompute)
 }
 
-func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, tenant string) int {
 	spec, err := sweep.ParseSpec(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err)
@@ -305,7 +379,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request) int {
 		}
 		return b, rep.Failed == 0, nil
 	}
-	return s.serveComputed(w, r, key, recompute)
+	return s.serveComputed(w, r, tenant, "sweep", key, recompute)
 }
 
 // jobsRequest is the body of POST /v1/jobs: a batch claim of independent
@@ -346,7 +420,7 @@ type batchOutcome struct {
 // a sweep request does, so admission control still counts claims rather
 // than jobs; per-job results are served from or admitted to the shared
 // content-addressed cache.
-func (s *Server) serveJobsBatch(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) serveJobsBatch(w http.ResponseWriter, r *http.Request, tenant string) int {
 	var req jobsRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
@@ -397,7 +471,7 @@ func (s *Server) serveJobsBatch(w http.ResponseWriter, r *http.Request) int {
 		// groupings); the per-job bodies were cached inside runBatchJob.
 		return b, false, nil
 	}
-	body, _, status, err := s.compute(r, compute)
+	body, _, status, err := s.compute(r, tenant, "batch", compute)
 	if err != nil {
 		return writeComputeError(w, status, err)
 	}
@@ -430,6 +504,7 @@ func (s *Server) runBatchJob(j batchJob) batchOutcome {
 	out.Digest, out.Metrics = digest, m
 	if b, err := json.Marshal(simulateResponse{Key: key, Digest: digest, Seed: seed, Metrics: m}); err == nil {
 		s.cache.Put(key, b)
+		s.watch.complete(key, b)
 	}
 	return out
 }
@@ -440,7 +515,7 @@ func (s *Server) runBatchJob(j batchJob) batchOutcome {
 // may. Concurrent misses for the same key coalesce: the first request
 // (the leader) executes, later ones wait for its outcome instead of
 // burning pool slots on identical work.
-func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, recompute func() ([]byte, bool, error)) int {
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, tenant, class, key string, recompute func() ([]byte, bool, error)) int {
 	if body, ok := s.cache.Get(key); ok {
 		s.maybeVerify(key, body, recompute)
 		return writeResult(w, body, "hit")
@@ -454,7 +529,12 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key strin
 	s.flights[key] = f
 	s.flightMu.Unlock()
 
-	body, cacheable, status, err := s.compute(r, recompute)
+	s.watch.announce(key, "queued")
+	exec := func() ([]byte, bool, error) {
+		s.watch.announce(key, "running")
+		return recompute()
+	}
+	body, cacheable, status, err := s.compute(r, tenant, class, exec)
 	if err == nil && cacheable {
 		s.cache.Put(key, body)
 	}
@@ -467,8 +547,10 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key strin
 	s.flightMu.Unlock()
 
 	if err != nil {
+		s.watch.fail(key, err.Error())
 		return writeComputeError(w, status, err)
 	}
+	s.watch.complete(key, body)
 	return writeResult(w, body, "miss")
 }
 
@@ -492,17 +574,27 @@ func (s *Server) serveFollower(w http.ResponseWriter, r *http.Request, f *flight
 }
 
 // writeComputeError writes a failed computation's status, adding
-// Retry-After when the failure was load shedding.
+// Retry-After when the failure was load shedding. The retry estimate is
+// the shedding tenant's own — derived in tenantsched from that tenant's
+// backlog, weight share, and the observed mean service time — not the
+// global queue depth, so a flooded tenant is told to back off for longer
+// while a lightly loaded one may retry almost immediately.
 func writeComputeError(w http.ResponseWriter, status int, err error) int {
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		retry := "1"
+		var se *tenantsched.ShedError
+		if errors.As(err, &se) && se.RetryAfter > 0 {
+			retry = strconv.Itoa(int(se.RetryAfter / time.Second))
+		}
+		w.Header().Set("Retry-After", retry)
 	}
 	return writeError(w, status, err)
 }
 
-// compute runs fn on the worker pool, bounded by the per-request
-// deadline. The returned status is meaningful only when err is non-nil.
-func (s *Server) compute(r *http.Request, fn func() ([]byte, bool, error)) (body []byte, cacheable bool, status int, err error) {
+// compute runs fn on the worker pool under the tenant's scheduling class,
+// bounded by the per-request deadline. The returned status is meaningful
+// only when err is non-nil.
+func (s *Server) compute(r *http.Request, tenant, class string, fn func() ([]byte, bool, error)) (body []byte, cacheable bool, status int, err error) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	type out struct {
@@ -511,7 +603,7 @@ func (s *Server) compute(r *http.Request, fn func() ([]byte, bool, error)) (body
 		err       error
 	}
 	ch := make(chan out, 1) // buffered: a worker never blocks on an abandoned request
-	submitErr := s.pool.Submit(func() {
+	submitErr := s.pool.Submit(tenant, class, func() {
 		if err := ctx.Err(); err != nil {
 			ch <- out{err: err} // request gave up while queued; skip the work
 			return
@@ -597,10 +689,13 @@ func (s *Server) maybeVerify(key string, cached []byte, recompute func() ([]byte
 // its spill directory.
 var jobKeyRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
-func (s *Server) serveJob(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, tenant string) int {
 	key := r.PathValue("key")
 	if !jobKeyRE.MatchString(key) {
 		return writeError(w, http.StatusNotFound, errors.New("server: malformed job key (want 64-char hex digest)"))
+	}
+	if r.URL.Query().Get("watch") != "" {
+		return s.serveJobWatch(w, r, key)
 	}
 	if body, ok := s.cache.Get(key); ok {
 		return writeResult(w, body, "hit")
@@ -641,11 +736,43 @@ type Metrics struct {
 	VerifySkipped     int64                    `json:"verify_skipped"`
 	Cache             CacheStats               `json:"cache"`
 	Endpoints         map[string]EndpointStats `json:"endpoints"`
+	// VirtualTime is the scheduling tree's global virtual time
+	// (nanoseconds of service over weight at the root).
+	VirtualTime float64 `json:"virtual_time"`
+	// Tenants holds per-tenant scheduling state and latency; keys are
+	// tenant names (header-less traffic appears as "default").
+	Tenants map[string]TenantMetrics `json:"tenants"`
+}
+
+// TenantMetrics is one tenant's /metrics entry: the scheduling queue's
+// counters and tags plus request latency quantiles from the shared
+// histogram machinery.
+type TenantMetrics struct {
+	tenantsched.TenantSnapshot
+	Requests EndpointStats `json:"requests"`
 }
 
 // Snapshot collects the current Metrics.
 func (s *Server) Snapshot() Metrics {
 	inFlight := s.pool.InFlight()
+	snaps, vt := s.pool.Queue().Snapshot()
+	tenants := make(map[string]TenantMetrics, len(snaps))
+	s.tenantMu.Lock()
+	for name, snap := range snaps {
+		tm := TenantMetrics{TenantSnapshot: snap}
+		if st, ok := s.tenantStats[name]; ok {
+			tm.Requests = st.snapshot()
+		}
+		tenants[name] = tm
+	}
+	// Tenants whose requests never reached the pool (all cache hits, or
+	// all identity/validation failures) still show up with latency stats.
+	for name, st := range s.tenantStats {
+		if _, ok := tenants[name]; !ok {
+			tenants[name] = TenantMetrics{Requests: st.snapshot()}
+		}
+	}
+	s.tenantMu.Unlock()
 	return Metrics{
 		Workers:           s.pool.Workers(),
 		QueueDepth:        s.pool.Depth(),
@@ -666,6 +793,8 @@ func (s *Server) Snapshot() Metrics {
 			"jobs":       s.jobsStats.snapshot(),
 			"jobs_batch": s.batchStats.snapshot(),
 		},
+		VirtualTime: vt,
+		Tenants:     tenants,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 
 	"hsfq/internal/simconfig"
 	"hsfq/internal/sweep"
+	"hsfq/internal/tenantsched"
 )
 
 // scenarioJSON is a small real scenario; seed variations make distinct
@@ -240,6 +242,89 @@ func TestAdmissionControl(t *testing.T) {
 	}
 	if shed := srv.Snapshot().Shed; shed != 1 {
 		t.Errorf("shed counter %d", shed)
+	}
+	srv.Drain()
+}
+
+// TestRetryAfterPerTenant is the regression test for the shed header: a
+// 429's Retry-After must be derived from the shedding tenant's own
+// backlog, not the global queue depth. With one worker pinned, a tenant
+// shed at backlog 6 must be told to wait longer than a tenant shed at
+// backlog 1.
+func TestRetryAfterPerTenant(t *testing.T) {
+	pol := &tenantsched.Policy{Tenants: map[string]tenantsched.TenantPolicy{
+		"deep":    {Quota: 6},
+		"shallow": {Quota: 1},
+	}}
+	srv := New(Config{Workers: 1, QueueDepth: 8, Policy: pol})
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	var first atomic.Bool
+	first.Store(true)
+	srv.execute = func(cfg simconfig.Config, seed uint64) (string, map[string]float64, error) {
+		if first.CompareAndSwap(true, false) {
+			// The first request completes in ~half a second, seeding the
+			// queue's mean-service estimate the Retry-After math uses.
+			time.Sleep(500 * time.Millisecond)
+		} else {
+			started <- struct{}{}
+			<-release
+		}
+		return fmt.Sprintf("digest-%d", seed), map[string]float64{"x": 1}, nil
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if resp, _ := postTenant(t, ts, "/v1/simulate", "deep", "", scenarioJSON(1)); resp.StatusCode != 200 {
+		t.Fatalf("seeding request: %d", resp.StatusCode)
+	}
+	results := make(chan int, 16)
+	fire := func(tenant string, seed int) {
+		go func() {
+			resp, _ := postTenant(t, ts, "/v1/simulate", tenant, "", scenarioJSON(seed))
+			results <- resp.StatusCode
+		}()
+	}
+	fire("deep", 2) // occupies the worker
+	<-started
+	for seed := 3; seed <= 8; seed++ {
+		fire("deep", seed) // fills deep's quota of 6
+	}
+	waitFor(t, func() bool { return srv.pool.Depth() == 6 })
+
+	retryOf := func(tenant string, seed int) int {
+		resp, body := postTenant(t, ts, "/v1/simulate", tenant, "", scenarioJSON(seed))
+		if resp.StatusCode != 429 {
+			t.Fatalf("%s over quota: %d %s", tenant, resp.StatusCode, body)
+		}
+		sec, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("%s Retry-After %q: %v", tenant, resp.Header.Get("Retry-After"), err)
+		}
+		return sec
+	}
+	deep := retryOf("deep", 9)
+	fire("shallow", 10) // shallow's quota of 1
+	waitFor(t, func() bool { return srv.pool.Depth() == 7 })
+	shallow := retryOf("shallow", 11)
+
+	// deep is shed at backlog 6 with a ~0.5 s mean: at least 3 s. shallow
+	// is shed at backlog 1: at most 2 s even after its share halves. The
+	// old global derivation answered a constant "1" for both.
+	if deep <= shallow {
+		t.Errorf("Retry-After deep(backlog 6)=%ds <= shallow(backlog 1)=%ds; not derived from tenant backlog", deep, shallow)
+	}
+	if deep < 3 {
+		t.Errorf("deep Retry-After %ds, want >= 3s for backlog 6 at ~0.5s/request", deep)
+	}
+	if shallow > 2 {
+		t.Errorf("shallow Retry-After %ds, want <= 2s for backlog 1", shallow)
+	}
+	close(release)
+	for i := 0; i < 8; i++ {
+		if status := <-results; status != 200 {
+			t.Errorf("admitted request got %d", status)
+		}
 	}
 	srv.Drain()
 }

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file implements GET /v1/jobs/{key}?watch=1: job status streamed
+// over Server-Sent Events (queued → running → done with the cached body),
+// so long sweeps are observable without polling. The hub fans lifecycle
+// transitions out to watchers; drain shuts every stream down cleanly with
+// a final "draining" status before the listener stops.
+
+// watchEvent is one SSE frame: an event name plus a single-line JSON
+// payload.
+type watchEvent struct {
+	name string
+	data []byte
+}
+
+func statusEvent(state string) watchEvent {
+	b, _ := json.Marshal(struct {
+		State string `json:"state"`
+	}{state})
+	return watchEvent{"status", b}
+}
+
+// watchHub fans job lifecycle events out to the job's SSE watchers.
+type watchHub struct {
+	mu     sync.Mutex
+	subs   map[string]map[chan watchEvent]struct{}
+	closed bool
+}
+
+func newWatchHub() *watchHub {
+	return &watchHub{subs: make(map[string]map[chan watchEvent]struct{})}
+}
+
+// subscribe registers a watcher for key; ch is nil when the hub has shut
+// down (the server is draining). cancel is idempotent and safe to call
+// after the hub closed the channel.
+func (h *watchHub) subscribe(key string) (ch chan watchEvent, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, nil
+	}
+	ch = make(chan watchEvent, 8)
+	set := h.subs[key]
+	if set == nil {
+		set = make(map[chan watchEvent]struct{})
+		h.subs[key] = set
+	}
+	set[ch] = struct{}{}
+	return ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if cur, ok := h.subs[key]; ok {
+			delete(cur, ch)
+			if len(cur) == 0 {
+				delete(h.subs, key)
+			}
+		}
+	}
+}
+
+// broadcast delivers ev to every watcher of key; sends never block the
+// serving path (a stalled watcher's buffer drops intermediate events). A
+// terminal event additionally closes every watcher's channel, ending the
+// streams.
+func (h *watchHub) broadcast(key string, ev watchEvent, terminal bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	set := h.subs[key]
+	if set == nil {
+		return
+	}
+	for ch := range set {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	if terminal {
+		for ch := range set {
+			close(ch)
+		}
+		delete(h.subs, key)
+	}
+}
+
+// announce broadcasts a non-terminal status transition ("queued",
+// "running").
+func (h *watchHub) announce(key, state string) { h.broadcast(key, statusEvent(state), false) }
+
+// complete broadcasts the finished job's body and ends its streams.
+func (h *watchHub) complete(key string, body []byte) {
+	h.broadcast(key, watchEvent{"done", body}, true)
+}
+
+// fail broadcasts a job failure and ends its streams.
+func (h *watchHub) fail(key, msg string) {
+	b, _ := json.Marshal(errorResponse{Error: msg})
+	h.broadcast(key, watchEvent{"error", b}, true)
+}
+
+// shutdown sends every open stream a final "draining" status and closes
+// it, then refuses new subscriptions; part of graceful drain, so the HTTP
+// server's Shutdown is not held hostage by long-lived streams. Idempotent.
+func (h *watchHub) shutdown() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	ev := statusEvent("draining")
+	for key, set := range h.subs {
+		for ch := range set {
+			select {
+			case ch <- ev:
+			default:
+			}
+			close(ch)
+		}
+		delete(h.subs, key)
+	}
+}
+
+// reopen accepts subscriptions again after a shutdown (readiness toggled
+// back on).
+func (h *watchHub) reopen() {
+	h.mu.Lock()
+	h.closed = false
+	h.mu.Unlock()
+}
+
+func writeSSE(w io.Writer, ev watchEvent) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+}
+
+// serveJobWatch streams a job's status over SSE. Subscribe-then-check
+// ordering makes completion race-free: a job finishing around the
+// subscription either already populated the cache (served as an immediate
+// "done") or will be broadcast to the subscription channel.
+func (s *Server) serveJobWatch(w http.ResponseWriter, r *http.Request, key string) int {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return writeError(w, http.StatusInternalServerError, errors.New("server: streaming unsupported"))
+	}
+	ch, cancel := s.watch.subscribe(key)
+	if ch == nil {
+		return writeError(w, http.StatusServiceUnavailable, ErrDraining)
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if body, ok := s.cache.Get(key); ok {
+		writeSSE(w, watchEvent{"done", body})
+		fl.Flush()
+		return http.StatusOK
+	}
+	state := "unknown"
+	s.flightMu.Lock()
+	if _, inFlight := s.flights[key]; inFlight {
+		state = "queued"
+	}
+	s.flightMu.Unlock()
+	writeSSE(w, statusEvent(state))
+	fl.Flush()
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return http.StatusOK
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return http.StatusOK
+		}
+	}
+}

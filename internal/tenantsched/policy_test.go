@@ -1,0 +1,112 @@
+package tenantsched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	p, err := ParsePolicy(strings.NewReader(`{
+	  "default_weight": 2,
+	  "default_quota": 10,
+	  "strict": true,
+	  "tenants": {
+	    "gold":   {"weight": 4, "quota": 64, "key": "sekrit"},
+	    "bronze": {"weight": 1}
+	  }
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.weightOf("gold"); got != 4 {
+		t.Errorf("gold weight %v", got)
+	}
+	if got := p.weightOf("bronze"); got != 1 {
+		t.Errorf("bronze weight %v", got)
+	}
+	if got := p.weightOf("stranger"); got != 2 {
+		t.Errorf("default weight %v", got)
+	}
+	if got := p.quotaOf("gold", 5); got != 64 {
+		t.Errorf("gold quota %d", got)
+	}
+	if got := p.quotaOf("bronze", 5); got != 10 {
+		t.Errorf("bronze quota %d (want default_quota)", got)
+	}
+	if names := p.TenantNames(); len(names) != 2 || names[0] != "bronze" || names[1] != "gold" {
+		t.Errorf("names %v", names)
+	}
+}
+
+func TestParsePolicyRejects(t *testing.T) {
+	for name, doc := range map[string]string{
+		"unknown field":   `{"bogus": 1}`,
+		"bad name":        `{"tenants": {"-dash-first": {}}}`,
+		"slash name":      `{"tenants": {"a/b": {}}}`,
+		"negative weight": `{"tenants": {"a": {"weight": -1}}}`,
+		"negative quota":  `{"tenants": {"a": {"quota": -1}}}`,
+		"malformed":       `{"tenants": `,
+	} {
+		if _, err := ParsePolicy(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted %s", name, doc)
+		}
+	}
+}
+
+func TestZeroPolicyDefaults(t *testing.T) {
+	p := &Policy{}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.weightOf("anyone") != 1 {
+		t.Errorf("zero policy weight %v", p.weightOf("anyone"))
+	}
+	if p.quotaOf("anyone", 16) != 16 {
+		t.Errorf("zero policy quota %d (want fallback)", p.quotaOf("anyone", 16))
+	}
+}
+
+func TestIdentify(t *testing.T) {
+	p := &Policy{Tenants: map[string]TenantPolicy{
+		"gold": {Weight: 4, Key: "sekrit"},
+		"open": {Weight: 1},
+	}}
+
+	// Header-less traffic is the default tenant.
+	if name, err := p.Identify("", ""); err != nil || name != DefaultTenant {
+		t.Errorf("headerless: %q %v", name, err)
+	}
+	// A keyed tenant needs its key; the right key passes.
+	if _, err := p.Identify("gold", ""); err == nil || err.Status != 401 {
+		t.Errorf("missing key: %v", err)
+	}
+	if _, err := p.Identify("gold", "wrong"); err == nil || err.Status != 401 {
+		t.Errorf("wrong key: %v", err)
+	}
+	if name, err := p.Identify("gold", "sekrit"); err != nil || name != "gold" {
+		t.Errorf("right key: %q %v", name, err)
+	}
+	// Keyless tenants and unknown tenants pass under a lax policy.
+	if name, err := p.Identify("open", ""); err != nil || name != "open" {
+		t.Errorf("open: %q %v", name, err)
+	}
+	if name, err := p.Identify("stranger", ""); err != nil || name != "stranger" {
+		t.Errorf("stranger under lax policy: %q %v", name, err)
+	}
+	// Malformed names are a 400 regardless of policy.
+	for _, bad := range []string{"-x", ".hidden", "a/b", strings.Repeat("a", 65), "sp ace"} {
+		if _, err := p.Identify(bad, ""); err == nil || err.Status != 400 {
+			t.Errorf("bad name %q: %v", bad, err)
+		}
+	}
+
+	// Strict policies reject unknown tenants with 403, but never the
+	// default tenant.
+	p.Strict = true
+	if _, err := p.Identify("stranger", ""); err == nil || err.Status != 403 {
+		t.Errorf("stranger under strict policy: %v", err)
+	}
+	if name, err := p.Identify("", ""); err != nil || name != DefaultTenant {
+		t.Errorf("headerless under strict policy: %q %v", name, err)
+	}
+}

@@ -35,11 +35,11 @@ FUZZ_TIME ?= 30s
 # smoke only needs a real sim_ns/wall_ns sample, not a stable median.
 BENCH_SMOKE_TIME ?= 50ms
 
-.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest tenant-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke queue-bench
+.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest tenant-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke queue-bench adversary-smoke
 
 all: build test
 
-check: build test vet sweep-smoke tenant-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke
+check: build test vet sweep-smoke tenant-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke adversary-smoke
 
 build:
 	$(GO) build ./...
@@ -179,6 +179,15 @@ smp-smoke:
 	$(GO) build -o /tmp/hsfqsweep ./cmd/hsfqsweep
 	$(GO) run ./cmd/smpsmoke -hsfqsim /tmp/hsfqsim -hsfqsweep /tmp/hsfqsweep \
 		-spec examples/sweeps/smp.json
+
+# Adversarial suite: every registered attacker program against every leaf
+# it applies to, at 1 and 4 cores. Policies that promise isolation must
+# keep their victims above the Theorem-1-derived bound; policies that are
+# gameable by design must demonstrably lose. The whole matrix runs twice
+# and the outcome digests must match, so any failure reproduces from the
+# cell's config alone and bisects under hsfqdiff.
+adversary-smoke:
+	$(GO) run ./cmd/advsmoke
 
 # Serial vs parallel wall clock of the full figure suite, recorded as
 # BENCH_PR2.json (before = -workers 1, after = -workers $(SWEEP_BENCH_WORKERS)).

@@ -109,6 +109,8 @@ func TestLeafSchedulersDoNotAllocate(t *testing.T) {
 		"stride":   sched.NewStride(10 * sim.Millisecond),
 		"eevdf":    sched.NewEEVDF(10*sim.Millisecond, 1_000_000),
 		"reserves": sched.NewReserves(10 * sim.Millisecond),
+		"mlfq":     sched.NewMLFQ(4, 10*sim.Millisecond, sim.Second, 100_000_000),
+		"drr":      sched.NewDRR(10*sim.Millisecond, 100_000_000),
 	}
 	for name, s := range algos {
 		t.Run(name, func(t *testing.T) {
@@ -130,6 +132,50 @@ func TestLeafSchedulersDoNotAllocate(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Fatalf("%s Pick/Charge allocates %v times per decision, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// TestNewLeafSaveStateDoesNotAllocate guards the warm SaveState path of
+// the PR's two new leaves directly: after one cold save has grown the
+// scratch slices and the encoder buffer, snapshotting a live mlfq or drr
+// runnable set allocates nothing, matching the discipline the other
+// leaves established (they are covered through TestSnapshotDoesNotAllocate
+// and the checkpoint grid).
+func TestNewLeafSaveStateDoesNotAllocate(t *testing.T) {
+	leaves := map[string]sched.Scheduler{
+		"mlfq": sched.NewMLFQ(4, 10*sim.Millisecond, 100*sim.Millisecond, 100_000_000),
+		"drr":  sched.NewDRR(10*sim.Millisecond, 100_000_000),
+	}
+	for name, s := range leaves {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 6; i++ {
+				th := sched.NewThread(i+1, "t", 1)
+				s.Enqueue(th, 0)
+			}
+			now := sim.Time(0)
+			for i := 0; i < 32; i++ {
+				th := s.Pick(now)
+				s.Charge(th, 1_000_000, now, true)
+				now += sim.Millisecond
+			}
+			st := s.(sched.Stater)
+			var enc sim.Enc
+			if err := st.SaveState(&enc); err != nil { // cold: grows buffers
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				th := s.Pick(now)
+				s.Charge(th, 1_000_000, now, true)
+				now += sim.Millisecond
+				enc.Reset()
+				if err := st.SaveState(&enc); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("%s warm SaveState allocates %v times per call, want 0", name, allocs)
 			}
 		})
 	}

@@ -1,0 +1,145 @@
+package adversary
+
+import (
+	"hsfq/internal/sim"
+	"hsfq/internal/simconfig"
+)
+
+// Attacks returns the attack registry in its fixed order. Each entry
+// names the weakness it targets; the expectation per leaf states whether
+// the policy's design withstands it (Isolated) or rewards it (Gameable).
+//
+// Bound derivations:
+//
+//   - Theorem 1 (sfq, stride): for flows f, m backlogged over [t1, t2],
+//     |Wf/rf − Wm/rm| ≤ qf/rf + qm/rm. With K+1 unit-weight contenders,
+//     quantum q and horizon T, the victim's share is at least
+//     1/(K+1) − K·2q/T. The flood cells use exactly that number; the
+//     two-contender cells round the same expression to 0.48.
+//
+//   - Rotation bound (rr, drr): a round-robin visits every runnable
+//     thread once per rotation, so against a single attacker who can use
+//     at most a full quantum per visit the victim retains ≥ 1/2 minus
+//     one quantum of slack per rotation. The attacker sleeping only
+//     raises the victim's share, so 0.45 is conservative.
+//
+//   - Gameable bounds are empirical ceilings with margin: the attack
+//     must hold the victim far below its 1/2 (or utilization-required)
+//     fair share, and well below every Isolated bound, so a cell can
+//     never satisfy both expectations at once.
+func Attacks() []Attack {
+	return []Attack{
+		{
+			Name: "boost-abuse",
+			Description: "sleep just before quantum expiry: svr4 grants a " +
+				"sleep-return priority boost and mlfq never demotes a thread " +
+				"that blocks early, so a hog that naps 4ms-on/1ms-off outranks " +
+				"a steadily CPU-bound victim; sfq's start tags advance while " +
+				"sleeping earns nothing, which is the paper's answer",
+			Targets: []Target{
+				{Leaf: "svr4", Expect: Gameable, Predicate: "victim-share<=0.35", Bound: 0.35},
+				{Leaf: "mlfq", Expect: Gameable, Predicate: "victim-share<=0.35", Bound: 0.35},
+				{Leaf: "sfq", Expect: Isolated, Predicate: "victim-share>=0.48 (Theorem 1)", Bound: 0.48},
+			},
+			build: func(t Target, cores int) simconfig.Config {
+				// The victim starts 10ms after the attacker. svr4's ladder
+				// needs one completed run segment before the sleep-return
+				// boost applies; without the head start the victim's
+				// front-of-queue monopoly at the shared initial priority
+				// hides the attack behind a 1s starvation-boost cold start.
+				victim := loopThread(victimName)
+				victim.Start = dur(10 * sim.Millisecond)
+				return arena(t.Leaf, cores, []simconfig.ThreadConfig{
+					victim,
+					napThread("attacker", 4*workMS, sim.Millisecond),
+				})
+			},
+		},
+		{
+			Name: "tag-flood",
+			Description: "four CPU-bound flooders try to drown a unit-weight " +
+				"victim; sfq and stride owe the victim 1/5 minus the Theorem 1 " +
+				"slack, mlfq owes the weaker equal-rotation-at-the-bottom-level " +
+				"bound",
+			Targets: []Target{
+				{Leaf: "sfq", Expect: Isolated, Predicate: "victim-share>=0.18 (Theorem 1)", Bound: 0.18},
+				{Leaf: "stride", Expect: Isolated, Predicate: "victim-share>=0.18 (Theorem 1)", Bound: 0.18},
+				{Leaf: "mlfq", Expect: Isolated, Predicate: "victim-share>=0.15 (bottom-level rotation)", Bound: 0.15},
+			},
+			build: func(t Target, cores int) simconfig.Config {
+				return arena(t.Leaf, cores, []simconfig.ThreadConfig{
+					loopThread(victimName),
+					loopThread("flood1"), loopThread("flood2"),
+					loopThread("flood3"), loopThread("flood4"),
+				})
+			},
+		},
+		{
+			Name: "deadline-inflation",
+			Description: "the attacker declares a 2ms period it has no " +
+				"intention of honoring and then runs CPU-bound; edf assigns it " +
+				"the earliest deadline forever and rm the highest rank, so an " +
+				"honest 30ms/8ms periodic victim is starved — neither policy " +
+				"has admission control, it trusts the declaration",
+			Targets: []Target{
+				{Leaf: "edf", Expect: Gameable, Predicate: "victim-share<=0.10", Bound: 0.10},
+				{Leaf: "rm", Expect: Gameable, Predicate: "victim-share<=0.10", Bound: 0.10},
+			},
+			build: func(t Target, cores int) simconfig.Config {
+				return arena(t.Leaf, cores, []simconfig.ThreadConfig{
+					{Name: victimName, Leaf: "/arena", Weight: 1,
+						Period: dur(30 * sim.Millisecond),
+						Program: simconfig.ProgramConfig{Kind: "periodic",
+							Period: dur(30 * sim.Millisecond), Cost: dur(8 * sim.Millisecond)}},
+					{Name: "attacker", Leaf: "/arena", Weight: 1,
+						Period:  dur(2 * sim.Millisecond),
+						Program: simconfig.ProgramConfig{Kind: "loop"}},
+				})
+			},
+		},
+		{
+			Name: "ticket-churn",
+			Description: "the attacker blocks and wakes every millisecond, " +
+				"churning the ticket pool between draws; lottery holds no " +
+				"per-thread credit across sleeps, so the victim keeps at least " +
+				"the share the attacker's 50% duty cycle leaves on the table",
+			Targets: []Target{
+				{Leaf: "lottery", Expect: Isolated, Predicate: "victim-share>=0.45 (duty-cycle floor)", Bound: 0.45},
+			},
+			build: func(t Target, cores int) simconfig.Config {
+				return arena(t.Leaf, cores, []simconfig.ThreadConfig{
+					loopThread(victimName),
+					napThread("attacker", 1*workMS, sim.Millisecond),
+				})
+			},
+		},
+		{
+			Name: "quantum-edge",
+			Description: "the attacker exploits the quantum boundary: under " +
+				"rr and drr it yields at 98% of its slice hoping to dodge the " +
+				"rotation (both re-enqueue at the tail, so it gains nothing); " +
+				"under fifo's unbounded quantum the degenerate form — simply " +
+				"never yielding — starves any victim that ever blocks",
+			Targets: []Target{
+				{Leaf: "rr", Expect: Isolated, Predicate: "victim-share>=0.45 (rotation bound)", Bound: 0.45},
+				{Leaf: "drr", Expect: Isolated, Predicate: "victim-share>=0.45 (rotation bound)", Bound: 0.45},
+				{Leaf: "fifo", Expect: Gameable, Predicate: "victim-share<=0.05", Bound: 0.05},
+			},
+			build: func(t Target, cores int) simconfig.Config {
+				if t.Leaf == "fifo" {
+					// Run-to-block: the victim is well behaved (blocks for
+					// 1ms every 4ms of work) and the attacker never yields.
+					return arena(t.Leaf, cores, []simconfig.ThreadConfig{
+						napThread(victimName, 4*workMS, sim.Millisecond),
+						loopThread("attacker"),
+					})
+				}
+				// 98% of the 5ms arena quantum, then a 100µs nap.
+				return arena(t.Leaf, cores, []simconfig.ThreadConfig{
+					loopThread(victimName),
+					napThread("attacker", 49*workMS/10, 100*sim.Microsecond),
+				})
+			},
+		},
+	}
+}

@@ -46,6 +46,28 @@ func tinySMPConfig() simconfig.Config {
 	return cfg
 }
 
+// tinyFeedbackConfig covers the adaptive leaves: an mlfq node with
+// non-default levels and aging next to a drr node, so checkpoints carry
+// both leaves' Stater encodings (per-thread levels, wait stamps, adaptive
+// quanta) for the fuzzer to mutate.
+func tinyFeedbackConfig() simconfig.Config {
+	cfg := tinyConfig()
+	cfg.Nodes = []simconfig.NodeConfig{
+		{Path: "/fb", Weight: 2, Leaf: "mlfq", Levels: 3,
+			Quantum: simconfig.Duration(2 * sim.Millisecond),
+			Aging:   simconfig.Duration(40 * sim.Millisecond)},
+		{Path: "/rr", Weight: 1, Leaf: "drr", Quantum: simconfig.Duration(3 * sim.Millisecond)},
+	}
+	cfg.Threads = []simconfig.ThreadConfig{
+		{Name: "a", Leaf: "/fb", Weight: 1},
+		{Name: "b", Leaf: "/fb", Weight: 1,
+			Program: simconfig.ProgramConfig{Kind: "onoff", Bursts: 3, Off: simconfig.Duration(10 * sim.Millisecond)}},
+		{Name: "c", Leaf: "/rr", Weight: 1,
+			Program: simconfig.ProgramConfig{Kind: "onoff", Bursts: 2, Off: simconfig.Duration(5 * sim.Millisecond)}},
+	}
+	return cfg
+}
+
 func tinyCheckpoint(tb testing.TB, withTrace bool) []byte {
 	return checkpointOf(tb, tinyConfig(), withTrace)
 }
@@ -91,11 +113,14 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 	traced := tinyCheckpoint(f, true)
 	smp := checkpointOf(f, tinySMPConfig(), false)
 	smpTraced := checkpointOf(f, tinySMPConfig(), true)
+	feedback := checkpointOf(f, tinyFeedbackConfig(), false)
 	f.Add(plain)
 	f.Add(traced)
 	f.Add(smp)
 	f.Add(smpTraced)
-	f.Add(smp[len(checkpoint.Magic)+sha256.Size:]) // bare multicore payload
+	f.Add(feedback)
+	f.Add(smp[len(checkpoint.Magic)+sha256.Size:])      // bare multicore payload
+	f.Add(feedback[len(checkpoint.Magic)+sha256.Size:]) // bare mlfq/drr payload
 	f.Add(plain[:len(plain)-9])
 	f.Add([]byte(checkpoint.Magic))
 	f.Add(plain[len(checkpoint.Magic)+sha256.Size:]) // bare payload: re-framed branch decodes it fully
@@ -130,7 +155,7 @@ func TestDecodeCheckpointHostileInputs(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		cfg  simconfig.Config
-	}{{"uniprocessor", tinyConfig()}, {"smp", tinySMPConfig()}} {
+	}{{"uniprocessor", tinyConfig()}, {"smp", tinySMPConfig()}, {"feedback", tinyFeedbackConfig()}} {
 		t.Run(tc.name, func(t *testing.T) { hostileInputs(t, checkpointOf(t, tc.cfg, true)) })
 	}
 }

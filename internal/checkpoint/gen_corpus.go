@@ -33,6 +33,7 @@ func main() {
 
 	plain := build(false)
 	traced := build(true)
+	feedback := buildFeedback()
 	payload := plain[len(checkpoint.Magic)+sha256.Size:]
 
 	skew := append([]byte{}, plain...)
@@ -51,6 +52,8 @@ func main() {
 		"bare-payload":      payload,
 		"payload-flipped":   flipped,
 		"payload-truncated": payload[:2*len(payload)/3],
+		"valid-feedback":    feedback,
+		"feedback-payload":  feedback[len(checkpoint.Magic)+sha256.Size:],
 	}
 	for name, data := range entries {
 		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
@@ -59,6 +62,39 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote %d corpus entries to %s\n", len(entries), dir)
+}
+
+// buildFeedback checkpoints a run over the adaptive leaves (mlfq with
+// non-default geometry, drr) so the corpus carries their Stater encodings.
+func buildFeedback() []byte {
+	c := simconfig.Config{
+		RateMIPS: 100,
+		Horizon:  simconfig.Duration(200 * sim.Millisecond),
+		Seed:     7,
+		Nodes: []simconfig.NodeConfig{
+			{Path: "/fb", Weight: 2, Leaf: "mlfq", Levels: 3,
+				Quantum: simconfig.Duration(2 * sim.Millisecond),
+				Aging:   simconfig.Duration(40 * sim.Millisecond)},
+			{Path: "/rr", Weight: 1, Leaf: "drr", Quantum: simconfig.Duration(3 * sim.Millisecond)},
+		},
+		Threads: []simconfig.ThreadConfig{
+			{Name: "a", Leaf: "/fb", Weight: 1},
+			{Name: "b", Leaf: "/fb", Weight: 1,
+				Program: simconfig.ProgramConfig{Kind: "onoff", Bursts: 3, Off: simconfig.Duration(10 * sim.Millisecond)}},
+			{Name: "c", Leaf: "/rr", Weight: 1,
+				Program: simconfig.ProgramConfig{Kind: "onoff", Bursts: 2, Off: simconfig.Duration(5 * sim.Millisecond)}},
+		},
+	}
+	s, err := simconfig.Build(c, simconfig.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Machine.Run(100 * sim.Millisecond)
+	data, err := checkpoint.Save(s, checkpoint.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
 }
 
 func build(withTrace bool) []byte {

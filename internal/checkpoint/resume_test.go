@@ -69,6 +69,15 @@ func trialConfigs() []simconfig.Config {
 		flat("eevdf", mix...),
 	}
 
+	// The adaptive leaves carry extra per-thread state across checkpoints
+	// (mlfq: level + wait stamp with a non-default geometry so aging and
+	// demotion both fire inside the horizon; drr: adaptive quantum).
+	mlfq := flat("mlfq", mix...)
+	mlfq.Nodes[0].Levels = 3
+	mlfq.Nodes[0].Aging = dur(80 * sim.Millisecond)
+	mlfq.Nodes[0].Quantum = dur(2 * sim.Millisecond)
+	cfgs = append(cfgs, mlfq, flat("drr", mix...))
+
 	svr4 := flat("svr4", mix...)
 	svr4.Threads = append(svr4.Threads, simconfig.ThreadConfig{
 		Name: "rtproc", Leaf: "/run", RTPriority: &rt,

@@ -203,6 +203,50 @@ func TestMachineSVR4EndToEnd(t *testing.T) {
 	}
 }
 
+func TestMachineMLFQEndToEnd(t *testing.T) {
+	// The multilevel feedback leaf under the machine: hogs burn full
+	// quanta and sink to the bottom level; an interactive thread blocks
+	// early, floats at level 0, and preempts the hogs on every wakeup.
+	s := sched.NewMLFQ(3, 10*sim.Millisecond, 200*sim.Millisecond, int64(testRate))
+	m := newTestMachine(s)
+	hog1 := m.Spawn("hog1", 1, Forever(Compute(1_000_000)), 0)
+	hog2 := m.Spawn("hog2", 1, Forever(Compute(1_000_000)), 0)
+	inter := m.Spawn("inter", 1, Forever(Compute(2), Sleep(50*sim.Millisecond)), 0)
+	m.Run(10 * sim.Second)
+	// ~385 ms of CPU if dispatched promptly every cycle (2 ms per 52 ms).
+	if inter.Done < 300 {
+		t.Errorf("interactive thread got %d ms of CPU, want ~385", inter.Done)
+	}
+	if lv := s.Level(inter); lv != 0 {
+		t.Errorf("interactive thread at level %d, want 0", lv)
+	}
+	for _, hog := range []*sched.Thread{hog1, hog2} {
+		if lv := s.Level(hog); lv != s.NumLevels()-1 {
+			t.Errorf("%v at level %d, want bottom %d", hog, lv, s.NumLevels()-1)
+		}
+	}
+}
+
+func TestMachineDRREndToEnd(t *testing.T) {
+	// The dynamic-quantum leaf under the machine: a hog is always cut off
+	// at its full quantum, so its quantum holds at the base; the
+	// interactive thread's short bursts pull its quantum down toward the
+	// observed burst length.
+	s := sched.NewDRR(10*sim.Millisecond, int64(testRate))
+	m := newTestMachine(s)
+	hog := m.Spawn("hog", 1, Forever(Compute(1_000_000)), 0)
+	inter := m.Spawn("inter", 1, Forever(Compute(2), Sleep(20*sim.Millisecond)), 0)
+	m.Run(10 * sim.Second)
+	hq, iq := s.ThreadQuantum(hog), s.ThreadQuantum(inter)
+	if hq != 10*sim.Millisecond {
+		t.Errorf("hog quantum = %v, want the 10ms base", hq)
+	}
+	// Converges geometrically to the 2 ms burst; well under 3 ms by now.
+	if iq < 2*sim.Millisecond || iq > 3*sim.Millisecond {
+		t.Errorf("interactive quantum = %v, want ~2ms", iq)
+	}
+}
+
 func TestMachineStatsConservation(t *testing.T) {
 	// Run at the realistic rate: interrupt pause/resume rounding is at
 	// most one instruction per interrupt, i.e. 10 ns here.

@@ -21,6 +21,8 @@ func allSchedulers() map[string]func() Scheduler {
 		"stride":   func() Scheduler { return NewStride(10 * sim.Millisecond) },
 		"eevdf":    func() Scheduler { return NewEEVDF(10*sim.Millisecond, 1_000_000) },
 		"reserves": func() Scheduler { return NewReserves(10 * sim.Millisecond) },
+		"mlfq":     func() Scheduler { return NewMLFQ(4, 10*sim.Millisecond, sim.Second, 100_000_000) },
+		"drr":      func() Scheduler { return NewDRR(10*sim.Millisecond, 100_000_000) },
 	}
 }
 
@@ -62,7 +64,7 @@ func TestContractPickCharge(t *testing.T) {
 			// priority-based ones (fifo, edf, rm, svr4) legitimately
 			// starve low-priority threads.
 			switch name {
-			case "sfq", "rr", "lottery", "stride", "eevdf":
+			case "sfq", "rr", "lottery", "stride", "eevdf", "mlfq", "drr":
 				for _, th := range threads {
 					if served[th] == 0 {
 						t.Errorf("thread %v never served in 200 rounds", th)

@@ -1,0 +1,157 @@
+// Property-based check of DRR's quantum adaptation: across seeded random
+// burst patterns the per-thread quantum must
+//
+//  1. track the oracle recurrence q' = clamp((q+burst)/2, base/8, base*8)
+//     exactly,
+//  2. adapt monotonically — it moves toward the observed burst and never
+//     past it (so a stream of bursts longer than the quantum can only grow
+//     it, and shorter ones can only shrink it), and
+//  3. converge geometrically under a steady burst length.
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+const drrPropIPS = 1_000_000_000 // 1 instruction == 1 simulated ns, exact
+
+func absT(d sim.Time) sim.Time {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func TestDRRQuantumAdaptsMonotonically(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := sim.Time(1+rng.Intn(20)) * sim.Millisecond
+		s := sched.NewDRR(base, drrPropIPS)
+		lo, hi := s.Bounds()
+		nthreads := 1 + rng.Intn(4)
+		threads := make([]*sched.Thread, nthreads)
+		oracle := make([]sim.Time, nthreads)
+		for i := range threads {
+			threads[i] = sched.NewThread(i+1, "t", 1)
+			s.Enqueue(threads[i], 0)
+			oracle[i] = base
+		}
+		var now sim.Time
+		for i := 0; i < 400; i++ {
+			p := s.Pick(now)
+			if p == nil {
+				t.Fatalf("seed %d decision %d: Pick returned nil", seed, i)
+			}
+			idx := p.ID - 1
+			granted := s.Quantum(p, now)
+			if granted != oracle[idx] {
+				t.Fatalf("seed %d decision %d: granted quantum %v, oracle %v", seed, i, granted, oracle[idx])
+			}
+			// Burst: anywhere from a sliver to 3x the granted quantum (a
+			// thread can overrun when a wakeup never arrives to preempt it).
+			burst := sim.Time(1 + rng.Int63n(int64(granted)*3))
+			before := oracle[idx]
+			s.Charge(p, sched.Work(burst), now, true)
+			now += burst
+
+			q := (before + burst) / 2
+			if q < lo {
+				q = lo
+			}
+			if q > hi {
+				q = hi
+			}
+			oracle[idx] = q
+			got := s.ThreadQuantum(p)
+			if got != q {
+				t.Fatalf("seed %d decision %d: quantum %v, oracle %v", seed, i, got, q)
+			}
+			// Monotone: toward the burst, never past it, always in band.
+			if got < lo || got > hi {
+				t.Fatalf("seed %d decision %d: quantum %v outside [%v, %v]", seed, i, got, lo, hi)
+			}
+			if burst >= before && got < before {
+				t.Fatalf("seed %d decision %d: burst %v >= quantum %v but quantum shrank to %v",
+					seed, i, burst, before, got)
+			}
+			if burst <= before && got > before {
+				t.Fatalf("seed %d decision %d: burst %v <= quantum %v but quantum grew to %v",
+					seed, i, burst, before, got)
+			}
+			if absT(got-burst) > absT(before-burst) && got != lo && got != hi {
+				t.Fatalf("seed %d decision %d: quantum moved away from burst (%v -> %v, burst %v)",
+					seed, i, before, got, burst)
+			}
+		}
+	}
+}
+
+// TestDRRConvergesToSteadyBurst checks the geometric half-life: a thread
+// with a constant burst length b (inside the band) sees its quantum within
+// 1 ns of b after 40 updates.
+func TestDRRConvergesToSteadyBurst(t *testing.T) {
+	for _, burst := range []sim.Time{2 * sim.Millisecond, 10 * sim.Millisecond, 60 * sim.Millisecond} {
+		s := sched.NewDRR(10*sim.Millisecond, drrPropIPS)
+		th := sched.NewThread(1, "t", 1)
+		s.Enqueue(th, 0)
+		var now sim.Time
+		for i := 0; i < 40; i++ {
+			p := s.Pick(now)
+			s.Charge(p, sched.Work(burst), now, true)
+			now += burst
+		}
+		got := s.ThreadQuantum(th)
+		if d := got - burst; d < -1 || d > 1 {
+			t.Errorf("after 40 steady bursts of %v, quantum = %v", burst, got)
+		}
+	}
+}
+
+// TestDRRZeroChargeKeepsQuantum pins the dequeue-on-dispatch interaction:
+// the protocol's zero-work removal Charge must not disturb the learned
+// quantum or the adaptation stream.
+func TestDRRZeroChargeKeepsQuantum(t *testing.T) {
+	s := sched.NewDRR(10*sim.Millisecond, drrPropIPS)
+	th := sched.NewThread(1, "t", 1)
+	s.Enqueue(th, 0)
+	p := s.Pick(0)
+	s.Charge(p, sched.Work(4*sim.Millisecond), 0, true) // learn: 7ms
+	want := s.ThreadQuantum(th)
+	p = s.Pick(0)
+	s.Charge(p, 0, 0, false) // dispatch-protocol removal
+	s.Enqueue(th, 0)
+	s.Charge(th, 0, 0, true) // wakeup racing a dispatch
+	if got := s.ThreadQuantum(th); got != want {
+		t.Errorf("zero-work charges moved the quantum: %v -> %v", want, got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after zero-charge cycle", s.Len())
+	}
+}
+
+// TestDRRConstructorPanics pins the rejection surface simconfig.Validate
+// must mirror.
+func TestDRRConstructorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		base sim.Time
+		ips  int64
+	}{
+		{"base-overflow", sim.Time(1) << 61, 1},
+		{"zero-ips", 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDRR(%v, %d) did not panic", c.base, c.ips)
+				}
+			}()
+			sched.NewDRR(c.base, c.ips)
+		})
+	}
+}

@@ -1,0 +1,319 @@
+package sched
+
+import (
+	"fmt"
+
+	"hsfq/internal/sim"
+)
+
+// MLFQ is a multilevel feedback queue with starvation aging, the classic
+// time-sharing heuristic the SVR4 dispatch table approximates and the
+// multilevel variant of arxiv 1309.3096's dynamic round robin. Level 0 is
+// the highest priority; each lower level doubles the quantum:
+//
+//   - A new thread enters level 0.
+//   - Consuming a full level quantum demotes the thread one level (tail).
+//   - Yielding or blocking before the quantum expires keeps the level, so
+//     interactive threads float at the top. This is the textbook gaming
+//     surface: a CPU hog that sleeps just before expiry is never demoted
+//     (see internal/adversary, which encodes exactly that attack).
+//   - A thread that has waited longer than the aging bound is boosted back
+//     to level 0, which bounds starvation: every runnable thread reaches
+//     the top level within one aging period and is then served after at
+//     most the level-0 round-robin backlog.
+//
+// Unlike SVR4 and the slice-rotating queues, MLFQ keeps each level as an
+// intrusive doubly-linked list and its Charge re-stamps any enqueued
+// thread (no remembered pick, no head-only accounting), so it is safe for
+// the multicore dequeue-on-dispatch protocol and allocation-free in steady
+// state.
+type MLFQ struct {
+	levels []mlfqList
+	base   sim.Time // level-0 quantum; level i gets base << i
+	aging  sim.Time // runnable wait that triggers a boost to level 0
+	ips    int64    // CPU speed, to convert charged Work to time
+
+	entries map[*Thread]*mlfqEntry
+	count   int
+	// ageScratch and saveScratch are reused across Pick and SaveState so
+	// aging sweeps and periodic checkpointing stay allocation-free.
+	ageScratch  []*mlfqEntry
+	saveScratch []*mlfqEntry
+}
+
+// MLFQMaxLevels bounds the level count; with doubling quanta more levels
+// than this would overflow sim.Time for any useful base quantum.
+const MLFQMaxLevels = 16
+
+// MLFQDefaultLevels and mlfqDefaultAging are the defaults selected by
+// zero-valued constructor arguments. MLFQDefaultLevels is exported so
+// simconfig.Validate can apply the overflow rule to configs that rely on
+// the default.
+const (
+	MLFQDefaultLevels = 4
+	mlfqDefaultAging  = sim.Second
+)
+
+// MLFQQuantumOverflows reports whether the base quantum cannot be doubled
+// across the given level count without overflowing sim.Time. Zero values
+// select the same defaults as NewMLFQ, which panics on exactly the
+// combinations this reports — simconfig.Validate rejects them up front.
+func MLFQQuantumOverflows(levels int, base sim.Time) bool {
+	if levels == 0 {
+		levels = MLFQDefaultLevels
+	}
+	if levels < 1 || levels > MLFQMaxLevels {
+		return true
+	}
+	if base <= 0 {
+		base = DefaultQuantum
+	}
+	return base > sim.Time(1<<62)>>(levels-1)
+}
+
+type mlfqEntry struct {
+	t          *Thread
+	level      int
+	waitFrom   sim.Time // when enqueued on its run queue
+	next, prev *mlfqEntry
+	queued     bool
+}
+
+// mlfqList is one level's FIFO of runnable entries.
+type mlfqList struct {
+	head, tail *mlfqEntry
+}
+
+func (l *mlfqList) pushTail(e *mlfqEntry) {
+	e.prev = l.tail
+	e.next = nil
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+}
+
+func (l *mlfqList) pushHead(e *mlfqEntry) {
+	e.next = l.head
+	e.prev = nil
+	if l.head != nil {
+		l.head.prev = e
+	} else {
+		l.tail = e
+	}
+	l.head = e
+}
+
+func (l *mlfqList) unlink(e *mlfqEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.next, e.prev = nil, nil
+}
+
+// NewMLFQ returns a multilevel feedback queue scheduler. levels is the
+// number of priority levels (0 selects 4; must be <= MLFQMaxLevels). base
+// is the level-0 quantum, doubled per level (<= 0 selects DefaultQuantum).
+// aging is the runnable-wait bound that boosts a thread back to level 0
+// (0 selects one second). ips is the CPU speed in instructions per second,
+// needed to decide whether a charge consumed the full level quantum.
+func NewMLFQ(levels int, base, aging sim.Time, ips int64) *MLFQ {
+	if MLFQQuantumOverflows(levels, base) {
+		panic(fmt.Sprintf("mlfq: levels %d / base quantum %v out of range", levels, base))
+	}
+	if levels == 0 {
+		levels = MLFQDefaultLevels
+	}
+	if base <= 0 {
+		base = DefaultQuantum
+	}
+	if aging == 0 {
+		aging = mlfqDefaultAging
+	}
+	if aging < 0 {
+		panic(fmt.Sprintf("mlfq: negative aging bound %v", aging))
+	}
+	if ips <= 0 {
+		panic("mlfq: non-positive instruction rate")
+	}
+	return &MLFQ{
+		levels:  make([]mlfqList, levels),
+		base:    base,
+		aging:   aging,
+		ips:     ips,
+		entries: make(map[*Thread]*mlfqEntry),
+	}
+}
+
+// Name implements Scheduler.
+func (s *MLFQ) Name() string { return "mlfq" }
+
+// NumLevels returns the number of priority levels, for tests.
+func (s *MLFQ) NumLevels() int { return len(s.levels) }
+
+// AgingBound returns the starvation-boost wait bound, for tests.
+func (s *MLFQ) AgingBound() sim.Time { return s.aging }
+
+// LevelQuantum returns the quantum of the given level, for tests.
+func (s *MLFQ) LevelQuantum(level int) sim.Time { return s.base << level }
+
+// Level returns t's current level, for tests and traces.
+func (s *MLFQ) Level(t *Thread) int { return s.entry(t).level }
+
+// entry returns t's entry, creating and caching it on first contact.
+func (s *MLFQ) entry(t *Thread) *mlfqEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*mlfqEntry)
+	}
+	e := s.entries[t]
+	if e == nil {
+		e = &mlfqEntry{t: t}
+		s.entries[t] = e
+	}
+	t.leafSlot.Set(s, e)
+	return e
+}
+
+// entryOf returns t's entry, or nil if the thread has never been seen.
+func (s *MLFQ) entryOf(t *Thread) *mlfqEntry {
+	if v, ok := t.leafSlot.Get(s); ok {
+		return v.(*mlfqEntry)
+	}
+	if e := s.entries[t]; e != nil {
+		t.leafSlot.Set(s, e)
+		return e
+	}
+	return nil
+}
+
+// Enqueue implements Scheduler. The thread re-enters at its current level:
+// blocking early never demotes, which is the interactivity heuristic (and
+// the gaming surface the adversary suite attacks).
+func (s *MLFQ) Enqueue(t *Thread, now sim.Time) {
+	e := s.entry(t)
+	if e.queued {
+		panic(fmt.Sprintf("mlfq: Enqueue of runnable thread %v", t))
+	}
+	s.insert(e, now, tailInsert)
+}
+
+func (s *MLFQ) insert(e *mlfqEntry, now sim.Time, front bool) {
+	if front {
+		s.levels[e.level].pushHead(e)
+	} else {
+		s.levels[e.level].pushTail(e)
+	}
+	e.queued = true
+	e.waitFrom = now
+	s.count++
+}
+
+func (s *MLFQ) unlink(e *mlfqEntry) {
+	s.levels[e.level].unlink(e)
+	e.queued = false
+	s.count--
+}
+
+// Remove implements Scheduler.
+func (s *MLFQ) Remove(t *Thread, now sim.Time) {
+	e := s.entryOf(t)
+	if e == nil || !e.queued {
+		panic(fmt.Sprintf("mlfq: Remove of non-runnable thread %v", t))
+	}
+	s.unlink(e)
+}
+
+// Pick implements Scheduler: the head of the highest non-empty level,
+// after boosting any thread that has waited past the aging bound (the lazy
+// equivalent of MLFQ's periodic priority-boost scan).
+func (s *MLFQ) Pick(now sim.Time) *Thread {
+	s.applyAging(now)
+	for i := range s.levels {
+		if e := s.levels[i].head; e != nil {
+			return e.t
+		}
+	}
+	return nil
+}
+
+// applyAging boosts threads whose runnable wait exceeds the aging bound
+// back to level 0. Sweep order is level-major, queue order within a level,
+// so the boost order — and therefore the resulting level-0 FIFO — is
+// deterministic.
+func (s *MLFQ) applyAging(now sim.Time) {
+	due := s.ageScratch[:0]
+	for i := 1; i < len(s.levels); i++ {
+		for e := s.levels[i].head; e != nil; e = e.next {
+			if now-e.waitFrom >= s.aging {
+				due = append(due, e)
+			}
+		}
+	}
+	for _, e := range due {
+		s.unlink(e)
+		e.level = 0
+		s.insert(e, now, tailInsert)
+	}
+	s.ageScratch = due[:0]
+}
+
+// Quantum implements Scheduler: the level quantum, doubling per level so
+// demoted CPU hogs run longer but less often.
+func (s *MLFQ) Quantum(t *Thread, now sim.Time) sim.Time {
+	return s.base << s.entry(t).level
+}
+
+// Charge implements Scheduler. Full-quantum consumption demotes the thread
+// one level (tail); a shorter charge keeps the level but still rotates the
+// thread to the tail of its queue, so identical CPU-bound threads whose
+// compute actions end mid-quantum round-robin fairly instead of the head
+// re-winning every decision. Only a zero-work charge — the multicore
+// dequeue-on-dispatch removal step, or a wakeup racing a dispatch — keeps
+// the queue position. Accounting depends only on the thread's own entry —
+// any enqueued thread can be charged — which is what makes the leaf safe
+// for the dequeue-on-dispatch protocol.
+func (s *MLFQ) Charge(t *Thread, used Work, now sim.Time, runnable bool) {
+	e := s.entryOf(t)
+	if e == nil || !e.queued {
+		panic(fmt.Sprintf("mlfq: Charge of non-runnable thread %v", t))
+	}
+	s.unlink(e)
+	if !runnable {
+		return
+	}
+	if used <= 0 {
+		s.insert(e, now, frontInsert)
+		return
+	}
+	if timeFor(s.ips, used) >= s.base<<e.level {
+		if e.level < len(s.levels)-1 {
+			e.level++
+		}
+	}
+	s.insert(e, now, tailInsert)
+}
+
+// Preempts implements Scheduler: a wakeup at a higher level (lower index)
+// cuts the running thread short, so interactive threads get the CPU as
+// soon as they wake — the behavior the interactive-vs-batch experiment
+// measures against svr4.
+func (s *MLFQ) Preempts(running, woken *Thread, now sim.Time) bool {
+	re := s.entryOf(running)
+	we := s.entryOf(woken)
+	if re == nil || we == nil || !re.queued || !we.queued {
+		return false
+	}
+	return we.level < re.level
+}
+
+// Len implements Scheduler.
+func (s *MLFQ) Len() int { return s.count }

@@ -1,0 +1,199 @@
+// Property-based check of MLFQ's aging guarantee: however the level
+// geometry is drawn and however the load is shaped — even with an
+// attacker that games the feedback rule by sleeping just before quantum
+// expiry so it is never demoted — every continuously runnable thread is
+// served within a bounded window,
+//
+//	window <= aging + (N+1) * maxQuantum
+//
+// where N is the thread count and maxQuantum the bottom level's quantum.
+// The argument: after waiting `aging` the thread is boosted to the tail of
+// level 0; at most N-1 threads can precede it there (level-0 occupants
+// plus same-sweep boosts), each consuming at most one quantum before
+// demotion, plus one decision already in flight.
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsfq/internal/sched"
+	"hsfq/internal/sim"
+)
+
+// mlfqTrial is one randomized geometry + load shape. ips is fixed at 1e9
+// so one instruction is exactly one simulated nanosecond and quantum
+// comparisons in the scheduler are exact.
+type mlfqTrial struct {
+	seed    int64
+	levels  int
+	base    sim.Time
+	aging   sim.Time
+	threads int
+	gamer   bool // thread 1 sleeps just before every quantum expiry
+}
+
+const mlfqPropIPS = 1_000_000_000
+
+func newMLFQTrial(seed int64) mlfqTrial {
+	rng := rand.New(rand.NewSource(seed))
+	return mlfqTrial{
+		seed:    seed,
+		levels:  2 + rng.Intn(5),
+		base:    sim.Time(1+rng.Intn(20)) * sim.Millisecond,
+		aging:   sim.Time(50+rng.Intn(450)) * sim.Millisecond,
+		threads: 2 + rng.Intn(5),
+		gamer:   seed%2 == 0,
+	}
+}
+
+// driveMLFQ runs the trial and returns the worst observed gap between
+// consecutive services of any thread (measured in simulated time), and
+// whether the gamer — if any — was ever demoted below level 0.
+func driveMLFQ(t *testing.T, tr mlfqTrial, decisions int) (worstGap sim.Time, gamerDemoted bool) {
+	t.Helper()
+	s := sched.NewMLFQ(tr.levels, tr.base, tr.aging, mlfqPropIPS)
+	threads := make([]*sched.Thread, tr.threads)
+	lastServed := make([]sim.Time, tr.threads)
+	for i := range threads {
+		threads[i] = sched.NewThread(i+1, "t", 1)
+		threads[i].State = sched.StateRunnable
+		s.Enqueue(threads[i], 0)
+	}
+	var now sim.Time
+	for i := 0; i < decisions; i++ {
+		p := s.Pick(now)
+		if p == nil {
+			t.Fatalf("decision %d: Pick returned nil with all threads runnable", i)
+		}
+		q := s.Quantum(p, now)
+		if tr.gamer && p == threads[0] {
+			// The attack: run one nanosecond short of the quantum, then
+			// block and wake immediately — never demoted, always level 0.
+			used := sched.Work(q - 1)
+			now += q - 1
+			p.State = sched.StateBlocked
+			p.Segments++
+			s.Charge(p, used, now, false)
+			lastServed[0] = now
+			p.State = sched.StateRunnable
+			p.WokeAt = now
+			s.Enqueue(p, now)
+		} else {
+			used := sched.Work(q) // exactly the full quantum: demotion path
+			now += q
+			p.Segments++
+			s.Charge(p, used, now, true)
+			lastServed[p.ID-1] = now
+		}
+		for j := range threads {
+			if gap := now - lastServed[j]; gap > worstGap {
+				worstGap = gap
+			}
+		}
+		if tr.gamer && s.Level(threads[0]) > 0 {
+			gamerDemoted = true
+		}
+	}
+	return worstGap, gamerDemoted
+}
+
+func TestMLFQNoStarvationUnderAging(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		tr := newMLFQTrial(seed)
+		maxQ := tr.base << (tr.levels - 1)
+		bound := tr.aging + sim.Time(tr.threads+1)*maxQ
+		worstGap, gamerDemoted := driveMLFQ(t, tr, 600)
+		if worstGap > bound {
+			t.Errorf("trial %d (%+v): service gap %v exceeds aging bound %v",
+				seed, tr, worstGap, bound)
+		}
+		if tr.gamer && gamerDemoted {
+			t.Errorf("trial %d (%+v): sleep-before-expiry thread was demoted — the gaming surface the adversary suite relies on has changed", seed, tr)
+		}
+	}
+}
+
+// TestMLFQAgingBoundIsReal removes aging (sets it absurdly large) and
+// checks the gamer DOES starve its victims past the small-aging bound —
+// i.e. the property above is the aging mechanism's doing, not an accident
+// of round-robin order.
+func TestMLFQAgingBoundIsReal(t *testing.T) {
+	tr := mlfqTrial{
+		seed: 1, levels: 3, base: 5 * sim.Millisecond,
+		aging: sim.Time(1) << 50, threads: 3, gamer: true,
+	}
+	worstGap, _ := driveMLFQ(t, tr, 600)
+	smallAgingBound := 100*sim.Millisecond + sim.Time(tr.threads+1)*(tr.base<<(tr.levels-1))
+	if worstGap <= smallAgingBound {
+		t.Fatalf("without aging the gamer should starve victims (worst gap %v <= %v); the no-starvation property check looks vacuous",
+			worstGap, smallAgingBound)
+	}
+}
+
+// TestMLFQDemotionGeometry pins the level quanta and the demote/keep rules
+// the property tests and DESIGN.md §12 describe.
+func TestMLFQDemotionGeometry(t *testing.T) {
+	s := sched.NewMLFQ(3, 4*sim.Millisecond, sim.Second, mlfqPropIPS)
+	if got := s.NumLevels(); got != 3 {
+		t.Fatalf("NumLevels = %d", got)
+	}
+	for i, want := range []sim.Time{4 * sim.Millisecond, 8 * sim.Millisecond, 16 * sim.Millisecond} {
+		if got := s.LevelQuantum(i); got != want {
+			t.Errorf("LevelQuantum(%d) = %v, want %v", i, got, want)
+		}
+	}
+	th := sched.NewThread(1, "t", 1)
+	s.Enqueue(th, 0)
+	if lvl := s.Level(th); lvl != 0 {
+		t.Fatalf("new thread at level %d", lvl)
+	}
+	// Full quantum: demote. 4ms at 1e9 ips = 4e6 instructions.
+	s.Pick(0)
+	s.Charge(th, 4_000_000, 4*sim.Millisecond, true)
+	if lvl := s.Level(th); lvl != 1 {
+		t.Fatalf("level after full quantum = %d, want 1", lvl)
+	}
+	// Partial use: keep the level.
+	s.Pick(4 * sim.Millisecond)
+	s.Charge(th, 1_000, 5*sim.Millisecond, true)
+	if lvl := s.Level(th); lvl != 1 {
+		t.Fatalf("level after partial use = %d, want 1", lvl)
+	}
+	// Demotion saturates at the bottom level.
+	for i := 0; i < 5; i++ {
+		s.Pick(0)
+		s.Charge(th, 100_000_000, 0, true)
+	}
+	if lvl := s.Level(th); lvl != 2 {
+		t.Fatalf("level after repeated expiry = %d, want 2", lvl)
+	}
+}
+
+// TestMLFQConstructorPanics pins the constructor's rejection surface;
+// simconfig.Validate must reject the same combinations (fuzz-enforced).
+func TestMLFQConstructorPanics(t *testing.T) {
+	cases := []struct {
+		name   string
+		levels int
+		base   sim.Time
+		aging  sim.Time
+		ips    int64
+	}{
+		{"negative-levels", -1, 0, 0, 1},
+		{"too-many-levels", sched.MLFQMaxLevels + 1, 0, 0, 1},
+		{"quantum-overflow", 16, sim.Time(1) << 60, 0, 1},
+		{"negative-aging", 4, 0, -sim.Second, 1},
+		{"zero-ips", 4, 0, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMLFQ(%d, %v, %v, %d) did not panic", c.levels, c.base, c.aging, c.ips)
+				}
+			}()
+			sched.NewMLFQ(c.levels, c.base, c.aging, c.ips)
+		})
+	}
+}

@@ -27,6 +27,14 @@ type LeafConfig struct {
 	// draw per randomized leaf and leaves built from the same stream stay
 	// independent. nil selects a fixed private stream.
 	RNG *sim.Rand
+
+	// Levels is the priority-level count for multilevel schedulers (mlfq);
+	// 0 selects the algorithm's default.
+	Levels int
+
+	// Aging is the starvation-boost wait bound for aging schedulers
+	// (mlfq); 0 selects the algorithm's default.
+	Aging sim.Time
 }
 
 func (c LeafConfig) ips() int64 {
@@ -90,6 +98,8 @@ var smpSafe = map[string]bool{
 	"priority": true,
 	"edf":      true,
 	"rm":       true,
+	"mlfq":     true,
+	"drr":      true,
 }
 
 // SMPSafe reports whether the named leaf scheduler supports the
@@ -129,6 +139,23 @@ func workFor(ips int64, d sim.Time) Work {
 	return Work(q)
 }
 
+// timeFor is the inverse of workFor: the duration w instructions take at
+// ips instructions per second, rounded down. The mlfq and drr leaves use
+// it to compare charged work against their quanta with exact integer
+// arithmetic (svr4 predates it and keeps its float conversion — its
+// byte-frozen traces depend on the historical rounding).
+func timeFor(ips int64, w Work) sim.Time {
+	if w <= 0 {
+		return 0
+	}
+	hi, lo := bits.Mul64(uint64(w), uint64(sim.Second))
+	if hi >= uint64(ips) {
+		panic("sched: timeFor overflow")
+	}
+	q, _ := bits.Div64(hi, lo, uint64(ips))
+	return sim.Time(q)
+}
+
 func init() {
 	Register("sfq", func(c LeafConfig) Scheduler { return NewSFQ(c.Quantum) })
 	Register("rr", func(c LeafConfig) Scheduler { return NewRoundRobin(c.Quantum) })
@@ -152,6 +179,10 @@ func init() {
 		return NewLottery(c.Quantum, rng.Fork())
 	})
 	Register("stride", func(c LeafConfig) Scheduler { return NewStride(c.Quantum) })
+	Register("mlfq", func(c LeafConfig) Scheduler {
+		return NewMLFQ(c.Levels, c.Quantum, c.Aging, c.ips())
+	})
+	Register("drr", func(c LeafConfig) Scheduler { return NewDRR(c.Quantum, c.ips()) })
 	Register("eevdf", func(c LeafConfig) Scheduler {
 		q := c.Quantum
 		if q <= 0 {

@@ -8,7 +8,7 @@ import (
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	want := []string{"edf", "eevdf", "fifo", "lottery", "priority", "reserves", "rm", "rr", "sfq", "stride", "svr4"}
+	want := []string{"drr", "edf", "eevdf", "fifo", "lottery", "mlfq", "priority", "reserves", "rm", "rr", "sfq", "stride", "svr4"}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}

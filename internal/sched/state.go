@@ -44,6 +44,8 @@ var (
 	_ Stater = (*Stride)(nil)
 	_ Stater = (*EEVDF)(nil)
 	_ Stater = (*Reserves)(nil)
+	_ Stater = (*MLFQ)(nil)
+	_ Stater = (*DRR)(nil)
 )
 
 // encTID appends a thread reference: the ID, or -1 for "none".
@@ -744,6 +746,200 @@ func (s *EEVDF) LoadState(d *sim.Dec, resolve func(id int) *Thread) error {
 		}
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// MLFQ
+
+// SaveState implements Stater. Like SVR4, per-level FIFO order is state
+// (front-inserted preempted threads come back out first), so each occupied
+// level is serialized as an ordered ID list after the per-thread entries.
+func (s *MLFQ) SaveState(e *sim.Enc) error {
+	s.saveScratch = s.saveScratch[:0]
+	for _, en := range s.entries {
+		s.saveScratch = append(s.saveScratch, en)
+	}
+	slices.SortFunc(s.saveScratch, func(a, b *mlfqEntry) int { return a.t.ID - b.t.ID })
+	e.Int(len(s.saveScratch))
+	for _, en := range s.saveScratch {
+		e.Int(en.t.ID)
+		e.Int(en.level)
+		e.Time(en.waitFrom)
+	}
+	occupied := 0
+	for i := range s.levels {
+		if s.levels[i].head != nil {
+			occupied++
+		}
+	}
+	e.Int(occupied)
+	for i := range s.levels {
+		if s.levels[i].head == nil {
+			continue
+		}
+		n := 0
+		for en := s.levels[i].head; en != nil; en = en.next {
+			n++
+		}
+		e.Int(i)
+		e.Int(n)
+		for en := s.levels[i].head; en != nil; en = en.next {
+			e.Int(en.t.ID)
+		}
+	}
+	return nil
+}
+
+// LoadState implements Stater. Runnability is derived from queue
+// membership; every queued thread's saved level must place it exactly on
+// the level it was saved under.
+func (s *MLFQ) LoadState(d *sim.Dec, resolve func(id int) *Thread) error {
+	if s.count != 0 {
+		return fmt.Errorf("mlfq: LoadState into a scheduler with runnable threads")
+	}
+	n := d.Count(24)
+	prev := math.MinInt
+	for i := 0; i < n; i++ {
+		id := d.Int()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if id <= prev {
+			return fmt.Errorf("mlfq: thread IDs not strictly increasing at %d", id)
+		}
+		prev = id
+		t := resolve(id)
+		if t == nil {
+			return fmt.Errorf("mlfq: checkpoint references unknown thread %d", id)
+		}
+		en := s.entry(t)
+		en.level = d.Int()
+		en.waitFrom = d.Time()
+		en.queued = false
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if en.level < 0 || en.level >= len(s.levels) {
+			return fmt.Errorf("mlfq: level %d of thread %d out of range", en.level, id)
+		}
+	}
+	nl := d.Count(16)
+	prevL := math.MinInt
+	for i := 0; i < nl; i++ {
+		lvl := d.Int()
+		cnt := d.Count(8)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if lvl <= prevL {
+			return fmt.Errorf("mlfq: queue levels not strictly increasing at %d", lvl)
+		}
+		prevL = lvl
+		if lvl < 0 || lvl >= len(s.levels) {
+			return fmt.Errorf("mlfq: queue at level %d out of range", lvl)
+		}
+		if cnt == 0 {
+			return fmt.Errorf("mlfq: empty queue at level %d", lvl)
+		}
+		for j := 0; j < cnt; j++ {
+			id := d.Int()
+			if err := d.Err(); err != nil {
+				return err
+			}
+			t := resolve(id)
+			if t == nil {
+				return fmt.Errorf("mlfq: queue references unknown thread %d", id)
+			}
+			en := s.entryOf(t)
+			if en == nil {
+				return fmt.Errorf("mlfq: queued thread %d has no entry", id)
+			}
+			if en.queued {
+				return fmt.Errorf("mlfq: thread %d queued twice", id)
+			}
+			if en.level != lvl {
+				return fmt.Errorf("mlfq: thread %d queued at level %d but carries %d", id, lvl, en.level)
+			}
+			wf := en.waitFrom
+			s.insert(en, wf, tailInsert)
+		}
+	}
+	return d.Err()
+}
+
+// ---------------------------------------------------------------------------
+// DRR
+
+// SaveState implements Stater. The adaptive quanta are per-thread learned
+// state; the round-robin queue order is serialized as an ordered ID list.
+func (s *DRR) SaveState(e *sim.Enc) error {
+	s.saveScratch = s.saveScratch[:0]
+	for _, en := range s.lists {
+		s.saveScratch = append(s.saveScratch, en)
+	}
+	slices.SortFunc(s.saveScratch, func(a, b *drrEntry) int { return a.t.ID - b.t.ID })
+	e.Int(len(s.saveScratch))
+	for _, en := range s.saveScratch {
+		e.Int(en.t.ID)
+		e.Time(en.quantum)
+	}
+	e.Int(s.count)
+	for en := s.list.head; en != nil; en = en.next {
+		e.Int(en.t.ID)
+	}
+	return nil
+}
+
+// LoadState implements Stater.
+func (s *DRR) LoadState(d *sim.Dec, resolve func(id int) *Thread) error {
+	if s.count != 0 {
+		return fmt.Errorf("drr: LoadState into a scheduler with runnable threads")
+	}
+	n := d.Count(16)
+	prev := math.MinInt
+	for i := 0; i < n; i++ {
+		id := d.Int()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if id <= prev {
+			return fmt.Errorf("drr: thread IDs not strictly increasing at %d", id)
+		}
+		prev = id
+		t := resolve(id)
+		if t == nil {
+			return fmt.Errorf("drr: checkpoint references unknown thread %d", id)
+		}
+		en := s.entry(t)
+		en.quantum = d.Time()
+		en.queued = false
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if en.quantum < s.minQ || en.quantum > s.maxQ {
+			return fmt.Errorf("drr: quantum %v of thread %d outside [%v, %v]", en.quantum, id, s.minQ, s.maxQ)
+		}
+	}
+	nq := d.Count(8)
+	for i := 0; i < nq; i++ {
+		id := d.Int()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		t := resolve(id)
+		if t == nil {
+			return fmt.Errorf("drr: queue references unknown thread %d", id)
+		}
+		en := s.entryOf(t)
+		if en == nil {
+			return fmt.Errorf("drr: queued thread %d has no entry", id)
+		}
+		if en.queued {
+			return fmt.Errorf("drr: thread %d queued twice", id)
+		}
+		s.insert(en, tailInsert)
+	}
+	return d.Err()
 }
 
 // ---------------------------------------------------------------------------

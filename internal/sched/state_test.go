@@ -57,6 +57,12 @@ func stateHarnesses() []stateHarness {
 			s.SetReserve(ts[0], 500_000, 30*sim.Millisecond)
 			return s, ts
 		}},
+		{"mlfq", func() (Scheduler, []*Thread) {
+			return NewMLFQ(4, 5*sim.Millisecond, 100*sim.Millisecond, 100_000_000), mkThreads()
+		}},
+		{"drr", func() (Scheduler, []*Thread) {
+			return NewDRR(5*sim.Millisecond, 100_000_000), mkThreads()
+		}},
 	}
 }
 

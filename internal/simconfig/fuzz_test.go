@@ -43,6 +43,25 @@ func FuzzParseConfig(f *testing.F) {
 		`{"event_queue": "wheel", "nodes": [{"path": "/a", "leaf": "sfq"}]}`,
 		`{"event_queue": "heap", "nodes": [{"path": "/a", "leaf": "sfq"}]}`,
 		`{"event_queue": "splay", "nodes": [{"path": "/a", "leaf": "sfq"}]}`,
+		// Multilevel-feedback and dynamic-quantum leaves: valid geometry,
+		// then every combination their constructors panic on — Validate
+		// must reject all of them (levels range, aging sign, per-level
+		// quantum overflow, adaptation-band overflow).
+		`{"nodes": [{"path": "/a", "leaf": "mlfq", "levels": 6, "quantum": "2ms", "aging": "200ms"}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "drr", "quantum": "4ms"}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "mlfq", "levels": -1}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "mlfq", "levels": 17}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "mlfq", "aging": "-1s"}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "mlfq", "levels": 16, "quantum": 1152921504606846976}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "drr", "quantum": 2305843009213693952}]}`,
+		`{"nodes": [{"path": "/a", "leaf": "sfq", "levels": 3, "aging": "1s"}]}`,
+		// An adversary-suite scenario: attacker and victim contending in
+		// one arena leaf (the shape internal/adversary builds).
+		`{"rate_mips": 100, "horizon": "2s", "seed": 11,
+		  "nodes": [{"path": "/arena", "weight": 1, "leaf": "mlfq", "levels": 4, "quantum": "5ms", "aging": "300ms"}],
+		  "threads": [
+		    {"name": "victim", "leaf": "/arena", "program": {"kind": "loop"}},
+		    {"name": "attacker", "leaf": "/arena", "program": {"kind": "onoff", "burst": 490000, "bursts": 1, "off": "100us"}}]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

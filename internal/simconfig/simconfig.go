@@ -107,9 +107,17 @@ type NodeConfig struct {
 	Weight float64 `json:"weight"`
 	// Leaf selects a scheduler by registry name (any of sched.Names():
 	// "sfq", "rr", "fifo", "priority", "reserves", "edf", "rm", "svr4",
-	// "lottery", "stride", "eevdf"); empty means intermediate node.
+	// "lottery", "stride", "eevdf", "mlfq", "drr"); empty means
+	// intermediate node.
 	Leaf    string   `json:"leaf"`
 	Quantum Duration `json:"quantum"`
+	// Levels and Aging parameterize multilevel feedback leaves (mlfq):
+	// the priority-level count and the starvation-boost wait bound. Zero
+	// selects the algorithm defaults; other leaves ignore them. Both carry
+	// omitempty so pre-existing configs marshal byte-identically
+	// (checkpoint embeddings and sweep job keys are unchanged).
+	Levels int      `json:"levels,omitempty"`
+	Aging  Duration `json:"aging,omitempty"`
 }
 
 // ThreadConfig describes one thread.
@@ -128,6 +136,14 @@ type ThreadConfig struct {
 	// Affinity pins the thread to a home core on a multicore machine;
 	// unset threads are placed round-robin (thread index mod cores).
 	Affinity *int `json:"affinity,omitempty"`
+	// Period declares the thread's job period to deadline-driven leaves
+	// (edf assigns each job the deadline release+Period, rm ranks by
+	// period). It is a declaration, not a behavior: nothing checks that
+	// the program's actual release pattern honors it, which is exactly
+	// the lying-task surface internal/adversary's deadline-inflation
+	// attack exercises. Zero means background (no deadline). Carries
+	// omitempty so pre-existing configs marshal byte-identically.
+	Period Duration `json:"period,omitempty"`
 }
 
 // ProgramConfig describes a thread's behaviour.
@@ -267,6 +283,21 @@ func (c Config) Validate() error {
 		if nc.Quantum < 0 {
 			return fieldErr(fmt.Sprintf("nodes[%d].quantum", i), "node %q: negative quantum", nc.Path)
 		}
+		// The mlfq/drr constructors panic on out-of-range level geometry;
+		// every such combination must be a validation error instead
+		// (FuzzParseConfig enforces the equivalence).
+		if nc.Levels < 0 || nc.Levels > sched.MLFQMaxLevels {
+			return fieldErr(fmt.Sprintf("nodes[%d].levels", i), "node %q: levels %d outside [0, %d]", nc.Path, nc.Levels, sched.MLFQMaxLevels)
+		}
+		if nc.Aging < 0 {
+			return fieldErr(fmt.Sprintf("nodes[%d].aging", i), "node %q: negative aging bound", nc.Path)
+		}
+		if nc.Leaf == "mlfq" && sched.MLFQQuantumOverflows(nc.Levels, nc.Quantum.Time()) {
+			return fieldErr(fmt.Sprintf("nodes[%d].quantum", i), "node %q: quantum %v cannot be doubled across %d mlfq levels", nc.Path, nc.Quantum.Time(), nc.Levels)
+		}
+		if nc.Leaf == "drr" && sched.DRRQuantumOverflows(nc.Quantum.Time()) {
+			return fieldErr(fmt.Sprintf("nodes[%d].quantum", i), "node %q: quantum %v overflows drr's adaptation band", nc.Path, nc.Quantum.Time())
+		}
 		if nc.Leaf != "" {
 			if !sched.Known(nc.Leaf) {
 				return fieldErr(fmt.Sprintf("nodes[%d].leaf", i), "node %q: unknown leaf scheduler %q (have %v)", nc.Path, nc.Leaf, sched.Names())
@@ -311,6 +342,9 @@ func (c Config) Validate() error {
 		}
 		if tc.Affinity != nil && (*tc.Affinity < 0 || *tc.Affinity >= c.NumCores()) {
 			return fieldErr(fmt.Sprintf("threads[%d].affinity", i), "thread %q: affinity %d outside [0, %d)", tc.Name, *tc.Affinity, c.NumCores())
+		}
+		if tc.Period < 0 {
+			return fieldErr(fmt.Sprintf("threads[%d].period", i), "thread %q: negative period", tc.Name)
 		}
 		if !programKinds[tc.Program.Kind] {
 			return fieldErr(fmt.Sprintf("threads[%d].program.kind", i), "thread %q: unknown program %q", tc.Name, tc.Program.Kind)
@@ -459,6 +493,8 @@ func Build(c Config, opt BuildOptions) (*Simulation, error) {
 					Quantum: nc.Quantum.Time(),
 					IPS:     int64(rate),
 					RNG:     rng,
+					Levels:  nc.Levels,
+					Aging:   nc.Aging.Time(),
 				})
 				if err != nil {
 					return nil, fmt.Errorf("simconfig: node %q: %w", nc.Path, err)
@@ -519,6 +555,7 @@ func Build(c Config, opt BuildOptions) (*Simulation, error) {
 			w = 1
 		}
 		th := sched.NewThread(i+1, tc.Name, w)
+		th.Period = tc.Period.Time()
 		prog, err := buildProgram(simn, tc, rate, rng)
 		if err != nil {
 			return nil, err

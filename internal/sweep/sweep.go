@@ -60,6 +60,8 @@ const (
 	ParamSwitchCost       = "switch_cost"       // Config.SwitchCost (durations)
 	ParamMigrationCost    = "migration_cost"    // Config.MigrationCost (durations)
 	ParamEventQueue       = "event_queue"       // Config.EventQueue (strings)
+	ParamLevels           = "levels"            // node target's mlfq level count (numbers)
+	ParamAging            = "aging"             // node target's mlfq aging bound (durations)
 )
 
 // Axis is one swept parameter and the values it takes.
@@ -380,6 +382,34 @@ func makeChoice(ax Axis, key string, raw json.RawMessage) (choice, error) {
 		}
 		return choice{key, s, func(c *simconfig.Config) error {
 			c.EventQueue = s
+			return nil
+		}}, nil
+	case ParamLevels:
+		n, err := number()
+		if err != nil {
+			return choice{}, err
+		}
+		target := ax.Target
+		return choice{key, fmtNum(n), func(c *simconfig.Config) error {
+			nc, err := findNode(c, target)
+			if err != nil {
+				return err
+			}
+			nc.Levels = int(n)
+			return nil
+		}}, nil
+	case ParamAging:
+		d, err := duration()
+		if err != nil {
+			return choice{}, err
+		}
+		target := ax.Target
+		return choice{key, fmtDur(d), func(c *simconfig.Config) error {
+			nc, err := findNode(c, target)
+			if err != nil {
+				return err
+			}
+			nc.Aging = d
 			return nil
 		}}, nil
 	case ParamSwitchCost, ParamMigrationCost:

@@ -83,6 +83,61 @@ func TestExpandGrid(t *testing.T) {
 	}
 }
 
+// TestExpandFeedbackAxes sweeps the adaptive-leaf geometry: level count
+// and aging bound on an mlfq node. Each expanded config must carry the
+// axis values, validate, and actually run.
+func TestExpandFeedbackAxes(t *testing.T) {
+	spec := parseTestSpec(t, `{
+	  "name": "feedback",
+	  "seeds": 1,
+	  "base": {
+	    "rate_mips": 100,
+	    "horizon": "100ms",
+	    "seed": 42,
+	    "nodes": [{"path": "/fb", "weight": 1, "leaf": "mlfq", "quantum": "2ms"}],
+	    "threads": [
+	      {"name": "hog", "leaf": "/fb", "program": {"kind": "loop"}},
+	      {"name": "chatty", "leaf": "/fb", "program": {"kind": "interactive", "think_mean": "10ms"}}
+	    ]
+	  },
+	  "axes": [
+	    {"param": "levels", "target": "/fb", "values": [2, 5]},
+	    {"param": "aging", "target": "/fb", "values": ["50ms", "400ms"]},
+	    {"param": "leaf", "target": "/fb", "values": ["mlfq", "drr"]}
+	  ]
+	}`)
+	jobs, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 8 { // 2 levels x 2 agings x 2 leaves
+		t.Fatalf("expanded %d jobs, want 8", len(jobs))
+	}
+	for _, job := range jobs {
+		nc := job.Config.Nodes[0]
+		if nc.Levels != 2 && nc.Levels != 5 {
+			t.Errorf("job %d: levels = %d", job.ID, nc.Levels)
+		}
+		if a := nc.Aging.Time(); a != 50_000_000 && a != 400_000_000 {
+			t.Errorf("job %d: aging = %d", job.ID, a)
+		}
+		if err := job.Config.Validate(); err != nil {
+			t.Errorf("job %d: %v", job.ID, err)
+		}
+	}
+	// The drr end of the leaf axis must execute too (levels/aging are
+	// inert there but still validate).
+	last := jobs[len(jobs)-1]
+	if last.Config.Nodes[0].Leaf != "drr" {
+		t.Fatalf("last job leaf = %q, want drr", last.Config.Nodes[0].Leaf)
+	}
+	for _, job := range []Job{jobs[0], last} {
+		if r := RunJob(job, true); r.Error != "" || r.Mismatch {
+			t.Errorf("job %d failed: err=%q mismatch=%v", job.ID, r.Error, r.Mismatch)
+		}
+	}
+}
+
 func TestExpandErrors(t *testing.T) {
 	for name, mutate := range map[string]func(*Spec){
 		"no base":       func(s *Spec) { s.Base.Nodes = nil },

@@ -35,11 +35,11 @@ FUZZ_TIME ?= 30s
 # smoke only needs a real sim_ns/wall_ns sample, not a stable median.
 BENCH_SMOKE_TIME ?= 50ms
 
-.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest tenant-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke queue-bench adversary-smoke
+.PHONY: all build test race vet bench fmt check sweep-smoke sweep-bench loadtest tenant-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke queue-bench adversary-smoke trace-smoke
 
 all: build test
 
-check: build test vet sweep-smoke tenant-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke adversary-smoke
+check: build test vet sweep-smoke tenant-smoke fuzz-smoke mesh-smoke checkpoint-smoke smp-smoke bench-smoke adversary-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -97,12 +97,14 @@ tenant-smoke:
 
 # Short coverage-guided runs of each fuzz target on top of the checked-in
 # corpora: config intake must never panic, content addresses must survive
-# the wire round trip and vary with the seed.
+# the wire round trip and vary with the seed, and no byte stream may
+# panic the trace-frame decoder or make it allocate unboundedly.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime $(FUZZ_TIME) -fuzzminimizetime 1x ./internal/simconfig
 	$(GO) test -run '^$$' -fuzz FuzzJobKey -fuzztime $(FUZZ_TIME) -fuzzminimizetime 1x ./internal/sweep
 	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime $(FUZZ_TIME) -fuzzminimizetime 1x ./internal/checkpoint
 	$(GO) test -run '^$$' -fuzz FuzzEventQueueDiff -fuzztime $(FUZZ_TIME) -fuzzminimizetime 1x ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzTraceFrameDecode -fuzztime $(FUZZ_TIME) -fuzzminimizetime 1x ./internal/tracestream
 
 # Event-queue equivalence and throughput smoke. The interrupt-storm
 # scenario run under -queue heap and -queue wheel must produce
@@ -188,6 +190,24 @@ smp-smoke:
 # cell's config alone and bisects under hsfqdiff.
 adversary-smoke:
 	$(GO) run ./cmd/advsmoke
+
+# Trace streaming end to end over a real daemon, three legs:
+#   1. replay soundness: a follow stream consumed live, the stored
+#      recording's digest header, and the recording re-decoded through
+#      the wire codec must all hash identically;
+#   2. drop accounting: a throttled reader on a minimum buffer must be
+#      told exactly what it lost (rows + dropped == total);
+#   3. diff parity: POST /v1/diff must return the same verdict,
+#      divergence_at_ns, and first divergent rows as batch
+#      `hsfqdiff -json` on the same planted divergence.
+# A second hsfqload run exercises K concurrent follow streams (one
+# deliberately slow) plus a SIGTERM with a stream open: fast readers
+# gap-free and digest-matched, slow reader drop-accounted, drain clean.
+trace-smoke:
+	$(GO) build -o /tmp/hsfqd ./cmd/hsfqd
+	$(GO) build -o /tmp/hsfqdiff ./cmd/hsfqdiff
+	$(GO) run ./cmd/tracesmoke -hsfqd /tmp/hsfqd -hsfqdiff /tmp/hsfqdiff
+	$(GO) run ./cmd/hsfqload -hsfqd /tmp/hsfqd -trace 3 -queue 16 -workers 2
 
 # Serial vs parallel wall clock of the full figure suite, recorded as
 # BENCH_PR2.json (before = -workers 1, after = -workers $(SWEEP_BENCH_WORKERS)).

@@ -57,6 +57,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 		policyPath   = flag.String("policy", "", "tenant policy JSON (weights, quotas, API keys); SIGHUP reloads it")
+		traceBytes   = flag.Int("trace-bytes", 4<<20, "per-run trace recording byte cap for GET /v1/trace/{key} (0 disables tracing)")
+		traceCache   = flag.Int64("trace-cache-bytes", 32<<20, "total byte cap across retained finished trace recordings")
 	)
 	flag.Parse()
 
@@ -70,17 +72,19 @@ func main() {
 		pol = p
 	}
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		SweepWorkers:   *sweepWorkers,
-		CacheEntries:   *cacheEntries,
-		CacheBytes:     *cacheBytes,
-		CacheDir:       *cacheDir,
-		VerifyFraction: *verifyCache,
-		MaxBatch:       *maxBatch,
-		RequestTimeout: *timeout,
-		CheckpointDir:  *ckptDir,
-		Policy:         pol,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		SweepWorkers:    *sweepWorkers,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		CacheDir:        *cacheDir,
+		VerifyFraction:  *verifyCache,
+		MaxBatch:        *maxBatch,
+		RequestTimeout:  *timeout,
+		CheckpointDir:   *ckptDir,
+		Policy:          pol,
+		TraceBytes:      *traceBytes,
+		TraceCacheBytes: *traceCache,
 	})
 	if *policyPath != "" {
 		hupCh := make(chan os.Signal, 1)

@@ -9,30 +9,28 @@
 //	hsfqdiff -a before.json -b after.json
 //	hsfqdiff -a sim.json -b sim.json -seed-a 1 -seed-b 2
 //	hsfqdiff -a before.json -b after.json -grid 64
+//	hsfqdiff -a before.json -b after.json -json
 //
-// Replaying two full traces to find one differing row is wasteful, so
-// hsfqdiff bisects with checkpoints: each run executes once while a
-// streaming hasher folds every event into a SHA-256 and an in-memory
-// checkpoint of the full simulator state is captured at -grid evenly
-// spaced instants, each paired with the digest of the stream so far.
-// The last instant where both prefixes agree bounds the divergence; only
-// that final grid cell is replayed — restored from each run's own
-// checkpoint — with full event recording to pinpoint the first
-// mismatching row. Event storage is O(horizon/grid), not O(horizon).
+// The checkpoint-grid bisection itself lives in internal/tracediff
+// (shared with hsfqd's POST /v1/diff endpoint); this command is a thin
+// client. With -json it emits the tracediff.Result JSON document — the
+// same schema the service returns — instead of the human-readable
+// report, so scripts stop scraping text. Exit codes are identical in
+// both modes.
 //
 // Exit status: 0 identical, 3 divergent, 1 error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"hsfq/internal/checkpoint"
 	"hsfq/internal/sim"
 	"hsfq/internal/simconfig"
-	"hsfq/internal/trace"
+	"hsfq/internal/tracediff"
 )
 
 // exitDivergent mirrors hsfqsweep's mismatch code: the runs completed
@@ -41,18 +39,19 @@ const exitDivergent = 3
 
 func main() {
 	var (
-		aPath = flag.String("a", "", "first simulation config (required)")
-		bPath = flag.String("b", "", "second simulation config (required)")
-		seedA = flag.Uint64("seed-a", 0, "seed override for -a")
-		seedB = flag.Uint64("seed-b", 0, "seed override for -b")
-		grid  = flag.Int("grid", 16, "checkpoint instants per run; finer grids replay less")
+		aPath   = flag.String("a", "", "first simulation config (required)")
+		bPath   = flag.String("b", "", "second simulation config (required)")
+		seedA   = flag.Uint64("seed-a", 0, "seed override for -a")
+		seedB   = flag.Uint64("seed-b", 0, "seed override for -b")
+		grid    = flag.Int("grid", 16, "checkpoint instants per run; finer grids replay less")
+		jsonOut = flag.Bool("json", false, "emit the result as JSON (the POST /v1/diff schema) instead of text")
 	)
 	flag.Parse()
 	if *aPath == "" || *bPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	divergent, err := diff(os.Stdout, *aPath, *bPath, *seedA, *seedB, *grid)
+	divergent, err := run(os.Stdout, *aPath, *bPath, *seedA, *seedB, *grid, *jsonOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hsfqdiff:", err)
 		os.Exit(1)
@@ -62,174 +61,56 @@ func main() {
 	}
 }
 
-// side is one probed run: its buildable inputs plus the artifacts of the
-// probe pass — grid checkpoints with prefix digests, and the digest of
-// the complete stream.
-type side struct {
-	label   string
-	cfg     simconfig.Config
-	seed    uint64
-	horizon sim.Time
-
-	ckpt    [][]byte // ckpt[i] = state at horizon*i/grid; [0] unused (rebuild)
-	digest  []string // digest[i] = stream digest at that instant
-	rows    []int    // rows[i] = events hashed by that instant
-	final   string
-	finalRN int
+// diff is the text-mode entry point (kept for tests and callers that
+// scrape the human format).
+func diff(w io.Writer, aPath, bPath string, seedA, seedB uint64, grid int) (bool, error) {
+	return run(w, aPath, bPath, seedA, seedB, grid, false)
 }
 
-// diff probes both runs and, if they differ, bisects and reports the
-// first divergent event. It returns whether the runs diverged.
-func diff(w io.Writer, aPath, bPath string, seedA, seedB uint64, grid int) (bool, error) {
-	if grid < 1 {
-		return false, fmt.Errorf("-grid must be at least 1")
-	}
-	a, err := probe("a", aPath, seedA, grid)
+func run(w io.Writer, aPath, bPath string, seedA, seedB uint64, grid int, jsonOut bool) (bool, error) {
+	a, err := load("a", aPath, seedA)
 	if err != nil {
 		return false, err
 	}
-	b, err := probe("b", bPath, seedB, grid)
+	b, err := load("b", bPath, seedB)
 	if err != nil {
 		return false, err
 	}
-	if a.horizon != b.horizon {
-		return false, fmt.Errorf("horizons differ (%v vs %v); divergence search needs a common horizon", a.horizon, b.horizon)
+	warn := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hsfqdiff: "+format+"\n", args...)
 	}
-
-	if a.final == b.final && a.finalRN == b.finalRN {
-		fmt.Fprintf(w, "identical: %d event(s), digest %s\n", a.finalRN, a.final)
+	res, err := tracediff.Diff(a, b, grid, warn)
+	if err != nil {
+		return false, err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(res); err != nil {
+			return false, err
+		}
+		return res.Divergent(), nil
+	}
+	if !res.Divergent() {
+		fmt.Fprintf(w, "identical: %d event(s), digest %s\n", res.Rows, res.Digest)
 		return false, nil
 	}
-
-	// Bisect: the last grid instant where both prefixes agree. Index 0
-	// (the empty prefix) always agrees.
-	from := 0
-	for i := grid - 1; i > 0; i-- {
-		if a.ckpt[i] != nil && b.ckpt[i] != nil && a.digest[i] == b.digest[i] && a.rows[i] == b.rows[i] {
-			from = i
-			break
-		}
-	}
-
-	evA, err := a.replay(from, grid)
-	if err != nil {
-		return false, err
-	}
-	evB, err := b.replay(from, grid)
-	if err != nil {
-		return false, err
-	}
-	at, rowA, rowB, found := firstDivergence(evA, evB)
-	if !found {
-		return false, fmt.Errorf("streams differ in digest but replays from instant %d/%d agree; checkpoint state is inconsistent", from, grid)
-	}
-	fmt.Fprintf(w, "divergence_at_ns=%d\n", int64(at))
-	fmt.Fprintf(w, "a: %s\nb: %s\n", rowA, rowB)
+	fmt.Fprintf(w, "divergence_at_ns=%d\n", res.DivergenceAtNs)
+	fmt.Fprintf(w, "a: %s\nb: %s\n", res.FirstRows.A, res.FirstRows.B)
 	fmt.Fprintf(w, "replayed from instant %d/%d (t=%v), %d vs %d event(s) in the window\n",
-		from, grid, a.horizon*sim.Time(from)/sim.Time(grid), len(evA), len(evB))
+		res.ReplayFromInstant, res.Grid, sim.Time(res.ReplayFromNs), res.EventsA, res.EventsB)
 	return true, nil
 }
 
-// probe executes one run start to finish, folding every event into a
-// streaming hash and snapshotting state + prefix digest at each grid
-// instant. Checkpoints that fail to encode leave a nil slot: the
-// bisection then falls back to an earlier instant.
-func probe(label, path string, seed uint64, grid int) (*side, error) {
+// load reads one side's config file.
+func load(label, path string, seed uint64) (tracediff.Input, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return tracediff.Input{}, err
 	}
 	cfg, err := simconfig.Parse(f)
 	f.Close()
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return tracediff.Input{}, fmt.Errorf("%s: %w", path, err)
 	}
-	s, err := simconfig.Build(cfg, simconfig.BuildOptions{Seed: seed})
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-
-	sd := &side{
-		label: label, cfg: cfg, seed: seed,
-		horizon: s.Config.Horizon.Time(),
-		ckpt:    make([][]byte, grid),
-		digest:  make([]string, grid),
-		rows:    make([]int, grid),
-	}
-	h := trace.NewHasher()
-	s.Machine.Listen(h)
-	for i := 1; i < grid; i++ {
-		at := sd.horizon * sim.Time(i) / sim.Time(grid)
-		if at <= 0 {
-			continue
-		}
-		i := i
-		s.Engine.At(at, func() {
-			if data, err := checkpoint.Save(s, checkpoint.Options{}); err == nil {
-				sd.ckpt[i] = data
-			} else {
-				fmt.Fprintf(os.Stderr, "hsfqdiff: %s: checkpoint at %v: %v\n", label, at, err)
-			}
-			sd.digest[i] = h.Sum()
-			sd.rows[i] = h.Rows()
-		})
-	}
-	s.Run()
-	sd.final = h.Sum()
-	sd.finalRN = h.Rows()
-	return sd, nil
-}
-
-// replay re-executes the run from grid instant `from` to the horizon with
-// full event recording. Instant 0 rebuilds from the config; later
-// instants restore the probe's checkpoint, which resume equivalence
-// guarantees continues byte-identically to the original run.
-func (sd *side) replay(from, grid int) ([]trace.Event, error) {
-	var s *simconfig.Simulation
-	var err error
-	if from == 0 {
-		s, err = simconfig.Build(sd.cfg, simconfig.BuildOptions{Seed: sd.seed})
-	} else {
-		s, err = checkpoint.Restore(sd.ckpt[from], checkpoint.Options{})
-	}
-	if err != nil {
-		return nil, fmt.Errorf("%s: replay from instant %d: %w", sd.label, from, err)
-	}
-	rec := trace.NewRecorder(0)
-	s.Machine.Listen(rec)
-	s.Run()
-	return rec.Events(), nil
-}
-
-// firstDivergence scans two replayed windows for the first event where
-// they disagree, comparing the same canonical row text the hasher folds.
-func firstDivergence(a, b []trace.Event) (at sim.Time, rowA, rowB string, found bool) {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		ra, rb := rowText(a[i]), rowText(b[i])
-		if ra != rb {
-			at = a[i].At
-			if b[i].At < at {
-				at = b[i].At
-			}
-			return at, ra, rb, true
-		}
-	}
-	switch {
-	case len(a) > n:
-		return a[n].At, rowText(a[n]), "<end of stream>", true
-	case len(b) > n:
-		return b[n].At, "<end of stream>", rowText(b[n]), true
-	}
-	return 0, "", "", false
-}
-
-// rowText renders an event exactly as trace.Hasher folds it, so replay
-// comparison and digest comparison agree on what "equal" means.
-func rowText(e trace.Event) string {
-	return fmt.Sprintf("%d,%s,%s,%d,%d,%t,%d",
-		int64(e.At), e.Kind, e.Thread, e.ThreadID, int64(e.Used), e.Runnable, int64(e.Service))
+	return tracediff.Input{Label: label, Config: cfg, Seed: seed}, nil
 }

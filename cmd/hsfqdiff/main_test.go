@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
 	"testing"
+
+	"hsfq/internal/tracediff"
 )
 
 const baseConfig = `{
@@ -150,5 +153,39 @@ func TestDiffErrors(t *testing.T) {
 	}
 	if _, err := diff(&out, good, good, 0, 0, 0); err == nil {
 		t.Error("zero grid accepted")
+	}
+}
+
+// TestDiffJSONMode checks -json emits the tracediff schema with the same
+// divergence verdict as the text mode.
+func TestDiffJSONMode(t *testing.T) {
+	a := writeConfig(t, "a.json", baseConfig)
+	b := writeConfig(t, "b.json", strings.Replace(baseConfig, `"rate_per_sec": 120`, `"rate_per_sec": 121`, 1))
+	var out strings.Builder
+	divergent, err := run(&out, a, b, 0, 0, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !divergent {
+		t.Fatal("expected divergence")
+	}
+	var res tracediff.Result
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("bad JSON %q: %v", out.String(), err)
+	}
+	if res.Status != tracediff.StatusDivergent || res.DivergenceAtNs == 0 || res.FirstRows == nil {
+		t.Fatalf("JSON result: %+v", res)
+	}
+	// Same verdict as the text mode.
+	if at := divergenceAt(t, a, b, 0, 0, 8); at != res.DivergenceAtNs {
+		t.Fatalf("json says %d, text says %d", res.DivergenceAtNs, at)
+	}
+
+	out.Reset()
+	if divergent, err = run(&out, a, a, 0, 0, 8, true); err != nil || divergent {
+		t.Fatalf("self-diff: %v %v", divergent, err)
+	}
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil || res.Status != tracediff.StatusIdentical {
+		t.Fatalf("self-diff JSON: %q %v", out.String(), err)
 	}
 }

@@ -23,6 +23,13 @@
 //	hsfqload -addr http://localhost:8377 -n 128
 //	hsfqload -hsfqd /tmp/hsfqd -policy tenants.json -tenants gold:4,bronze:1
 //	hsfqload -hsfqd /tmp/hsfqd -policy tenants.json -tenants victim:1,flood:1 -flood flood
+//	hsfqload -hsfqd /tmp/hsfqd -trace 4
+//
+// -trace K streams one live job over GET /v1/trace/{key}?follow=1 to K
+// fast readers plus one deliberately slow one: fast streams must be
+// gap-free with a row hash matching the engine's trace digest, the slow
+// one must get exact drop accounting instead of backpressure, and a
+// SIGTERM with a stream open must close it cleanly.
 //
 // Exit status 0 on success, 1 on any violated invariant.
 package main
@@ -58,11 +65,14 @@ func main() {
 		flood     = flag.String("flood", "", "isolation mode: attacker tenant name (must appear in -tenants; the others are victims)")
 		bound     = flag.Float64("bound", 10, "flood mode: max allowed victim p99 degradation factor")
 		duration  = flag.Duration("duration", 3*time.Second, "tenant/flood mode: load duration per phase")
+		traceK    = flag.Int("trace", 0, "trace mode: K concurrent follow streams of one live job, plus one deliberately slow reader (0 = off)")
 	)
 	flag.Parse()
 
 	var err error
 	switch {
+	case *traceK > 0:
+		err = runTrace(*addr, *hsfqd, *policy, *traceK, *queue, *workers)
 	case *flood != "":
 		err = runFlood(*addr, *hsfqd, *policy, *tenants, *flood, *bound, *duration, *queue, *workers)
 	case *tenants != "":
@@ -77,9 +87,9 @@ func main() {
 }
 
 // spawn starts hsfqd on a free port (when binary is non-empty) and waits
-// for readiness; otherwise it validates addr. The returned stop func is
-// nil when no daemon was spawned.
-func spawn(addr, binary, policy string, queue, workers int) (string, func() error, error) {
+// for readiness; otherwise it validates addr. extra appends additional
+// daemon flags. The returned stop func is nil when no daemon was spawned.
+func spawn(addr, binary, policy string, queue, workers int, extra ...string) (string, func() error, error) {
 	if binary == "" {
 		if addr == "" {
 			return "", nil, fmt.Errorf("need -addr or -hsfqd")
@@ -100,6 +110,7 @@ func spawn(addr, binary, policy string, queue, workers int) (string, func() erro
 	if policy != "" {
 		args = append(args, "-policy", policy)
 	}
+	args = append(args, extra...)
 	daemon := exec.Command(binary, args...)
 	daemon.Stderr = os.Stderr
 	if err := daemon.Start(); err != nil {

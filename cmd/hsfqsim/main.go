@@ -69,6 +69,7 @@ func main() {
 		configPath = flag.String("config", "", "JSON simulation config (empty: built-in demo)")
 		tracePath  = flag.String("trace", "", "write a CSV scheduling trace to this file")
 		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart of the first second")
+		ganttDepth = flag.Bool("gantt-depth", false, "print the Gantt chart grouped by scheduling-tree depth (one lane per level)")
 		dotPath    = flag.String("dot", "", "write the scheduling structure in DOT format")
 		seed       = flag.Uint64("seed", 0, "override the config's random seed")
 		cores      = flag.Int("cores", 0, "override the config's core count (0: keep the config's)")
@@ -107,6 +108,7 @@ func main() {
 		policy:     *policy,
 		queue:      *queue,
 		gantt:      *gantt,
+		ganttDepth: *ganttDepth,
 		ckptEvery:  sim.Time(ckptEvery.Nanoseconds()),
 		ckptOut:    *ckptOut,
 		resumePath: *resumePath,
@@ -149,6 +151,7 @@ type runOptions struct {
 	policy     string
 	queue      string
 	gantt      bool
+	ganttDepth bool
 	ckptEvery  sim.Time
 	ckptOut    string
 	resumePath string
@@ -157,7 +160,7 @@ type runOptions struct {
 func run(o runOptions) error {
 	var s *simconfig.Simulation
 	var rec *trace.Recorder
-	wantTrace := o.tracePath != "" || o.gantt
+	wantTrace := o.tracePath != "" || o.gantt || o.ganttDepth
 
 	if o.resumePath != "" {
 		if o.configPath != "" || o.seed != 0 || o.cores != 0 || o.policy != "" {
@@ -287,6 +290,12 @@ func run(o runOptions) error {
 	if o.gantt {
 		fmt.Println("\nfirst second of the schedule:")
 		if err := trace.Gantt(os.Stdout, rec.Spans(), 0, simSecond(), 100); err != nil {
+			return err
+		}
+	}
+	if o.ganttDepth {
+		fmt.Println("\nfirst second of the schedule, by tree depth:")
+		if err := trace.GanttByDepth(os.Stdout, rec.Spans(), s.ThreadMetas(), 0, simSecond(), 100); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"hsfq/internal/simconfig"
+	"hsfq/internal/sweep"
+	"hsfq/internal/tracediff"
+)
+
+// This file implements POST /v1/diff: the hsfqdiff bisection as a
+// service. The request carries two full configs (plus optional seed
+// overrides); the response is the tracediff.Result JSON — byte-for-byte
+// the schema of `hsfqdiff -json` — localizing the first divergent
+// scheduling event between the two runs. The endpoint rides the same
+// pool/cache/coalescing path as simulate: a diff's key is derived from
+// both sides' job keys plus the grid, so repeating a diff is a cache hit
+// and concurrent identical diffs coalesce onto one bisection.
+
+// Grid bounds: a finer grid replays a narrower window but stores more
+// checkpoints per probe; the cap keeps one request's memory bounded.
+const (
+	defaultDiffGrid = 16
+	maxDiffGrid     = 256
+)
+
+// diffRequest is the body of POST /v1/diff.
+type diffRequest struct {
+	A    diffSide `json:"a"`
+	B    diffSide `json:"b"`
+	Grid int      `json:"grid,omitempty"`
+}
+
+// diffSide is one run under comparison. Seed 0 keeps the config's own
+// seed, matching batch-job semantics.
+type diffSide struct {
+	Config simconfig.Config `json:"config"`
+	Seed   uint64           `json:"seed,omitempty"`
+}
+
+func (s *Server) serveDiff(w http.ResponseWriter, r *http.Request, tenant string) int {
+	var req diffRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, fmt.Errorf("server: %w", err))
+	}
+	if err := req.A.Config.Validate(); err != nil {
+		return writeError(w, http.StatusBadRequest, fmt.Errorf("server: a: %w", err))
+	}
+	if err := req.B.Config.Validate(); err != nil {
+		return writeError(w, http.StatusBadRequest, fmt.Errorf("server: b: %w", err))
+	}
+	if req.Grid < 0 || req.Grid > maxDiffGrid {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Errorf("server: grid %d out of range [1,%d]", req.Grid, maxDiffGrid))
+	}
+	grid := req.Grid
+	if grid == 0 {
+		grid = defaultDiffGrid
+	}
+	seedA, seedB := req.A.Seed, req.B.Seed
+	if seedA == 0 {
+		seedA = req.A.Config.Seed
+	}
+	if seedB == 0 {
+		seedB = req.B.Config.Seed
+	}
+	// The diff's content address: both sides' job keys plus the grid. Job
+	// keys canonicalize the configs, so equivalent requests coalesce and
+	// cache-hit regardless of JSON formatting.
+	key := fmt.Sprintf("%x", sha256.Sum256(fmt.Appendf(nil, "diff|%s|%s|%d",
+		sweep.JobKey(req.A.Config, seedA), sweep.JobKey(req.B.Config, seedB), grid)))
+
+	recompute := func() ([]byte, bool, error) {
+		res, err := tracediff.Diff(
+			tracediff.Input{Label: "a", Config: req.A.Config, Seed: seedA},
+			tracediff.Input{Label: "b", Config: req.B.Config, Seed: seedB},
+			grid, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		b, merr := json.Marshal(res)
+		if merr != nil {
+			return nil, false, &internalError{merr}
+		}
+		return b, true, nil
+	}
+	return s.serveComputed(w, r, tenant, "diff", key, recompute)
+}

@@ -87,6 +87,16 @@ type Config struct {
 	// (every tenant at weight 1, quota QueueDepth), under which
 	// header-less traffic behaves exactly like the pre-tenant FIFO.
 	Policy *tenantsched.Policy
+	// TraceBytes, when positive, attaches a tracestream.Broadcaster to
+	// every simulate and batch-job execution and serves the streams at
+	// GET /v1/trace/{key}; the value caps one recording's frame bytes
+	// (the digest always covers the full run). 0 disables tracing, which
+	// keeps executions on the plain path.
+	TraceBytes int
+	// TraceCacheBytes caps the total frame bytes of finished recordings
+	// retained for replay; <= 0 means 32 MiB. Oldest recordings are
+	// evicted first.
+	TraceCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -149,9 +159,25 @@ type Server struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
+	// traces is the live/finished trace hub behind GET /v1/trace/{key};
+	// nil when Config.TraceBytes is 0 (tracing disabled).
+	traces     *traceHub
+	traceStats *endpointStats
+	diffStats  *endpointStats
+
+	// streams counts each tenant's concurrent follow streams, capped by
+	// the policy's streams settings.
+	streamMu sync.Mutex
+	streams  map[string]int
+
+	// store is the checkpoint store (nil without Config.CheckpointDir);
+	// traced executions contribute their final states through it too.
+	store *sweep.Store
+
 	// Seams for tests: the default paths run real simulations.
-	execute  func(cfg simconfig.Config, seed uint64) (string, map[string]float64, error)
-	runSweep func(spec sweep.Spec, opt sweep.Options) (*sweep.Report, error)
+	execute         func(cfg simconfig.Config, seed uint64) (string, map[string]float64, error)
+	runSweep        func(spec sweep.Spec, opt sweep.Options) (*sweep.Report, error)
+	executeListened func(cfg simconfig.Config, seed uint64, attach func(*simconfig.Simulation)) (string, map[string]float64, error)
 }
 
 // flight is one in-progress computation. Followers wait on done, then read
@@ -185,7 +211,10 @@ func New(cfg Config) *Server {
 		sweepStats:    newEndpointStats(),
 		jobsStats:     newEndpointStats(),
 		batchStats:    newEndpointStats(),
+		traceStats:    newEndpointStats(),
+		diffStats:     newEndpointStats(),
 		tenantStats:   map[string]*endpointStats{},
+		streams:       map[string]int{},
 		verifyRng:     rand.New(rand.NewSource(1)),
 		verifySem:     make(chan struct{}, 1),
 		flights:       map[string]*flight{},
@@ -197,6 +226,7 @@ func New(cfg Config) *Server {
 		if store, err := sweep.NewStore(cfg.CheckpointDir); err != nil {
 			log.Printf("server: checkpoint dir %s: %v (checkpoint reuse disabled)", cfg.CheckpointDir, err)
 		} else {
+			s.store = store
 			s.execute = func(c simconfig.Config, seed uint64) (string, map[string]float64, error) {
 				digest, m, _, err := sweep.ExecuteConfigCheckpointed(c, seed, store)
 				return digest, m, err
@@ -207,11 +237,21 @@ func New(cfg Config) *Server {
 			}
 		}
 	}
+	// The listened path never resumes (a trace must cover the run from
+	// tick zero) but still contributes checkpoints through the store.
+	s.executeListened = func(c simconfig.Config, seed uint64, attach func(*simconfig.Simulation)) (string, map[string]float64, error) {
+		return sweep.ExecuteConfigListened(c, seed, s.store, attach)
+	}
+	if cfg.TraceBytes > 0 {
+		s.traces = newTraceHub(cfg.TraceCacheBytes)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.instrument(s.simulateStats, s.serveSimulate))
 	mux.HandleFunc("POST /v1/sweep", s.instrument(s.sweepStats, s.serveSweep))
 	mux.HandleFunc("GET /v1/jobs/{key}", s.instrument(s.jobsStats, s.serveJob))
 	mux.HandleFunc("POST /v1/jobs", s.instrument(s.batchStats, s.serveJobsBatch))
+	mux.HandleFunc("GET /v1/trace/{key}", s.instrument(s.traceStats, s.serveTrace))
+	mux.HandleFunc("POST /v1/diff", s.instrument(s.diffStats, s.serveDiff))
 	mux.HandleFunc("GET /healthz", s.serveHealthz)
 	mux.HandleFunc("GET /readyz", s.serveReadyz)
 	mux.HandleFunc("GET /metrics", s.serveMetrics)
@@ -231,8 +271,14 @@ func (s *Server) SetReady(ok bool) {
 	s.ready.Store(ok)
 	if ok {
 		s.watch.reopen()
+		if s.traces != nil {
+			s.traces.reopen()
+		}
 	} else {
 		s.watch.shutdown()
+		if s.traces != nil {
+			s.traces.shutdown()
+		}
 	}
 }
 
@@ -255,6 +301,9 @@ func (s *Server) SetPolicy(p *tenantsched.Policy) {
 func (s *Server) Drain() {
 	s.ready.Store(false)
 	s.watch.shutdown()
+	if s.traces != nil {
+		s.traces.shutdown()
+	}
 	s.pool.Close()
 	s.verifyWG.Wait()
 }
@@ -337,7 +386,7 @@ func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request, tenant st
 	}
 	key := sweep.JobKey(cfg, cfg.Seed)
 	recompute := func() ([]byte, bool, error) {
-		digest, m, err := s.execute(cfg, cfg.Seed)
+		digest, m, err := s.executeJob(key, cfg, cfg.Seed)
 		if err != nil {
 			return nil, false, err
 		}
@@ -496,7 +545,7 @@ func (s *Server) runBatchJob(j batchJob) batchOutcome {
 		}
 		// An undecodable cached body falls through to re-execution.
 	}
-	digest, m, err := s.execute(j.Config, seed)
+	digest, m, err := s.executeJob(key, j.Config, seed)
 	if err != nil {
 		out.Error = err.Error()
 		return out
@@ -736,12 +785,29 @@ type Metrics struct {
 	VerifySkipped     int64                    `json:"verify_skipped"`
 	Cache             CacheStats               `json:"cache"`
 	Endpoints         map[string]EndpointStats `json:"endpoints"`
+	// Trace reports the live-trace hub's state; omitted when tracing is
+	// disabled.
+	Trace *TraceMetrics `json:"trace,omitempty"`
 	// VirtualTime is the scheduling tree's global virtual time
 	// (nanoseconds of service over weight at the root).
 	VirtualTime float64 `json:"virtual_time"`
 	// Tenants holds per-tenant scheduling state and latency; keys are
 	// tenant names (header-less traffic appears as "default").
 	Tenants map[string]TenantMetrics `json:"tenants"`
+}
+
+// TraceMetrics is the /metrics entry for the live-trace hub.
+type TraceMetrics struct {
+	// Live is the number of executions currently streaming.
+	Live int `json:"live"`
+	// Finished is the number of retained finished recordings; Bytes their
+	// total frame bytes; Evicted how many recordings the byte cap pushed
+	// out.
+	Finished int   `json:"finished"`
+	Bytes    int64 `json:"bytes"`
+	Evicted  int64 `json:"evicted"`
+	// Streams is the number of open follow streams across all tenants.
+	Streams int `json:"streams"`
 }
 
 // TenantMetrics is one tenant's /metrics entry: the scheduling queue's
@@ -773,6 +839,20 @@ func (s *Server) Snapshot() Metrics {
 		}
 	}
 	s.tenantMu.Unlock()
+	var tm *TraceMetrics
+	if s.traces != nil {
+		live, done, bytes := s.traces.counts()
+		s.streamMu.Lock()
+		open := 0
+		for _, n := range s.streams {
+			open += n
+		}
+		s.streamMu.Unlock()
+		tm = &TraceMetrics{
+			Live: live, Finished: done, Bytes: bytes,
+			Evicted: s.traces.evicted.Load(), Streams: open,
+		}
+	}
 	return Metrics{
 		Workers:           s.pool.Workers(),
 		QueueDepth:        s.pool.Depth(),
@@ -792,7 +872,10 @@ func (s *Server) Snapshot() Metrics {
 			"sweep":      s.sweepStats.snapshot(),
 			"jobs":       s.jobsStats.snapshot(),
 			"jobs_batch": s.batchStats.snapshot(),
+			"trace":      s.traceStats.snapshot(),
+			"diff":       s.diffStats.snapshot(),
 		},
+		Trace:       tm,
 		VirtualTime: vt,
 		Tenants:     tenants,
 	}

@@ -32,6 +32,7 @@ import (
 	"hsfq/internal/cpu"
 	"hsfq/internal/sched"
 	"hsfq/internal/sim"
+	"hsfq/internal/trace"
 	"hsfq/internal/workload"
 )
 
@@ -598,6 +599,22 @@ func Build(c Config, opt BuildOptions) (*Simulation, error) {
 func (s *Simulation) Run() {
 	s.Machine.Run(s.Config.Horizon.Time())
 	s.Machine.Flush()
+}
+
+// ThreadMetas returns each thread's position in the scheduling tree —
+// the sideband trace streams and hierarchy-aware renderers need to lay
+// events out by depth. Order matches s.Threads (and thus config order).
+func (s *Simulation) ThreadMetas() []trace.ThreadMeta {
+	out := make([]trace.ThreadMeta, 0, len(s.Threads))
+	for _, th := range s.Threads {
+		m := trace.ThreadMeta{TID: th.ID, Name: th.Name}
+		if st := s.StructureOf(th); st != nil {
+			m.Path = st.PathOf(st.LeafOf(th).ID())
+			m.Depth = trace.DepthFromPath(m.Path)
+		}
+		out = append(out, m)
+	}
+	return out
 }
 
 func buildProgram(s *Simulation, tc ThreadConfig, rate cpu.Rate, rng *sim.Rand) (cpu.Program, error) {

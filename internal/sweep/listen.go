@@ -1,0 +1,39 @@
+package sweep
+
+import (
+	"hsfq/internal/checkpoint"
+	"hsfq/internal/simconfig"
+)
+
+// ExecuteConfigListened is ExecuteConfig with machine listeners: the
+// traced execution path behind hsfqd's live trace streaming. attach runs
+// after the build and before the first event — the hook where the caller
+// wires listeners (Machine.Listen) and reads thread metadata.
+//
+// Unlike ExecuteConfigCheckpointed this never resumes from a stored
+// checkpoint: a listener must observe the complete event stream from
+// tick zero, and a resumed run would replay only the suffix. Determinism
+// makes that sound rather than wasteful — the stream of a key-addressed
+// job is canonical whichever path produced it. When a store is given the
+// run still contributes its final pre-settlement state, so traced runs
+// keep feeding horizon extension exactly like untraced ones.
+func ExecuteConfigListened(c simconfig.Config, seed uint64, store *Store, attach func(*simconfig.Simulation)) (string, map[string]float64, error) {
+	s, err := simconfig.Build(c, simconfig.BuildOptions{Seed: seed})
+	if err != nil {
+		return "", nil, err
+	}
+	if attach != nil {
+		attach(s)
+	}
+	horizon := effectiveHorizon(c)
+	s.Machine.Run(horizon)
+	if store != nil {
+		// Snapshot before Flush, mirroring ExecuteConfigCheckpointed: a
+		// resumed run must continue from the un-settled state.
+		if data, err := checkpoint.Save(s, checkpoint.Options{}); err == nil {
+			store.Put(PrefixKey(c, seed), horizon, data) // best-effort: see Put
+		}
+	}
+	s.Machine.Flush()
+	return Digest(s), Metrics(s), nil
+}

@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hsfq/internal/simconfig"
+	"hsfq/internal/trace"
+)
+
+const listenConfig = `{
+  "rate_mips": 100,
+  "horizon": "100ms",
+  "seed": 9,
+  "nodes": [
+    {"path": "/soft", "weight": 3, "leaf": "sfq", "quantum": "5ms"},
+    {"path": "/be", "weight": 1, "leaf": "rr"}
+  ],
+  "threads": [
+    {"name": "dec", "leaf": "/soft", "weight": 2, "program": {"kind": "mpeg", "loop": true}},
+    {"name": "hog", "leaf": "/be", "program": {"kind": "loop"}}
+  ]
+}`
+
+func TestExecuteConfigListened(t *testing.T) {
+	cfg, err := simconfig.Parse(strings.NewReader(listenConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, wantMetrics, err := ExecuteConfig(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := trace.NewHasher()
+	var metas []trace.ThreadMeta
+	digest, m, err := ExecuteConfigListened(cfg, 0, store, func(s *simconfig.Simulation) {
+		s.Machine.Listen(h)
+		metas = s.ThreadMetas()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Listeners must not perturb the run: same digest and metrics as the
+	// plain path.
+	if digest != wantDigest {
+		t.Fatalf("digest %s != %s", digest, wantDigest)
+	}
+	if len(m) != len(wantMetrics) {
+		t.Fatalf("metrics differ: %v vs %v", m, wantMetrics)
+	}
+	if h.Rows() == 0 {
+		t.Fatal("listener saw no events")
+	}
+	if len(metas) != 2 || metas[0].Name != "dec" || metas[0].Depth != 1 || metas[0].Path != "/soft" {
+		t.Fatalf("thread metas: %+v", metas)
+	}
+	// The traced run still contributes its final checkpoint.
+	ckpts, _ := filepath.Glob(filepath.Join(store.Dir, "*.ckpt"))
+	if len(ckpts) != 1 {
+		t.Fatalf("want 1 stored checkpoint, got %v", ckpts)
+	}
+
+	// A second traced run of the same job must not resume (the listener
+	// needs the full stream): the hashed row count matches a fresh run.
+	h2 := trace.NewHasher()
+	if _, _, err := ExecuteConfigListened(cfg, 0, store, func(s *simconfig.Simulation) {
+		s.Machine.Listen(h2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Rows() != h.Rows() || h2.Sum() != h.Sum() {
+		t.Fatalf("second traced run saw %d rows (%s), first %d (%s)", h2.Rows(), h2.Sum(), h.Rows(), h.Sum())
+	}
+}

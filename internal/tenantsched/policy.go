@@ -52,6 +52,10 @@ type TenantPolicy struct {
 	// Key, when non-empty, must be presented in X-API-Key by every
 	// request claiming this tenant.
 	Key string `json:"key,omitempty"`
+	// Streams caps the tenant's concurrent live trace streams
+	// (GET /v1/trace/{key}?follow=1); beyond it new follows get 429.
+	// <= 0 selects DefaultStreams.
+	Streams int `json:"streams,omitempty"`
 }
 
 // Policy is the tenant policy document, loaded from JSON and hot-swapped
@@ -66,6 +70,9 @@ type Policy struct {
 	// which is what keeps a policy-less daemon byte-compatible with the
 	// pre-tenant FIFO).
 	DefaultQuota int `json:"default_quota,omitempty"`
+	// DefaultStreams applies to tenants without an explicit stream cap;
+	// <= 0 defers to the server's fallback.
+	DefaultStreams int `json:"default_streams,omitempty"`
 	// Strict rejects tenants not named in Tenants with 403 instead of
 	// admitting them under the defaults. The default tenant is always
 	// admitted so header-less traffic keeps working.
@@ -113,6 +120,9 @@ func (p *Policy) Validate() error {
 	if p.DefaultQuota < 0 {
 		return fmt.Errorf("tenantsched: default_quota %d is negative", p.DefaultQuota)
 	}
+	if p.DefaultStreams < 0 {
+		return fmt.Errorf("tenantsched: default_streams %d is negative", p.DefaultStreams)
+	}
 	for name, t := range p.Tenants {
 		if !ValidTenantName(name) {
 			return fmt.Errorf("tenantsched: invalid tenant name %q", name)
@@ -122,6 +132,9 @@ func (p *Policy) Validate() error {
 		}
 		if t.Quota < 0 {
 			return fmt.Errorf("tenantsched: tenant %q quota %d is negative", name, t.Quota)
+		}
+		if t.Streams < 0 {
+			return fmt.Errorf("tenantsched: tenant %q streams %d is negative", name, t.Streams)
 		}
 	}
 	return nil
@@ -156,6 +169,19 @@ func (p *Policy) quotaOf(name string, fallback int) int {
 	}
 	if p.DefaultQuota > 0 {
 		return p.DefaultQuota
+	}
+	return fallback
+}
+
+// StreamsOf resolves a tenant's concurrent-trace-stream cap; fallback is
+// the serving layer's default (0 entries and 0 default_streams defer to
+// it).
+func (p *Policy) StreamsOf(name string, fallback int) int {
+	if t, ok := p.Tenants[name]; ok && t.Streams > 0 {
+		return t.Streams
+	}
+	if p.DefaultStreams > 0 {
+		return p.DefaultStreams
 	}
 	return fallback
 }

@@ -42,12 +42,10 @@ func (s *Hasher) row(at sim.Time, kind Kind, thread string, tid int, used sched.
 }
 
 func (s *Hasher) coreRow(core int, at sim.Time, kind Kind, thread string, tid int, used sched.Work, runnable bool, service sim.Time) {
-	s.buf = s.buf[:0]
-	s.buf = fmt.Appendf(s.buf, "%d,%s,%s,%d,%d,%t,%d", int64(at), kind, thread, tid, int64(used), runnable, int64(service))
-	if s.numCores > 1 {
-		s.buf = fmt.Appendf(s.buf, ",%d", core)
-	}
-	s.buf = append(s.buf, '\n')
+	s.buf = AppendRow(s.buf[:0], Event{
+		At: at, Kind: kind, Thread: thread, ThreadID: tid,
+		Used: used, Runnable: runnable, Service: service, Core: core,
+	}, s.numCores)
 	s.h.Write(s.buf)
 	s.rows++
 }

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hsfq/internal/sim"
+)
+
+// This file is the hierarchy-aware timeline view of a trace: the
+// schedsi-style Gantt variant that puts scheduling-tree depth on the
+// vertical axis (one lane per depth level, one row per thread inside its
+// lane) instead of one flat row per thread. It exists in two renderings:
+// GanttByDepth draws ASCII for terminals, and BuildTimeline produces the
+// JSON document hsfqd's trace endpoint serves (and embeds into the
+// self-contained ?view=gantt HTML page).
+
+// GanttByDepth renders run spans as an ASCII chart grouped into one lane
+// per scheduling-tree depth, shallowest first:
+//
+//	depth 1 (/soft)
+//	dec |##..##..
+//	depth 2 (/be/user1)
+//	hog |..##..##
+//
+// meta maps thread IDs to their tree position; threads without an entry
+// land in a trailing "depth ?" lane rather than being dropped.
+func GanttByDepth(w io.Writer, spans []RunSpan, meta []ThreadMeta, from, to sim.Time, columns int) error {
+	if columns < 1 {
+		columns = 80
+	}
+	if to <= from {
+		return fmt.Errorf("trace: empty gantt window [%v,%v]", from, to)
+	}
+	bucket := (to - from) / sim.Time(columns)
+	if bucket < 1 {
+		bucket = 1
+	}
+	if len(spans) == 0 {
+		_, err := io.WriteString(w, "(no spans)\n")
+		return err
+	}
+	byTID := metaByTID(meta)
+	const unknownDepth = 1 << 30
+	depthOf := func(tid int) int {
+		if m, ok := byTID[tid]; ok {
+			return m.Depth
+		}
+		return unknownDepth
+	}
+	width := 0
+	lanes := map[int][]RunSpan{}
+	var depths []int
+	for _, sp := range spans {
+		d := depthOf(sp.TID)
+		if _, ok := lanes[d]; !ok {
+			depths = append(depths, d)
+		}
+		lanes[d] = append(lanes[d], sp)
+		if len(sp.Thread) > width {
+			width = len(sp.Thread)
+		}
+	}
+	sort.Ints(depths)
+
+	var b strings.Builder
+	for _, d := range depths {
+		if d == unknownDepth {
+			fmt.Fprintf(&b, "depth ?\n")
+		} else {
+			fmt.Fprintf(&b, "depth %d%s\n", d, lanePaths(lanes[d], byTID))
+		}
+		ganttLane(&b, lanes[d], from, to, bucket, columns, width)
+	}
+	fmt.Fprintf(&b, "%-*s +%s\n", width, "", strings.Repeat("-", columns))
+	fmt.Fprintf(&b, "%-*s  %v%s%v\n", width, "", from, strings.Repeat(" ", maxInt(columns-len(from.String())-len(to.String()), 1)), to)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// lanePaths summarizes the distinct leaf paths feeding one depth lane,
+// e.g. " (/be/user1, /be/user2)"; empty when no span has a path.
+func lanePaths(spans []RunSpan, byTID map[int]ThreadMeta) string {
+	seen := map[string]bool{}
+	var paths []string
+	for _, sp := range spans {
+		if m, ok := byTID[sp.TID]; ok && m.Path != "" && !seen[m.Path] {
+			seen[m.Path] = true
+			paths = append(paths, m.Path)
+		}
+	}
+	if len(paths) == 0 {
+		return ""
+	}
+	sort.Strings(paths)
+	return " (" + strings.Join(paths, ", ") + ")"
+}
+
+func metaByTID(meta []ThreadMeta) map[int]ThreadMeta {
+	byTID := make(map[int]ThreadMeta, len(meta))
+	for _, m := range meta {
+		byTID[m.TID] = m
+	}
+	return byTID
+}
+
+// DepthFromPath computes a ThreadMeta depth from a leaf path: the number
+// of non-empty '/'-separated segments ("/soft" is 1, "/be/user1" is 2,
+// "/" or "" is 0 — the root itself).
+func DepthFromPath(path string) int {
+	n := 0
+	for _, seg := range strings.Split(path, "/") {
+		if seg != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Timeline is the JSON timeline document: run spans grouped by
+// scheduling-tree depth, ready for a renderer that puts depth on the
+// vertical axis. Times are nanoseconds.
+type Timeline struct {
+	FromNs   int64          `json:"from_ns"`
+	ToNs     int64          `json:"to_ns"`
+	NumCores int            `json:"num_cores"`
+	Lanes    []TimelineLane `json:"lanes"`
+}
+
+// TimelineLane is one depth level of the tree.
+type TimelineLane struct {
+	Depth   int              `json:"depth"`
+	Threads []TimelineThread `json:"threads"`
+}
+
+// TimelineThread is one thread's row: its tree position plus its run
+// spans, in time order.
+type TimelineThread struct {
+	Name  string         `json:"name"`
+	TID   int            `json:"tid"`
+	Path  string         `json:"path,omitempty"`
+	Spans []TimelineSpan `json:"spans"`
+}
+
+// TimelineSpan is one contiguous stretch of CPU occupancy.
+type TimelineSpan struct {
+	StartNs int64 `json:"start_ns"`
+	EndNs   int64 `json:"end_ns"`
+	Used    int64 `json:"used"`
+	Core    int   `json:"core,omitempty"`
+}
+
+// BuildTimeline folds run spans into the depth-grouped timeline document.
+// Threads without metadata get depth -1 (rendered last); lanes are sorted
+// by depth, threads within a lane by first dispatch.
+func BuildTimeline(spans []RunSpan, meta []ThreadMeta, from, to sim.Time, numCores int) Timeline {
+	byTID := metaByTID(meta)
+	type row struct {
+		t     TimelineThread
+		depth int
+		first int64
+	}
+	rows := map[int]*row{}
+	var order []int
+	for _, sp := range spans {
+		r, ok := rows[sp.TID]
+		if !ok {
+			depth := -1
+			path := ""
+			if m, mok := byTID[sp.TID]; mok {
+				depth, path = m.Depth, m.Path
+			}
+			r = &row{
+				t:     TimelineThread{Name: sp.Thread, TID: sp.TID, Path: path},
+				depth: depth,
+				first: int64(sp.Start),
+			}
+			rows[sp.TID] = r
+			order = append(order, sp.TID)
+		}
+		r.t.Spans = append(r.t.Spans, TimelineSpan{
+			StartNs: int64(sp.Start), EndNs: int64(sp.End), Used: int64(sp.Used), Core: sp.Core,
+		})
+	}
+	laneRows := map[int][]*row{}
+	var depths []int
+	for _, tid := range order {
+		r := rows[tid]
+		if _, ok := laneRows[r.depth]; !ok {
+			depths = append(depths, r.depth)
+		}
+		laneRows[r.depth] = append(laneRows[r.depth], r)
+	}
+	// Unknown-depth (-1) threads sort to the end, known depths ascending.
+	sort.Slice(depths, func(i, j int) bool {
+		di, dj := depths[i], depths[j]
+		if (di == -1) != (dj == -1) {
+			return dj == -1
+		}
+		return di < dj
+	})
+	tl := Timeline{FromNs: int64(from), ToNs: int64(to), NumCores: numCores}
+	for _, d := range depths {
+		rs := laneRows[d]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].first < rs[j].first })
+		lane := TimelineLane{Depth: d}
+		for _, r := range rs {
+			lane.Threads = append(lane.Threads, r.t)
+		}
+		tl.Lanes = append(tl.Lanes, lane)
+	}
+	return tl
+}

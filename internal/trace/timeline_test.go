@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hsfq/internal/sim"
+)
+
+func depthMeta() []ThreadMeta {
+	return []ThreadMeta{
+		{TID: 1, Name: "dec", Depth: 1, Path: "/soft"},
+		{TID: 2, Name: "hog", Depth: 2, Path: "/be/user1"},
+		{TID: 3, Name: "make", Depth: 2, Path: "/be/user2"},
+	}
+}
+
+func depthSpans() []RunSpan {
+	return []RunSpan{
+		{Thread: "dec", TID: 1, Start: 0, End: 40 * sim.Millisecond, Used: 100},
+		{Thread: "hog", TID: 2, Start: 40 * sim.Millisecond, End: 70 * sim.Millisecond, Used: 60},
+		{Thread: "make", TID: 3, Start: 70 * sim.Millisecond, End: 100 * sim.Millisecond, Used: 60},
+		{Thread: "dec", TID: 1, Start: 100 * sim.Millisecond, End: 140 * sim.Millisecond, Used: 100},
+	}
+}
+
+func TestGanttByDepthLanes(t *testing.T) {
+	var b strings.Builder
+	err := GanttByDepth(&b, depthSpans(), depthMeta(), 0, 140*sim.Millisecond, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	i1 := strings.Index(out, "depth 1 (/soft)")
+	i2 := strings.Index(out, "depth 2 (/be/user1, /be/user2)")
+	if i1 < 0 || i2 < 0 {
+		t.Fatalf("missing depth lane headers in:\n%s", out)
+	}
+	if i1 > i2 {
+		t.Fatalf("depth 1 lane should precede depth 2:\n%s", out)
+	}
+	// dec is in the depth-1 lane, hog and make in depth 2.
+	lane1, lane2 := out[i1:i2], out[i2:]
+	if !strings.Contains(lane1, "dec") || strings.Contains(lane1, "hog") {
+		t.Fatalf("depth 1 lane has wrong threads:\n%s", out)
+	}
+	if !strings.Contains(lane2, "hog") || !strings.Contains(lane2, "make") || strings.Contains(lane2[len("depth 2"):], "dec ") {
+		t.Fatalf("depth 2 lane has wrong threads:\n%s", out)
+	}
+}
+
+func TestGanttByDepthUnknownTID(t *testing.T) {
+	spans := []RunSpan{{Thread: "ghost", TID: 99, Start: 0, End: sim.Millisecond, Used: 1}}
+	var b strings.Builder
+	if err := GanttByDepth(&b, spans, depthMeta(), 0, sim.Millisecond, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "depth ?") || !strings.Contains(b.String(), "ghost") {
+		t.Fatalf("unknown-TID spans should land in a 'depth ?' lane:\n%s", b.String())
+	}
+}
+
+func TestGanttByDepthEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := GanttByDepth(&b, nil, nil, 0, sim.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "(no spans)\n" {
+		t.Fatalf("got %q", b.String())
+	}
+	if err := GanttByDepth(&b, depthSpans(), nil, sim.Second, sim.Second, 10); err == nil {
+		t.Fatal("empty window should error")
+	}
+}
+
+func TestBuildTimeline(t *testing.T) {
+	tl := BuildTimeline(depthSpans(), depthMeta(), 0, 140*sim.Millisecond, 1)
+	if tl.FromNs != 0 || tl.ToNs != int64(140*sim.Millisecond) || tl.NumCores != 1 {
+		t.Fatalf("bad window: %+v", tl)
+	}
+	if len(tl.Lanes) != 2 {
+		t.Fatalf("want 2 lanes, got %d", len(tl.Lanes))
+	}
+	if tl.Lanes[0].Depth != 1 || tl.Lanes[1].Depth != 2 {
+		t.Fatalf("lane depths: %d, %d", tl.Lanes[0].Depth, tl.Lanes[1].Depth)
+	}
+	if len(tl.Lanes[0].Threads) != 1 || tl.Lanes[0].Threads[0].Name != "dec" {
+		t.Fatalf("depth-1 lane: %+v", tl.Lanes[0])
+	}
+	dec := tl.Lanes[0].Threads[0]
+	if len(dec.Spans) != 2 || dec.Spans[0].StartNs != 0 || dec.Spans[1].EndNs != int64(140*sim.Millisecond) {
+		t.Fatalf("dec spans: %+v", dec.Spans)
+	}
+	if dec.Path != "/soft" {
+		t.Fatalf("dec path: %q", dec.Path)
+	}
+	// Threads within a lane sort by first dispatch: hog ran before make.
+	d2 := tl.Lanes[1].Threads
+	if len(d2) != 2 || d2[0].Name != "hog" || d2[1].Name != "make" {
+		t.Fatalf("depth-2 lane order: %+v", d2)
+	}
+}
+
+func TestBuildTimelineUnknownDepthLast(t *testing.T) {
+	spans := append(depthSpans(), RunSpan{Thread: "ghost", TID: 99, Start: 0, End: sim.Millisecond})
+	tl := BuildTimeline(spans, depthMeta(), 0, 140*sim.Millisecond, 1)
+	last := tl.Lanes[len(tl.Lanes)-1]
+	if last.Depth != -1 || len(last.Threads) != 1 || last.Threads[0].Name != "ghost" {
+		t.Fatalf("unknown-depth lane should be last: %+v", tl.Lanes)
+	}
+}
+
+func TestDepthFromPath(t *testing.T) {
+	for path, want := range map[string]int{
+		"": 0, "/": 0, "/soft": 1, "/be/user1": 2, "/a/b/c": 3, "be/user1": 2,
+	} {
+		if got := DepthFromPath(path); got != want {
+			t.Errorf("DepthFromPath(%q) = %d, want %d", path, got, want)
+		}
+	}
+}
+
+func TestRowTextMatchesHasherFormat(t *testing.T) {
+	e := Event{At: 5, Kind: Charge, Thread: "dec", ThreadID: 1, Used: 7, Runnable: true, Service: 0}
+	if got, want := RowText(e, 1), "5,charge,dec,1,7,true,0"; got != want {
+		t.Fatalf("RowText single-core = %q, want %q", got, want)
+	}
+	e.Core = 2
+	if got, want := RowText(e, 4), "5,charge,dec,1,7,true,0,2"; got != want {
+		t.Fatalf("RowText multi-core = %q, want %q", got, want)
+	}
+	if got := AppendRow(nil, e, 1); string(got) != "5,charge,dec,1,7,true,0\n" {
+		t.Fatalf("AppendRow = %q", got)
+	}
+}

@@ -198,6 +198,44 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.events)
 }
 
+// AppendRow appends the canonical row text of one event — exactly the
+// bytes Hasher folds into its stream digest, one line per event with a
+// trailing core column only on multicore streams. Everything that claims
+// two event streams are "equal" (hsfqdiff's replay comparison, the
+// tracestream follow protocol, tracesmoke) renders rows through this one
+// function, so digest equality and row equality can never drift apart.
+func AppendRow(buf []byte, e Event, numCores int) []byte {
+	buf = fmt.Appendf(buf, "%d,%s,%s,%d,%d,%t,%d",
+		int64(e.At), e.Kind, e.Thread, e.ThreadID, int64(e.Used), e.Runnable, int64(e.Service))
+	if numCores > 1 {
+		buf = fmt.Appendf(buf, ",%d", e.Core)
+	}
+	return append(buf, '\n')
+}
+
+// RowText is AppendRow as a string, without the trailing newline — the
+// display form of a single event in divergence reports.
+func RowText(e Event, numCores int) string {
+	b := AppendRow(nil, e, numCores)
+	return string(b[:len(b)-1])
+}
+
+// ThreadMeta describes one thread's place in the scheduling tree, the
+// sideband a trace stream carries so renderers can lay events out by
+// hierarchy depth without access to the original config.
+type ThreadMeta struct {
+	// TID matches Event.ThreadID.
+	TID int `json:"tid"`
+	// Name matches Event.Thread.
+	Name string `json:"name"`
+	// Depth is the thread's depth in the scheduling tree: the number of
+	// path segments of the leaf it is attached to (a thread on "/soft"
+	// has depth 1, on "/be/user1" depth 2). The root scheduler is depth 0.
+	Depth int `json:"depth"`
+	// Path is the leaf the thread is attached to, e.g. "/soft".
+	Path string `json:"path,omitempty"`
+}
+
 // RunSpans folds dispatch/charge pairs into (thread, start, end) spans —
 // the Gantt view of the schedule.
 type RunSpan struct {
@@ -209,15 +247,18 @@ type RunSpan struct {
 	Core   int
 }
 
-// Spans extracts run spans from the recorded events. A span opens at a
+// Spans extracts run spans from the recorded events.
+func (r *Recorder) Spans() []RunSpan { return SpansOf(r.events) }
+
+// SpansOf folds an event sequence into run spans. A span opens at a
 // dispatch and closes at the next charge of the same thread; interrupts in
 // between lengthen the span's wall time, not its Used work. A thread runs
 // on at most one core at a time, so keying open spans by thread is sound
 // on multicore traces too.
-func (r *Recorder) Spans() []RunSpan {
+func SpansOf(events []Event) []RunSpan {
 	var out []RunSpan
 	open := make(map[int]*RunSpan)
-	for _, e := range r.events {
+	for _, e := range events {
 		switch e.Kind {
 		case Dispatch:
 			open[e.ThreadID] = &RunSpan{Thread: e.Thread, TID: e.ThreadID, Start: e.At, Core: e.Core}

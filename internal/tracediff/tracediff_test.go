@@ -1,0 +1,96 @@
+package tracediff
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hsfq/internal/simconfig"
+)
+
+const baseConfig = `{
+  "horizon": "2s",
+  "seed": 5,
+  "nodes": [
+    {"path": "/rt", "weight": 3, "leaf": "edf", "quantum": "5ms"},
+    {"path": "/be", "weight": 1, "leaf": "sfq", "quantum": "10ms"}
+  ],
+  "threads": [
+    {"name": "cam", "leaf": "/rt", "program": {"kind": "periodic", "period": "33ms", "cost": "5ms"}},
+    {"name": "job", "leaf": "/be", "program": {"kind": "loop"}}
+  ],
+  "interrupts": [{"kind": "poisson", "rate_per_sec": 120, "service": "100us"}]
+}`
+
+func input(t *testing.T, label, body string, seed uint64) Input {
+	t.Helper()
+	cfg, err := simconfig.Parse(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Input{Label: label, Config: cfg, Seed: seed}
+}
+
+func TestDiffIdenticalResult(t *testing.T) {
+	res, err := Diff(input(t, "a", baseConfig, 0), input(t, "b", baseConfig, 0), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergent() || res.Status != StatusIdentical {
+		t.Fatalf("identical configs: %+v", res)
+	}
+	if res.Rows == 0 || res.Digest == "" {
+		t.Fatalf("missing stream summary: %+v", res)
+	}
+	if res.DivergenceAtNs != 0 || res.FirstRows != nil {
+		t.Fatalf("identical result carries divergence fields: %+v", res)
+	}
+}
+
+func TestDiffPlantedDivergence(t *testing.T) {
+	late := strings.Replace(baseConfig, `"program": {"kind": "loop"}}`,
+		`"program": {"kind": "loop"}},
+    {"name": "intruder", "leaf": "/be", "start": "1s", "program": {"kind": "loop"}}`, 1)
+	res, err := Diff(input(t, "a", baseConfig, 0), input(t, "b", late, 0), 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Divergent() {
+		t.Fatal("planted divergence not detected")
+	}
+	if res.DivergenceAtNs < 900e6 || res.DivergenceAtNs > 1100e6 {
+		t.Fatalf("divergence at %dns, want ~1s", res.DivergenceAtNs)
+	}
+	if res.FirstRows == nil || res.FirstRows.A == res.FirstRows.B {
+		t.Fatalf("first rows: %+v", res.FirstRows)
+	}
+	if res.ReplayFromInstant == 0 {
+		t.Fatalf("bisector replayed from tick zero: %+v", res)
+	}
+
+	// The JSON encoding is the /v1/diff schema: spot-check key names.
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"status":"divergent"`, `"divergence_at_ns":`, `"first_rows":`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("JSON missing %s: %s", key, b)
+		}
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	a := input(t, "a", baseConfig, 0)
+	short := input(t, "b", strings.Replace(baseConfig, `"horizon": "2s"`, `"horizon": "1s"`, 1), 0)
+	if _, err := Diff(a, short, 8, nil); err == nil || !strings.Contains(err.Error(), "horizon") {
+		t.Errorf("horizon mismatch: %v", err)
+	}
+	if _, err := Diff(a, a, 0, nil); err == nil {
+		t.Error("zero grid accepted")
+	}
+	bad := Input{Label: "b", Config: simconfig.Config{}}
+	if _, err := Diff(a, bad, 8, nil); err == nil {
+		t.Error("empty config accepted")
+	}
+}
